@@ -1,0 +1,65 @@
+"""Shared fixtures for the per-table/per-figure benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures on a
+laptop-scale configuration: the full 7-model x 3-compressor x 13-bound x
+6-dataset grid, but on shorter synthetic series with one seed per model.
+Trained models and scenario records are cached on disk under ``.cache`` so
+repeated runs are incremental; delete the directory for a cold start.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import Evaluation, EvaluationConfig
+from repro.core.results import ScenarioRecord
+
+BENCH_LENGTH = 3_000
+CACHE_DIR = os.path.join(os.path.dirname(__file__), os.pardir, ".cache")
+
+
+def bench_config() -> EvaluationConfig:
+    """The laptop-scale configuration shared by every benchmark."""
+    return EvaluationConfig(
+        dataset_length=BENCH_LENGTH,
+        deep_seeds=1,
+        simple_seeds=1,
+        eval_stride=24,
+        cache_dir=CACHE_DIR,
+    )
+
+
+@pytest.fixture(scope="session")
+def evaluation() -> Evaluation:
+    return Evaluation(bench_config())
+
+
+@pytest.fixture(scope="session")
+def all_records(evaluation) -> list[ScenarioRecord]:
+    """Baseline + scenario records over the whole grid (the expensive part)."""
+
+    def compute() -> list[ScenarioRecord]:
+        records: list[ScenarioRecord] = []
+        for dataset in evaluation.config.datasets:
+            for model in evaluation.config.models:
+                records += evaluation.baseline_records(model, dataset)
+                records += evaluation.scenario_records(model, dataset)
+        return records
+
+    key = (f"allrecords-{evaluation.config.datasets}-"
+           f"{evaluation.config.models}-{evaluation.config.dataset_length}-"
+           f"{evaluation.config.error_bounds}-v1")
+    return evaluation._cache.get_or_compute(key, compute)
+
+
+@pytest.fixture(scope="session")
+def all_sweeps(evaluation) -> dict:
+    """Compression sweeps (TE/CR/segments) for every dataset."""
+    return {name: evaluation.compression_sweep(name)
+            for name in evaluation.config.datasets}
+
+
+def print_header(title: str) -> None:
+    print(f"\n{'=' * 78}\n{title}\n{'=' * 78}")

@@ -1,0 +1,75 @@
+"""Ablation A2 — the Section 5 ensemble research direction.
+
+The paper proposes combining an accurate model with a resilient one.
+This bench builds an Arima + NBeats ensemble on ETTm1, evaluates all three
+under PMC compression, and asserts the proposal's promise: the ensemble's
+degraded-input accuracy is never meaningfully worse than the better of its
+two members.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_header
+
+from repro.compression import make as make_compressor
+from repro.datasets import load, split
+from repro.forecasting import (ArimaForecaster, EnsembleForecaster,
+                               NBeatsForecaster, paired_windows)
+from repro.metrics import nrmse
+
+BOUNDS = (0.05, 0.2, 0.5)
+
+
+def build_results():
+    dataset = load("ETTm1", length=3_000)
+    parts = split(dataset)
+    train = parts.train.target_series.values
+    validation = parts.validation.target_series.values
+    test_series = parts.test.target_series
+    test_start = len(parts.train) + len(parts.validation)
+
+    def fresh_members():
+        return [ArimaForecaster(seed=0, seasonal_period=96),
+                NBeatsForecaster(seed=0)]
+
+    arima, nbeats = fresh_members()
+    ensemble = EnsembleForecaster(fresh_members(),
+                                  validation_start=len(train))
+    for model in (arima, nbeats, ensemble):
+        model.fit(train, validation)
+
+    offsets = np.arange(0, len(test_series) - 96 - 24 + 1, 24)
+    positions = test_start + offsets.astype(float)
+    compressor = make_compressor("PMC")
+    results = {}
+    for eb in (0.0,) + BOUNDS:
+        if eb == 0.0:
+            inputs = test_series.values
+        else:
+            inputs = compressor.compress(test_series, eb).decompressed.values
+        x, y = paired_windows(inputs, test_series.values, 96, 24, stride=24)
+        for name, model in (("Arima", arima), ("NBeats", nbeats),
+                            ("Ensemble", ensemble)):
+            try:
+                prediction = model.predict(x, positions=positions)
+            except TypeError:
+                prediction = model.predict(x)
+            results[(name, eb)] = nrmse(y.ravel(), prediction.ravel())
+    return results
+
+
+def test_ablation_ensemble(benchmark):
+    results = benchmark.pedantic(build_results, rounds=1, iterations=1)
+    print_header("Ablation A2: NRMSE under PMC compression — ensemble vs "
+                 "members (ETTm1)")
+    print(f"{'eps':>6s}{'Arima':>10s}{'NBeats':>10s}{'Ensemble':>10s}")
+    for eb in (0.0,) + BOUNDS:
+        print(f"{eb:>6.2f}" + "".join(
+            f"{results[(name, eb)]:>10.4f}"
+            for name in ("Arima", "NBeats", "Ensemble")))
+
+    for eb in (0.0,) + BOUNDS:
+        best_member = min(results[("Arima", eb)], results[("NBeats", eb)])
+        # the ensemble tracks the better member within a 25% margin
+        assert results[("Ensemble", eb)] <= best_member * 1.25, eb

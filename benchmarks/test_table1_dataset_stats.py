@@ -1,0 +1,42 @@
+"""Table 1 — details and statistics of the datasets.
+
+Regenerates LEN / FREQ / MEAN / MIN / MAX / Q1 / Q3 / rIQD for all six
+datasets at the paper's lengths and checks that the ordering the paper's
+analysis relies on (Weather's tiny rIQD, Solar's huge one) holds.
+"""
+
+from __future__ import annotations
+
+from conftest import print_header
+
+from repro.datasets import describe, load
+from repro.datasets.registry import DATASET_NAMES
+
+PAPER_RIQD = {"ETTm1": 82, "ETTm2": 75, "Solar": 200, "Weather": 5,
+              "ElecDem": 28, "Wind": 121}
+
+
+def build_table() -> dict[str, dict]:
+    rows = {}
+    for name in DATASET_NAMES:
+        dataset = load(name)  # paper lengths
+        rows[name] = describe(dataset.target_series).as_row()
+    return rows
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print_header("Table 1: details and statistics of datasets "
+                 "(paper rIQD in parentheses)")
+    print(f"{'Dataset':9s}{'LEN':>9s}{'FREQ':>7s}{'MEAN':>10s}{'MIN':>9s}"
+          f"{'MAX':>9s}{'Q1':>9s}{'Q3':>9s}{'rIQD':>14s}")
+    for name, row in rows.items():
+        print(f"{name:9s}{row['LEN']:>9d}{row['FREQ']:>7s}{row['MEAN']:>10.2f}"
+              f"{row['MIN']:>9.1f}{row['MAX']:>9.1f}{row['Q1']:>9.1f}"
+              f"{row['Q3']:>9.1f}{row['rIQD']:>6.0f}% ({PAPER_RIQD[name]}%)")
+
+    riqds = {name: row["rIQD"] for name, row in rows.items()}
+    assert min(riqds, key=riqds.get) == "Weather"
+    assert max(riqds, key=riqds.get) == "Solar"
+    for name, row in rows.items():
+        assert abs(row["rIQD"] - PAPER_RIQD[name]) / PAPER_RIQD[name] < 0.5

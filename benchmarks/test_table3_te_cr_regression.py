@@ -1,0 +1,64 @@
+"""Table 3 — linear regression of CR on TE with standard errors.
+
+Fits ``CR = theta1 * TE + theta0`` per (dataset, method) and reproduces
+Section 4.2.1's cluster structure: on datasets whose rIQD exceeds the
+error bounds (ETTm1, ETTm2, Solar, Wind) the linear relationship is
+strong, while Weather and ElecDem (tiny rIQD) have unreliable fits with
+much larger slopes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_header
+
+from repro.core import fit_linear
+
+LOW_RIQD = ("Weather", "ElecDem")
+HIGH_RIQD = ("ETTm1", "ETTm2", "Solar", "Wind")
+
+
+def build_fits(all_sweeps):
+    fits = {}
+    for dataset, sweep in all_sweeps.items():
+        for method in ("PMC", "SWING", "SZ"):
+            records = [r for r in sweep if r.method == method]
+            te = np.array([r.te["NRMSE"] for r in records])
+            cr = np.array([r.compression_ratio for r in records])
+            fits[(dataset, method)] = fit_linear(te, cr)
+    return fits
+
+
+def test_table3(benchmark, all_sweeps):
+    fits = benchmark.pedantic(build_fits, rounds=1, iterations=1,
+                              args=(all_sweeps,))
+    print_header("Table 3: CR = theta1 * TE + theta0 (coefficient, SE)")
+    print(f"{'dataset':9s} " + " ".join(
+        f"{m + ' th1 (SE)':>20s}{m + ' th0 (SE)':>18s}"
+        for m in ("PMC", "SWING", "SZ")))
+    for dataset in all_sweeps:
+        cells = []
+        for method in ("PMC", "SWING", "SZ"):
+            fit = fits[(dataset, method)]
+            cells.append(f"{fit.slope:>11.1f} ({fit.slope_se:>6.1f})"
+                         f"{fit.intercept:>10.1f} ({fit.intercept_se:>5.1f})")
+        print(f"{dataset:9s} " + " ".join(cells))
+
+    # high-rIQD cluster: strong, reliable linear relationship
+    for dataset in HIGH_RIQD:
+        for method in ("PMC", "SWING", "SZ"):
+            fit = fits[(dataset, method)]
+            assert fit.slope > 0
+            assert fit.r_squared > 0.5, (dataset, method)
+    # PMC gains the most CR per unit of TE (Section 4.2.1): it beats SZ on
+    # every reliable dataset and SWING on a majority of all datasets
+    for dataset in HIGH_RIQD:
+        assert fits[(dataset, "PMC")].slope > fits[(dataset, "SZ")].slope
+    datasets = {key[0] for key in fits}
+    pmc_over_swing = sum(
+        fits[(d, "PMC")].slope > fits[(d, "SWING")].slope for d in datasets)
+    assert pmc_over_swing >= len(datasets) - 1
+    # low-rIQD cluster: steeper or wildly uncertain fits (Weather/ElecDem)
+    mean_high = np.mean([fits[(d, "PMC")].slope for d in HIGH_RIQD])
+    mean_low = np.mean([fits[(d, "PMC")].slope for d in LOW_RIQD])
+    assert mean_low > mean_high

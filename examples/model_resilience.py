@@ -1,0 +1,90 @@
+"""Model resilience to lossy compression (RQ3) — and the ensemble remedy.
+
+Reproduces the paper's Section 4.4 findings in miniature.  The paper
+identifies two patterns: (1) simple trend-oriented models like Arima are
+more resilient than complex fluctuation-oriented models like Transformer,
+and (2) there is an *inverse relationship* between a model's baseline
+accuracy on a dataset and its resilience there — whichever model captures
+the dataset's subtle patterns best has the most to lose when compression
+distorts them.  On this ETT-style dataset Arima's Fourier terms give it
+the best baseline, so pattern (2) dominates and Arima is the *sensitive*
+one, exactly as the paper observes for Arima on ETTm1/ETTm2 (its resilient
+wins are on Solar, ElecDem, and Wind; see Figure 6 / Table 7 benches).
+
+The example also demonstrates the Section 5 research direction: an
+ensemble of an accurate model and a resilient model tracks the better of
+the two at every error bound.
+
+Run:  python examples/model_resilience.py   (takes a couple of minutes)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression import make as make_compressor
+from repro.datasets import load, split
+from repro.forecasting import (ArimaForecaster, EnsembleForecaster,
+                               TransformerForecaster, paired_windows)
+from repro.metrics import nrmse, tfe
+
+
+def evaluate(model, test_values, raw_test, positions):
+    x, y = paired_windows(test_values, raw_test, model.input_length,
+                          model.horizon, stride=24)
+    try:
+        prediction = model.predict(x, positions=positions)
+    except TypeError:
+        prediction = model.predict(x)
+    return nrmse(y.ravel(), prediction.ravel())
+
+
+def main() -> None:
+    dataset = load("ETTm1", length=3_500)
+    parts = split(dataset)
+    train = parts.train.target_series.values
+    validation = parts.validation.target_series.values
+    test_series = parts.test.target_series
+    raw_test = test_series.values
+    test_start = len(parts.train) + len(parts.validation)
+    offsets = np.arange(0, len(raw_test) - 96 - 24 + 1, 24)
+    positions = test_start + offsets.astype(float)
+
+    arima = ArimaForecaster(seed=0, seasonal_period=dataset.seasonal_period)
+    transformer = TransformerForecaster(seed=0, epochs=15,
+                                        max_train_windows=500)
+    ensemble = EnsembleForecaster([
+        ArimaForecaster(seed=0, seasonal_period=dataset.seasonal_period),
+        TransformerForecaster(seed=0, epochs=15, max_train_windows=500),
+    ])
+    models = {"Arima": arima, "Transformer": transformer,
+              "Ensemble": ensemble}
+    for name, model in models.items():
+        print(f"training {name} ...")
+        model.fit(train, validation)
+
+    baselines = {name: evaluate(model, raw_test, raw_test, positions)
+                 for name, model in models.items()}
+    print("\nbaseline NRMSE: " + ", ".join(
+        f"{name} {value:.4f}" for name, value in baselines.items()))
+
+    compressor = make_compressor("PMC")
+    print(f"\n{'eps':>5s} " + " ".join(f"{name:>14s}" for name in models)
+          + "   (TFE: accuracy lost vs raw)")
+    for error_bound in (0.05, 0.1, 0.2, 0.4):
+        decompressed = compressor.compress(test_series,
+                                           error_bound).decompressed.values
+        cells = []
+        for name, model in models.items():
+            error = evaluate(model, decompressed, raw_test, positions)
+            cells.append(f"{tfe(baselines[name], error):>+13.2%}")
+        print(f"{error_bound:5.2f} " + "  ".join(cells))
+
+    print("\nreading (paper, Section 4.4): the model with the best raw-data "
+          "baseline loses the most accuracy under compression (the paper's "
+          "inverse relationship), and the ensemble tracks the better of its "
+          "two members at each bound")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""repro — reproduction of "Evaluating the Impact of Error-Bounded Lossy
+Compression on Time Series Forecasting" (EDBT 2024).
+
+The package mirrors the paper's structure:
+
+- :mod:`repro.datasets` — the six evaluation datasets (synthetic stand-ins)
+- :mod:`repro.compression` — PMC, SWING, SZ, and the GORILLA baseline
+- :mod:`repro.forecasting` — the seven forecasting models
+- :mod:`repro.features` — the 42 time-series characteristics
+- :mod:`repro.metrics` — RMSE/NRMSE/RSE/R, TE, FE, TFE
+- :mod:`repro.core` — Algorithm 1 and the analyses behind every table/figure
+"""
+
+__version__ = "1.0.0"

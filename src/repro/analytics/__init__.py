@@ -1,0 +1,20 @@
+"""Compression impact on analytics beyond forecasting (Section 5)."""
+
+from repro.analytics.detectors import (mean_shift_changepoints, f1_score,
+                                       match_detections, zscore_anomalies)
+from repro.analytics.impact import (DetectionImpact, anomaly_impact,
+                                    changepoint_impact,
+                                    make_anomaly_series,
+                                    make_changepoint_series)
+
+__all__ = [
+    "mean_shift_changepoints",
+    "f1_score",
+    "match_detections",
+    "zscore_anomalies",
+    "DetectionImpact",
+    "anomaly_impact",
+    "changepoint_impact",
+    "make_anomaly_series",
+    "make_changepoint_series",
+]

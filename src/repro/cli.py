@@ -1,0 +1,133 @@
+"""Command-line interface for the reproduction package.
+
+Subcommands:
+
+- ``repro-eval info`` — list datasets, compressors, and forecasting models
+- ``repro-eval compress --dataset ETTm1 --method PMC --error-bound 0.1``
+  — compress one dataset and report CR / TE / segments
+- ``repro-eval sweep --dataset ETTm1`` — the full Figure 2/3 sweep
+- ``repro-eval evaluate --dataset ETTm1 --model DLinear`` — Algorithm 1 for
+  one (model, dataset) pair: baseline NRMSE plus TFE per method and bound
+
+All subcommands accept ``--length`` to control the synthetic series length.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.compression.registry import LOSSY_METHODS, PAPER_ERROR_BOUNDS
+from repro.datasets.registry import DATASET_NAMES
+from repro.forecasting.registry import MODEL_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval",
+        description="Reproduction of 'Evaluating the Impact of Error-Bounded "
+                    "Lossy Compression on Time Series Forecasting' (EDBT 2024)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("info", help="list datasets, compressors, and models")
+
+    compress = commands.add_parser("compress", help="compress one dataset")
+    compress.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    compress.add_argument("--method", required=True,
+                          choices=LOSSY_METHODS + ("GORILLA",))
+    compress.add_argument("--error-bound", type=float, default=0.1)
+    compress.add_argument("--length", type=int, default=5_000)
+
+    sweep = commands.add_parser("sweep", help="TE/CR sweep over all bounds")
+    sweep.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    sweep.add_argument("--length", type=int, default=5_000)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="Algorithm 1 for one model on one dataset")
+    evaluate.add_argument("--dataset", required=True, choices=DATASET_NAMES)
+    evaluate.add_argument("--model", required=True, choices=MODEL_NAMES)
+    evaluate.add_argument("--length", type=int, default=3_000)
+    evaluate.add_argument("--error-bounds", type=float, nargs="+",
+                          default=[0.05, 0.1, 0.2, 0.4])
+    return parser
+
+
+def _command_info() -> int:
+    print("datasets:    " + ", ".join(DATASET_NAMES))
+    print("compressors: " + ", ".join(LOSSY_METHODS) + " (+ GORILLA lossless)")
+    print("models:      " + ", ".join(MODEL_NAMES))
+    print("error bounds:" + " " + ", ".join(str(b) for b in PAPER_ERROR_BOUNDS))
+    return 0
+
+
+def _command_compress(args: argparse.Namespace) -> int:
+    from repro.compression import make, raw_gz_size
+    from repro.datasets import load
+    from repro.metrics import transformation_error
+
+    series = load(args.dataset, length=args.length).target_series
+    result = make(args.method).compress(series, args.error_bound)
+    ratio = raw_gz_size(series) / result.compressed_size
+    te = transformation_error(series, result.decompressed, "NRMSE")
+    print(f"{args.method} on {args.dataset} (eps={args.error_bound}):")
+    print(f"  compressed size : {result.compressed_size} bytes")
+    print(f"  compression ratio: {ratio:.2f}x")
+    print(f"  TE (NRMSE)       : {te:.5f}")
+    print(f"  segments         : {result.num_segments}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.core import Evaluation, EvaluationConfig
+
+    evaluation = Evaluation(EvaluationConfig(dataset_length=args.length,
+                                             cache_dir=None))
+    print(f"{'method':7s}{'eps':>6s}{'CR':>9s}{'TE':>9s}{'segments':>10s}")
+    for record in evaluation.compression_sweep(args.dataset):
+        print(f"{record.method:7s}{record.error_bound:>6.2f}"
+              f"{record.compression_ratio:>9.1f}{record.te['NRMSE']:>9.4f}"
+              f"{record.num_segments:>10d}")
+    print(f"GORILLA lossless CR: "
+          f"{evaluation.gorilla_ratio(args.dataset):.2f}x")
+    return 0
+
+
+def _command_evaluate(args: argparse.Namespace) -> int:
+    from repro.core import Evaluation, EvaluationConfig, tfe_table
+    from repro.core.results import RAW, mean_over_seeds
+
+    config = EvaluationConfig(dataset_length=args.length, cache_dir=None,
+                              deep_seeds=1, simple_seeds=1,
+                              error_bounds=tuple(args.error_bounds))
+    evaluation = Evaluation(config)
+    print(f"training {args.model} on {args.dataset} ...")
+    records = evaluation.baseline_records(args.model, args.dataset)
+    records += evaluation.scenario_records(args.model, args.dataset)
+    baseline = mean_over_seeds(records)[
+        (args.dataset, args.model, RAW, 0.0, False)]
+    print(f"baseline NRMSE: {baseline['NRMSE']:.4f}  (R {baseline['R']:.3f})")
+    table = tfe_table(records)
+    print(f"{'method':7s}" + "".join(f"{b:>9.2f}" for b in args.error_bounds))
+    for method in config.compressors:
+        cells = [table[(args.dataset, args.model, method, bound, False)]
+                 for bound in args.error_bounds]
+        print(f"{method:7s}" + "".join(f"{c:>+9.2%}" for c in cells))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _command_info()
+    if args.command == "compress":
+        return _command_compress(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "evaluate":
+        return _command_evaluate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

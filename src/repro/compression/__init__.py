@@ -1,0 +1,52 @@
+"""Error-bounded lossy compression methods and the lossless baseline."""
+
+from repro.compression.base import (CompressionResult, Compressor,
+                                    check_error_bound, gzip_bytes, gunzip_bytes)
+from repro.compression.chimp import Chimp
+from repro.compression.gorilla import Gorilla
+from repro.compression.ppa import PPA
+from repro.compression.pmc import PMC
+from repro.compression.swing import Swing
+from repro.compression.sz import SZ
+from repro.compression.registry import (ALL_METHODS, EXTRA_LOSSY_METHODS,
+                                        LOSSLESS_METHODS, LOSSY_METHODS,
+                                        PAPER_ERROR_BOUNDS, make)
+from repro.compression.multivariate import (DatasetCompressionResult,
+                                             compress_dataset)
+from repro.compression.streaming import (ConstantSegment, LinearSegment,
+                                          OnlinePMC, OnlineSwing, reconstruct)
+from repro.compression.serialize import (compression_ratio, deserialize_raw,
+                                         raw_gz_size, serialize_csv,
+                                         serialize_raw)
+
+__all__ = [
+    "Chimp",
+    "PPA",
+    "EXTRA_LOSSY_METHODS",
+    "LOSSLESS_METHODS",
+    "ConstantSegment",
+    "LinearSegment",
+    "OnlinePMC",
+    "OnlineSwing",
+    "reconstruct",
+    "DatasetCompressionResult",
+    "compress_dataset",
+    "CompressionResult",
+    "Compressor",
+    "check_error_bound",
+    "gzip_bytes",
+    "gunzip_bytes",
+    "Gorilla",
+    "PMC",
+    "Swing",
+    "SZ",
+    "ALL_METHODS",
+    "LOSSY_METHODS",
+    "PAPER_ERROR_BOUNDS",
+    "make",
+    "compression_ratio",
+    "deserialize_raw",
+    "raw_gz_size",
+    "serialize_csv",
+    "serialize_raw",
+]

@@ -1,0 +1,130 @@
+"""Chimp — improved lossless floating-point compression (Liakos et al., 2022).
+
+The paper's related work (Section 6.2) lists Chimp as the modern
+alternative to Gorilla.  Chimp's key observations: trailing-zero counts
+are rarely reused profitably, and leading-zero counts cluster into a few
+buckets.  This implementation follows the Chimp (non-N) scheme:
+
+per value, XOR with the previous value, then a 2-bit flag selects:
+
+- ``00`` — identical value (XOR is zero)
+- ``01`` — new leading-zero bucket: 3-bit bucket + 6-bit significant-bit
+  count + the significant bits (trailing zeros dropped)
+- ``10`` — reuse the previous leading-zero bucket, store 64-L bits
+  (no trailing-zero trimming, cheap header)
+- ``11`` — reserved for Chimp-N's value index; this single-stream
+  implementation never emits it and rejects it on decode
+
+The eight leading-zero buckets are Chimp's published table
+(0, 8, 12, 16, 18, 20, 22, 24).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.compression import timestamps
+from repro.compression.base import CompressionResult, Compressor
+from repro.compression.gorilla import _bits_to_float, _clz64, _ctz64, _float_to_bits
+from repro.datasets.timeseries import TimeSeries
+from repro.encoding.bits import BitReader, BitWriter
+
+_COUNT = struct.Struct("<I")
+
+#: Chimp's leading-zero rounding table and its 3-bit encoding
+_LEADING_BUCKETS = (0, 8, 12, 16, 18, 20, 22, 24)
+
+
+def _bucket_of(leading: int) -> int:
+    """Index of the largest bucket not exceeding ``leading``."""
+    index = 0
+    for i, bucket in enumerate(_LEADING_BUCKETS):
+        if leading >= bucket:
+            index = i
+    return index
+
+
+class Chimp(Compressor):
+    """Lossless Chimp codec for 64-bit floats."""
+
+    name = "CHIMP"
+    is_lossy = False
+
+    def compress(self, series: TimeSeries, error_bound: float = 0.0
+                 ) -> CompressionResult:
+        self._check_inputs(series, error_bound)
+        values = series.values
+        writer = BitWriter()
+        previous = _float_to_bits(float(values[0]))
+        writer.write_bits(previous, 64)
+        previous_bucket = -1
+        for value in values[1:]:
+            current = _float_to_bits(float(value))
+            xor = previous ^ current
+            previous = current
+            if xor == 0:
+                writer.write_bits(0b00, 2)
+                continue
+            leading = _clz64(xor)
+            bucket = _bucket_of(leading)
+            trailing = _ctz64(xor)
+            if trailing > 6 or bucket != previous_bucket:
+                # flag 01: fresh bucket + significant-bit count
+                writer.write_bits(0b01, 2)
+                writer.write_bits(bucket, 3)
+                rounded_leading = _LEADING_BUCKETS[bucket]
+                significant = 64 - rounded_leading - trailing
+                writer.write_bits(significant & 0x3F, 6)
+                writer.write_bits(xor >> trailing, significant)
+                previous_bucket = bucket
+            else:
+                # flag 10: reuse bucket, store the full remainder
+                writer.write_bits(0b10, 2)
+                rounded_leading = _LEADING_BUCKETS[bucket]
+                writer.write_bits(xor, 64 - rounded_leading)
+        payload = (timestamps.encode_header(series.start, series.interval)
+                   + _COUNT.pack(len(values)) + writer.to_bytes())
+        return CompressionResult(
+            method=self.name,
+            error_bound=0.0,
+            original=series,
+            decompressed=self.decompress(payload),
+            payload=payload,
+            compressed=payload,
+            num_segments=1,
+        )
+
+    def decompress(self, compressed: bytes) -> TimeSeries:
+        start, interval, offset = timestamps.decode_header(compressed)
+        (count,) = _COUNT.unpack_from(compressed, offset)
+        offset += _COUNT.size
+        reader = BitReader(compressed[offset:])
+        values = np.empty(count, dtype=np.float64)
+        previous = reader.read_bits(64)
+        values[0] = _bits_to_float(previous)
+        previous_bucket = -1
+        for i in range(1, count):
+            flag = reader.read_bits(2)
+            if flag == 0b00:
+                values[i] = _bits_to_float(previous)
+                continue
+            if flag == 0b01:
+                bucket = reader.read_bits(3)
+                significant = reader.read_bits(6)
+                if significant == 0:
+                    significant = 64
+                rounded_leading = _LEADING_BUCKETS[bucket]
+                trailing = 64 - rounded_leading - significant
+                xor = reader.read_bits(significant) << trailing
+                previous_bucket = bucket
+            elif flag == 0b10:
+                rounded_leading = _LEADING_BUCKETS[previous_bucket]
+                xor = reader.read_bits(64 - rounded_leading)
+            else:
+                raise ValueError(f"corrupt Chimp stream: flag {flag:#04b}")
+            previous ^= xor
+            values[i] = _bits_to_float(previous)
+        return TimeSeries(values, start=start, interval=interval,
+                          name="decompressed")

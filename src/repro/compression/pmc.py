@@ -1,0 +1,112 @@
+"""Poor Man's Compression — Mean variant (Lazaridis & Mehrotra, ICDE 2003).
+
+PMC-Mean grows an adaptive window while the window's mean value stays
+within the relative pointwise error bound of every point.  When adding a
+point would break the bound, the window *without* that point becomes a
+segment represented by its mean, and the point starts a new window
+(Section 3.2 of the paper).
+
+Each segment is stored as a 16-bit length plus one 32-bit float, which is
+why PMC benefits so strongly from the shared gzip stage: long runs of
+similar constants compress extremely well.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import numpy as np
+
+from repro.compression import timestamps
+from repro.compression.base import (CompressionResult, Compressor, gunzip_bytes,
+                                    gzip_bytes)
+from repro.datasets.timeseries import TimeSeries
+
+_COUNT = struct.Struct("<I")
+
+
+def _store_float32(value: float, lo: float, hi: float) -> float:
+    """Round ``value`` to float32, keeping it inside the admissible interval."""
+    stored = float(np.float32(value))
+    if lo <= stored <= hi:
+        return stored
+    # Rounding pushed the coefficient just outside [lo, hi]; nudging one ULP
+    # toward the interval midpoint restores the guarantee.
+    nudged = float(np.float32(np.nextafter(np.float32(stored),
+                                           np.float32((lo + hi) / 2.0))))
+    return min(max(nudged, lo), hi)
+
+
+class PMC(Compressor):
+    """PMC-Mean with a relative pointwise error bound."""
+
+    name = "PMC"
+    is_lossy = True
+
+    def compress(self, series: TimeSeries, error_bound: float) -> CompressionResult:
+        self._check_inputs(series, error_bound)
+        values = series.values
+        segments: list[tuple[int, float]] = []
+
+        window_start = 0
+        window_sum = 0.0
+        lo = -math.inf  # greatest lower bound imposed by any window point
+        hi = math.inf  # least upper bound
+
+        def close(end: int) -> None:
+            """Emit the window [window_start, end) as one mean segment."""
+            length = end - window_start
+            mean = window_sum / length
+            segments.append((length, _store_float32(mean, lo, hi)))
+
+        for i, value in enumerate(values):
+            allowed = error_bound * abs(value)
+            new_lo = max(lo, value - allowed)
+            new_hi = min(hi, value + allowed)
+            new_sum = window_sum + value
+            count = i - window_start + 1
+            mean = new_sum / count
+            window_full = count > timestamps.MAX_SEGMENT_LENGTH
+            if window_full or not new_lo <= mean <= new_hi:
+                close(i)
+                window_start = i
+                window_sum = value
+                lo = value - allowed
+                hi = value + allowed
+            else:
+                window_sum = new_sum
+                lo, hi = new_lo, new_hi
+        close(len(values))
+
+        payload = self._serialize(series, segments)
+        compressed = gzip_bytes(payload)
+        return CompressionResult(
+            method=self.name,
+            error_bound=error_bound,
+            original=series,
+            decompressed=self.decompress(compressed),
+            payload=payload,
+            compressed=compressed,
+            num_segments=len(segments),
+        )
+
+    @staticmethod
+    def _serialize(series: TimeSeries, segments: list[tuple[int, float]]) -> bytes:
+        """Columnar layout (lengths, then values) so gzip sees each stream."""
+        lengths = np.array([length for length, _ in segments], dtype="<u2")
+        values = np.array([value for _, value in segments], dtype="<f4")
+        return (timestamps.encode_header(series.start, series.interval)
+                + _COUNT.pack(len(segments))
+                + lengths.tobytes() + values.tobytes())
+
+    def decompress(self, compressed: bytes) -> TimeSeries:
+        payload = gunzip_bytes(compressed)
+        start, interval, offset = timestamps.decode_header(payload)
+        (count,) = _COUNT.unpack_from(payload, offset)
+        offset += _COUNT.size
+        lengths = np.frombuffer(payload, dtype="<u2", count=count, offset=offset)
+        offset += 2 * count
+        means = np.frombuffer(payload, dtype="<f4", count=count, offset=offset)
+        values = np.repeat(means.astype(np.float64), lengths)
+        return TimeSeries(values, start=start, interval=interval, name="decompressed")

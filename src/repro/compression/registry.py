@@ -1,0 +1,41 @@
+"""Name-based access to the compression methods and the paper's error bounds."""
+
+from __future__ import annotations
+
+from repro.compression.base import Compressor
+from repro.compression.chimp import Chimp
+from repro.compression.gorilla import Gorilla
+from repro.compression.ppa import PPA
+from repro.compression.pmc import PMC
+from repro.compression.swing import Swing
+from repro.compression.sz import SZ
+
+# The 13 relative pointwise error bounds of Section 3.2, denser below 0.1.
+PAPER_ERROR_BOUNDS = (
+    0.01, 0.03, 0.05, 0.07, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5, 0.65, 0.8,
+)
+
+#: the paper's three lossy methods (the evaluation grid)
+LOSSY_METHODS = ("PMC", "SWING", "SZ")
+#: extra methods from the paper's related work (Section 6)
+EXTRA_LOSSY_METHODS = ("PPA",)
+LOSSLESS_METHODS = ("GORILLA", "CHIMP")
+ALL_METHODS = LOSSY_METHODS + EXTRA_LOSSY_METHODS + LOSSLESS_METHODS
+
+
+def make(name: str) -> Compressor:
+    """Instantiate a compressor by its paper name."""
+    factories = {
+        "PMC": PMC,
+        "SWING": Swing,
+        "SZ": SZ,
+        "PPA": PPA,
+        "GORILLA": Gorilla,
+        "CHIMP": Chimp,
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown compression method {name!r}; choose one of {sorted(factories)}"
+        ) from None

@@ -1,0 +1,181 @@
+"""Online (streaming) compression for the edge-device scenario.
+
+The paper's motivating deployment compresses on the wind turbine as values
+arrive (Section 1).  PMC and Swing are online algorithms by construction —
+they maintain a single open window — so this module exposes them as
+incremental encoders: ``push`` one value at a time, collect finished
+segments as they close, and ``flush`` at the end.  The batch compressors
+are thin wrappers over the same logic, and tests verify that streaming and
+batch outputs decode identically.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConstantSegment:
+    """A finished PMC segment: ``length`` points represented by ``value``."""
+
+    length: int
+    value: float
+
+    def reconstruct(self) -> np.ndarray:
+        return np.full(self.length, self.value)
+
+
+@dataclass(frozen=True)
+class LinearSegment:
+    """A finished Swing segment: a line over ``length`` points."""
+
+    length: int
+    slope: float
+    intercept: float
+
+    def reconstruct(self) -> np.ndarray:
+        return self.intercept + self.slope * np.arange(self.length)
+
+
+class OnlineCompressor(ABC):
+    """Incremental encoder producing segments as the stream arrives."""
+
+    def __init__(self, error_bound: float, max_segment_length: int = 0xFFFF
+                 ) -> None:
+        if error_bound < 0:
+            raise ValueError(f"error bound must be non-negative, got {error_bound}")
+        if max_segment_length < 1:
+            raise ValueError("max segment length must be positive")
+        self.error_bound = error_bound
+        self.max_segment_length = max_segment_length
+        self._closed_segments: list = []
+        self._finished = False
+
+    def push(self, value: float) -> list:
+        """Feed one value; returns any segments that closed as a result."""
+        if self._finished:
+            raise RuntimeError("push() after flush(); create a new encoder")
+        before = len(self._closed_segments)
+        self._push(float(value))
+        return self._closed_segments[before:]
+
+    def extend(self, values) -> list:
+        """Feed many values; returns all segments closed along the way."""
+        before = len(self._closed_segments)
+        for value in values:
+            self.push(value)
+        return self._closed_segments[before:]
+
+    def flush(self) -> list:
+        """Close the open window; returns the final segment(s)."""
+        if self._finished:
+            return []
+        self._finished = True
+        before = len(self._closed_segments)
+        self._flush()
+        return self._closed_segments[before:]
+
+    @property
+    def segments(self) -> list:
+        """All segments closed so far."""
+        return list(self._closed_segments)
+
+    @abstractmethod
+    def _push(self, value: float) -> None: ...
+
+    @abstractmethod
+    def _flush(self) -> None: ...
+
+
+class OnlinePMC(OnlineCompressor):
+    """Streaming PMC-Mean (identical segmentation to the batch PMC)."""
+
+    def __init__(self, error_bound: float, max_segment_length: int = 0xFFFF
+                 ) -> None:
+        super().__init__(error_bound, max_segment_length)
+        self._count = 0
+        self._sum = 0.0
+        self._lo = -math.inf
+        self._hi = math.inf
+
+    def _close(self) -> None:
+        if self._count:
+            mean = self._sum / self._count
+            value = float(np.float32(min(max(mean, self._lo), self._hi)))
+            self._closed_segments.append(ConstantSegment(self._count, value))
+
+    def _push(self, value: float) -> None:
+        allowed = self.error_bound * abs(value)
+        new_lo = max(self._lo, value - allowed)
+        new_hi = min(self._hi, value + allowed)
+        new_sum = self._sum + value
+        count = self._count + 1
+        mean = new_sum / count
+        if count > self.max_segment_length or not new_lo <= mean <= new_hi:
+            self._close()
+            self._count = 1
+            self._sum = value
+            self._lo = value - allowed
+            self._hi = value + allowed
+        else:
+            self._count = count
+            self._sum = new_sum
+            self._lo, self._hi = new_lo, new_hi
+
+    def _flush(self) -> None:
+        self._close()
+
+
+class OnlineSwing(OnlineCompressor):
+    """Streaming Swing filter (identical cone logic to the batch Swing)."""
+
+    def __init__(self, error_bound: float, max_segment_length: int = 0xFFFF
+                 ) -> None:
+        super().__init__(error_bound, max_segment_length)
+        self._anchor: float | None = None
+        self._run = 0
+        self._slope_lo = -math.inf
+        self._slope_hi = math.inf
+
+    def _close(self) -> None:
+        if self._anchor is None:
+            return
+        if self._run == 0 or not math.isfinite(self._slope_lo):
+            slope = 0.0
+        else:
+            slope = (self._slope_lo + self._slope_hi) / 2.0
+        self._closed_segments.append(
+            LinearSegment(self._run + 1, float(slope), float(self._anchor)))
+
+    def _push(self, value: float) -> None:
+        if self._anchor is None:
+            self._anchor = value
+            self._run = 0
+            return
+        allowed = self.error_bound * abs(value)
+        run = self._run + 1
+        new_lo = max(self._slope_lo, (value - allowed - self._anchor) / run)
+        new_hi = min(self._slope_hi, (value + allowed - self._anchor) / run)
+        if run + 1 > self.max_segment_length or new_lo > new_hi:
+            self._close()
+            self._anchor = value
+            self._run = 0
+            self._slope_lo = -math.inf
+            self._slope_hi = math.inf
+        else:
+            self._run = run
+            self._slope_lo, self._slope_hi = new_lo, new_hi
+
+    def _flush(self) -> None:
+        self._close()
+
+
+def reconstruct(segments: list) -> np.ndarray:
+    """Decode a list of streaming segments back into values."""
+    if not segments:
+        return np.empty(0)
+    return np.concatenate([segment.reconstruct() for segment in segments])

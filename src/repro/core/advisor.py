@@ -1,0 +1,108 @@
+"""Impact-prediction and error-bound recommendation (the §5 direction).
+
+Section 5 proposes "ML models designed to predict the impact of lossy
+time series compression on various analytical tasks ... to guide the
+selection or optimization of compression methods based on the expected
+impact".  :class:`CompressionAdvisor` implements that idea end-to-end:
+
+1. **learn** — fit a gradient-boosting model mapping the 42 characteristic
+   deltas of a (method, bound) cell to the measured TFE (the same design
+   as the Section 4.3.1 predictor);
+2. **predict** — estimate the TFE a new series would suffer under a given
+   method and bound, *without* training any forecaster: compress, measure
+   the characteristic deltas, and query the model;
+3. **recommend** — sweep the error bounds for a method and return the
+   largest bound whose predicted TFE stays under the user's budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.registry import make as make_compressor
+from repro.core.importance import build_matrix
+from repro.core.results import ScenarioRecord
+from repro.datasets.timeseries import TimeSeries
+from repro.features.registry import FEATURE_NAMES, compute_all, relative_difference
+from repro.forecasting.gboost import GradientBoostingRegressor
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Outcome of an error-bound recommendation sweep."""
+
+    method: str
+    error_bound: float | None  # None when no bound fits the budget
+    predicted_tfe: float | None
+    #: every candidate: (bound, predicted TFE)
+    sweep: tuple[tuple[float, float], ...]
+
+
+class CompressionAdvisor:
+    """Predicts compression impact on forecasting from characteristic deltas."""
+
+    def __init__(self, n_estimators: int = 120, max_depth: int = 3,
+                 seed: int = 0) -> None:
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.seed = seed
+        self._model: GradientBoostingRegressor | None = None
+        self.r_squared: float | None = None
+
+    def fit(self, deltas: dict[str, dict[tuple[str, float], dict[str, float]]],
+            records: list[ScenarioRecord], metric: str = "NRMSE"
+            ) -> "CompressionAdvisor":
+        """Train on measured (characteristic delta -> TFE) cells."""
+        x, y, _ = build_matrix(deltas, records, metric)
+        self._model = GradientBoostingRegressor(
+            n_estimators=self.n_estimators, max_depth=self.max_depth,
+            subsample=1.0, min_samples_leaf=min(5, max(1, len(x) // 5)),
+            seed=self.seed).fit(x, y)
+        prediction = self._model.predict(x)[:, 0]
+        total = float(np.sum((y - y.mean()) ** 2))
+        self.r_squared = (1.0 - float(np.sum((y - prediction) ** 2)) / total
+                          if total else 0.0)
+        return self
+
+    def _check_fitted(self) -> None:
+        if self._model is None:
+            raise RuntimeError("CompressionAdvisor used before fit()")
+
+    def predict_impact(self, series: TimeSeries, method: str,
+                       error_bound: float, period: int = 0) -> float:
+        """Predicted TFE for compressing ``series`` at the given cell.
+
+        No forecaster is trained: the advisor compresses the series,
+        measures the 42 characteristic deltas, and queries the learned
+        impact model — the workflow Section 5 envisions for deployment.
+        """
+        self._check_fitted()
+        result = make_compressor(method).compress(series, error_bound)
+        original = compute_all(series.values, period)
+        transformed = compute_all(result.decompressed.values, period)
+        deltas = relative_difference(original, transformed)
+        row = np.array([deltas.get(name, float("nan"))
+                        for name in FEATURE_NAMES])
+        row[~np.isfinite(row)] = 0.0
+        return float(self._model.predict(row[None, :])[0, 0])
+
+    def recommend_bound(self, series: TimeSeries, method: str,
+                        tfe_budget: float,
+                        candidate_bounds: tuple[float, ...],
+                        period: int = 0) -> Recommendation:
+        """Largest candidate bound whose predicted TFE fits the budget."""
+        self._check_fitted()
+        if tfe_budget < 0:
+            raise ValueError(f"TFE budget must be non-negative, got {tfe_budget}")
+        sweep = []
+        best: tuple[float, float] | None = None
+        for bound in sorted(candidate_bounds):
+            predicted = self.predict_impact(series, method, bound, period)
+            sweep.append((bound, predicted))
+            if predicted <= tfe_budget:
+                best = (bound, predicted)
+        if best is None:
+            return Recommendation(method, None, None, tuple(sweep))
+        return Recommendation(method, best[0], best[1], tuple(sweep))

@@ -1,0 +1,56 @@
+"""Pickle-backed cache for trained models and compression sweeps.
+
+Training seven models on six datasets dominates the cost of regenerating
+the paper's tables; caching trained models on disk makes each bench
+incremental.  Keys are human-readable strings hashed into file names;
+values must be picklable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from collections.abc import Callable
+from typing import Any
+
+
+class DiskCache:
+    """A minimal key -> pickle file cache with an in-memory layer."""
+
+    def __init__(self, directory: str | None) -> None:
+        self.directory = directory
+        self._memory: dict[str, Any] = {}
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        digest = hashlib.sha1(key.encode()).hexdigest()[:24]
+        return os.path.join(self.directory, f"{digest}.pkl")
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on a miss."""
+        if key in self._memory:
+            return self._memory[key]
+        if self.directory is not None:
+            path = self._path(key)
+            if os.path.exists(path):
+                try:
+                    with open(path, "rb") as handle:
+                        value = pickle.load(handle)
+                    self._memory[key] = value
+                    return value
+                except (pickle.UnpicklingError, EOFError, AttributeError):
+                    os.remove(path)  # stale or corrupt entry: recompute
+        value = compute()
+        self._memory[key] = value
+        if self.directory is not None:
+            temporary = self._path(key) + ".tmp"
+            with open(temporary, "wb") as handle:
+                pickle.dump(value, handle)
+            os.replace(temporary, self._path(key))
+        return value
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk entries survive)."""
+        self._memory.clear()

@@ -1,0 +1,49 @@
+"""Spearman rank correlation (Table 4's characteristic ranking)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Fractional ranks (ties get the average rank), like scipy's rankdata."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=np.float64)
+    sorted_values = values[order]
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_values[j + 1] == sorted_values[i]:
+            j += 1
+        ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearman(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman's rho between two samples (NaN pairs are dropped)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"x and y must align, got {x.shape} vs {y.shape}")
+    keep = np.isfinite(x) & np.isfinite(y)
+    x, y = x[keep], y[keep]
+    if len(x) < 3:
+        return float("nan")
+    rank_x = _ranks(x)
+    rank_y = _ranks(y)
+    cx = rank_x - rank_x.mean()
+    cy = rank_y - rank_y.mean()
+    denominator = float(np.sqrt((cx ** 2).sum() * (cy ** 2).sum()))
+    if denominator == 0.0:
+        return float("nan")
+    return float((cx * cy).sum() / denominator)
+
+
+def spearman_ranking(features: dict[str, np.ndarray], target: np.ndarray
+                     ) -> list[tuple[str, float]]:
+    """Characteristics sorted by |Spearman correlation| to the target."""
+    correlations = [(name, spearman(values, target))
+                    for name, values in features.items()]
+    defined = [(n, c) for n, c in correlations if np.isfinite(c)]
+    return sorted(defined, key=lambda item: abs(item[1]), reverse=True)

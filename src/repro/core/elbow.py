@@ -1,0 +1,55 @@
+"""Kneedle knee/elbow detection (Satopaa et al., ICDCSW 2011).
+
+Section 4.3.2 extracts the inflection point of each TFE-versus-TE curve —
+the error level past which forecasting accuracy starts degrading rapidly —
+with the Kneedle algorithm.  This is the standard formulation: normalize
+the curve to the unit square, compute the difference between the curve and
+the diagonal, smooth it, and report the x whose difference is maximal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _normalize(values: np.ndarray) -> np.ndarray:
+    low, high = float(values.min()), float(values.max())
+    if high == low:
+        return np.zeros_like(values)
+    return (values - low) / (high - low)
+
+
+def kneedle(x: np.ndarray, y: np.ndarray, concave: bool = False) -> int:
+    """Index of the knee of a monotonically sampled curve.
+
+    With ``concave=False`` the curve is treated as convex-increasing
+    (slow growth followed by fast growth — the shape of the paper's
+    TFE-vs-TE curves) and the elbow is where growth takes off.  Returns an
+    index into ``x``; falls back to the midpoint when the curve is flat.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"x and y must align, got {x.shape} vs {y.shape}")
+    if len(x) < 3:
+        raise ValueError(f"kneedle needs at least 3 points, got {len(x)}")
+    order = np.argsort(x)
+    if np.ptp(y) == 0.0:  # flat curve: no knee, fall back to the midpoint
+        return int(order[len(x) // 2])
+    xs = _normalize(x[order])
+    # Curves here are already seed-averaged, so no extra smoothing is
+    # applied (Kneedle's spline step); smoothing short curves distorts the
+    # endpoints and moves the knee.
+    ys = _normalize(y[order])
+    difference = ys - xs
+    if concave:
+        index = int(np.argmax(difference))
+    else:
+        index = int(np.argmin(difference))
+    return int(order[index])
+
+
+def elbow_point(x: np.ndarray, y: np.ndarray) -> tuple[float, float]:
+    """The (x, y) pair at the detected elbow of a convex-increasing curve."""
+    index = kneedle(x, y, concave=False)
+    return float(x[index]), float(y[index])

@@ -1,0 +1,73 @@
+"""CSV export of evaluation results.
+
+Downstream users typically plot the paper's figures with their own
+tooling; this module flattens the record types into plain CSV files — one
+writer per artifact family — with stable column orders.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+from repro.core.results import (CompressionRecord, ScenarioRecord,
+                                mean_over_seeds, tfe_table)
+
+
+def _write_rows(path: str, header: list[str], rows: list[list]) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_compression_sweep(records: list[CompressionRecord], path: str
+                             ) -> None:
+    """Figure 2/3 + Table 3 inputs: TE, CR, and segments per grid cell."""
+    metrics = sorted({metric for r in records for metric in r.te})
+    header = (["dataset", "method", "error_bound", "compression_ratio",
+               "num_segments"] + [f"te_{metric.lower()}" for metric in metrics])
+    rows = [
+        [r.dataset, r.method, r.error_bound, r.compression_ratio,
+         r.num_segments] + [r.te.get(metric, float("nan")) for metric in metrics]
+        for r in records
+    ]
+    _write_rows(path, header, rows)
+
+
+def export_scenario_records(records: list[ScenarioRecord], path: str) -> None:
+    """Raw per-seed scenario outcomes (Table 2 / Figure 4 inputs)."""
+    metrics = sorted({metric for r in records for metric in r.metrics})
+    header = (["dataset", "model", "method", "error_bound", "seed",
+               "retrained"] + [metric.lower() for metric in metrics])
+    rows = [
+        [r.dataset, r.model, r.method, r.error_bound, r.seed, r.retrained]
+        + [r.metrics.get(metric, float("nan")) for metric in metrics]
+        for r in records
+    ]
+    _write_rows(path, header, rows)
+
+
+def export_tfe(records: list[ScenarioRecord], path: str,
+               metric: str = "NRMSE") -> None:
+    """Seed-averaged TFE per cell (Figures 4/6/7 and Table 5 inputs)."""
+    table = tfe_table(records, metric)
+    header = ["dataset", "model", "method", "error_bound", "retrained", "tfe"]
+    rows = [[dataset, model, method, error_bound, retrained, value]
+            for (dataset, model, method, error_bound, retrained), value
+            in sorted(table.items())]
+    _write_rows(path, header, rows)
+
+
+def export_baselines(records: list[ScenarioRecord], path: str) -> None:
+    """Table 2: seed-averaged baseline metrics per (dataset, model)."""
+    means = mean_over_seeds([r for r in records if r.method == "RAW"])
+    metrics = sorted({metric for values in means.values() for metric in values})
+    header = ["dataset", "model"] + [metric.lower() for metric in metrics]
+    rows = [[dataset, model] + [values.get(metric, float("nan"))
+                                for metric in metrics]
+            for (dataset, model, _, _, _), values in sorted(means.items())]
+    _write_rows(path, header, rows)

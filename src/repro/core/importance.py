@@ -1,0 +1,89 @@
+"""Characteristic-importance analysis (Section 4.3.1, Figure 5 / Table 4).
+
+A gradient-boosting model learns to predict TFE from the 42 characteristic
+deltas across all (dataset, compressor, error bound) cells; SHAP values of
+that model rank the characteristics, complemented by Spearman correlations
+of each characteristic to TFE.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.correlation import spearman_ranking
+from repro.core.results import ScenarioRecord, tfe_table
+from repro.core.shap import mean_absolute_shap
+from repro.features.registry import FEATURE_NAMES
+from repro.forecasting.gboost import GradientBoostingRegressor
+
+
+@dataclass(frozen=True)
+class ImportanceAnalysis:
+    """The fitted TFE predictor plus both characteristic rankings."""
+
+    model: GradientBoostingRegressor
+    feature_names: tuple[str, ...]
+    x: np.ndarray
+    y: np.ndarray
+    r_squared: float
+    shap_ranking: list[tuple[str, float]]
+    spearman_ranking: list[tuple[str, float]]
+
+
+def build_matrix(deltas: dict[str, dict[tuple[str, float], dict[str, float]]],
+                 records: list[ScenarioRecord], metric: str = "NRMSE"
+                 ) -> tuple[np.ndarray, np.ndarray, tuple[str, ...]]:
+    """Assemble (X, y) over all cells: X = deltas, y = mean TFE of the cell.
+
+    NaN deltas (characteristics undefined on a series) are imputed as 0 —
+    "no measured shift" — so every cell stays usable.
+    """
+    tfe_by_cell = tfe_table(records, metric)
+    cell_tfe: dict[tuple[str, str, float], list[float]] = defaultdict(list)
+    for (dataset, model, method, error_bound, retrained), value in \
+            tfe_by_cell.items():
+        if not retrained:
+            cell_tfe[(dataset, method, error_bound)].append(value)
+
+    rows = []
+    targets = []
+    for dataset, per_cell in deltas.items():
+        for (method, error_bound), features in per_cell.items():
+            values = cell_tfe.get((dataset, method, error_bound))
+            if not values:
+                continue
+            row = [features.get(name, float("nan")) for name in FEATURE_NAMES]
+            rows.append(row)
+            targets.append(float(np.mean(values)))
+    if not rows:
+        raise ValueError("no overlapping cells between deltas and records")
+    x = np.asarray(rows, dtype=np.float64)
+    x[~np.isfinite(x)] = 0.0
+    return x, np.asarray(targets), FEATURE_NAMES
+
+
+def analyze_importance(
+        deltas: dict[str, dict[tuple[str, float], dict[str, float]]],
+        records: list[ScenarioRecord], metric: str = "NRMSE",
+        n_estimators: int = 150, max_depth: int = 3, seed: int = 0
+) -> ImportanceAnalysis:
+    """Fit the TFE predictor and rank characteristics by SHAP and Spearman."""
+    x, y, names = build_matrix(deltas, records, metric)
+    model = GradientBoostingRegressor(
+        n_estimators=n_estimators, max_depth=max_depth, subsample=1.0,
+        min_samples_leaf=min(5, max(1, len(x) // 5)), seed=seed).fit(x, y)
+    prediction = model.predict(x)[:, 0]
+    ss_total = float(np.sum((y - y.mean()) ** 2))
+    r_squared = (1.0 - float(np.sum((y - prediction) ** 2)) / ss_total
+                 if ss_total else 0.0)
+    importance = mean_absolute_shap(model, x)
+    shap_sorted = sorted(zip(names, importance), key=lambda p: p[1],
+                         reverse=True)
+    spearman_sorted = spearman_ranking(
+        {name: x[:, i] for i, name in enumerate(names)}, y)
+    return ImportanceAnalysis(model, names, x, y, r_squared,
+                              [(n, float(v)) for n, v in shap_sorted],
+                              spearman_sorted)

@@ -1,0 +1,51 @@
+"""Ordinary least squares with coefficient standard errors (Table 3).
+
+Section 4.2.1 quantifies the CR-per-unit-of-TE relationship with the model
+``CR = theta1 * TE + theta0`` and reports both coefficients with their
+standard errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Slope/intercept estimates with standard errors and fit quality."""
+
+    slope: float
+    intercept: float
+    slope_se: float
+    intercept_se: float
+    r_squared: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+
+def fit_linear(x: np.ndarray, y: np.ndarray) -> LinearFit:
+    """OLS fit of ``y = slope * x + intercept`` with standard errors."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"x and y must align, got {x.shape} vs {y.shape}")
+    n = len(x)
+    if n < 3:
+        raise ValueError(f"need at least 3 points for standard errors, got {n}")
+    design = np.column_stack([x, np.ones(n)])
+    coefficients, *_ = np.linalg.lstsq(design, y, rcond=None)
+    slope, intercept = float(coefficients[0]), float(coefficients[1])
+    residuals = y - design @ coefficients
+    dof = n - 2
+    sigma2 = float(residuals @ residuals) / dof
+    sxx = float(np.sum((x - x.mean()) ** 2))
+    if sxx == 0.0:
+        raise ValueError("cannot fit a slope to constant x values")
+    slope_se = float(np.sqrt(sigma2 / sxx))
+    intercept_se = float(np.sqrt(sigma2 * (1.0 / n + x.mean() ** 2 / sxx)))
+    ss_total = float(np.sum((y - y.mean()) ** 2))
+    r_squared = 1.0 - float(residuals @ residuals) / ss_total if ss_total else 0.0
+    return LinearFit(slope, intercept, slope_se, intercept_se, r_squared)

@@ -1,0 +1,23 @@
+"""Dataset containers, statistics, splits, and the six synthetic datasets."""
+
+from repro.datasets.timeseries import Dataset, TimeSeries
+from repro.datasets.stats import DescriptiveStats, describe, riqd
+from repro.datasets.splits import Split, split, split_series
+from repro.datasets.controlled import ControlledSpec, generate as generate_controlled
+from repro.datasets.registry import DATASET_NAMES, GENERATORS, load
+
+__all__ = [
+    "ControlledSpec",
+    "generate_controlled",
+    "Dataset",
+    "TimeSeries",
+    "DescriptiveStats",
+    "describe",
+    "riqd",
+    "Split",
+    "split",
+    "split_series",
+    "DATASET_NAMES",
+    "GENERATORS",
+    "load",
+]

@@ -1,0 +1,39 @@
+"""Name-based access to the six evaluation datasets."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.datasets import synthetic
+from repro.datasets.timeseries import Dataset
+
+GENERATORS: dict[str, Callable[..., Dataset]] = {
+    "ETTm1": synthetic.ettm1,
+    "ETTm2": synthetic.ettm2,
+    "Solar": synthetic.solar,
+    "Weather": synthetic.weather,
+    "ElecDem": synthetic.elecdem,
+    "Wind": synthetic.wind,
+}
+
+DATASET_NAMES = tuple(GENERATORS)
+
+
+def load(name: str, length: int | None = None, seed: int | None = None) -> Dataset:
+    """Instantiate a dataset by its paper name.
+
+    ``length`` overrides the paper's length (Table 1) for faster runs;
+    ``seed`` overrides the generator's default seed.
+    """
+    try:
+        generator = GENERATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; choose one of {sorted(GENERATORS)}"
+        ) from None
+    kwargs: dict[str, int] = {}
+    if length is not None:
+        kwargs["length"] = length
+    if seed is not None:
+        kwargs["seed"] = seed
+    return generator(**kwargs)

@@ -1,0 +1,73 @@
+"""Chronological train/validation/test splitting (Section 3.4).
+
+The paper splits every dataset chronologically into 70% train, 10%
+validation, and 20% test.  Splits are computed per dataset so all columns
+stay aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.timeseries import Dataset, TimeSeries
+
+
+@dataclass(frozen=True)
+class Split:
+    """The three chronological partitions of a dataset."""
+
+    train: Dataset
+    validation: Dataset
+    test: Dataset
+
+
+def _slice_dataset(dataset: Dataset, start: int, stop: int) -> Dataset:
+    columns = {
+        name: series.segment(start, stop - 1)
+        for name, series in dataset.columns.items()
+    }
+    return Dataset(dataset.name, columns, dataset.target,
+                   dataset.seasonal_period, dict(dataset.metadata))
+
+
+def split(dataset: Dataset,
+          train_fraction: float = 0.7,
+          validation_fraction: float = 0.1) -> Split:
+    """Split chronologically; the test set takes the remaining fraction.
+
+    Raises ``ValueError`` if the fractions do not leave room for a test set
+    or if any partition would be empty.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train fraction must be in (0, 1), got {train_fraction}")
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError(
+            f"validation fraction must be in (0, 1), got {validation_fraction}"
+        )
+    if train_fraction + validation_fraction >= 1.0:
+        raise ValueError(
+            "train + validation fractions must leave room for the test set, got "
+            f"{train_fraction} + {validation_fraction}"
+        )
+    n = len(dataset)
+    train_end = int(round(n * train_fraction))
+    validation_end = train_end + int(round(n * validation_fraction))
+    if train_end == 0 or validation_end == train_end or validation_end == n:
+        raise ValueError(f"dataset of length {n} is too short to split")
+    return Split(
+        train=_slice_dataset(dataset, 0, train_end),
+        validation=_slice_dataset(dataset, train_end, validation_end),
+        test=_slice_dataset(dataset, validation_end, n),
+    )
+
+
+def split_series(series: TimeSeries,
+                 train_fraction: float = 0.7,
+                 validation_fraction: float = 0.1,
+                 ) -> tuple[TimeSeries, TimeSeries, TimeSeries]:
+    """Convenience: split one bare series the same way."""
+    dataset = Dataset("tmp", {series.name: series}, series.name)
+    parts = split(dataset, train_fraction, validation_fraction)
+    return (parts.train.target_series,
+            parts.validation.target_series,
+            parts.test.target_series)

@@ -1,0 +1,89 @@
+"""Descriptive statistics from Table 1, including the rIQD.
+
+The paper's relative InterQuartile Difference, ``rIQD = (Q3 - Q1) / MEAN *
+100``, is the characteristic it uses to explain why the same relative error
+bound behaves very differently on, say, Weather (rIQD 5%) and Solar
+(rIQD 200%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.timeseries import TimeSeries
+
+_FREQUENCY_LABELS = {
+    2: "2sec",
+    600: "10min",
+    900: "15min",
+    1800: "30min",
+    3600: "1h",
+    86400: "1d",
+}
+
+
+@dataclass(frozen=True)
+class DescriptiveStats:
+    """The row Table 1 reports for one dataset."""
+
+    length: int
+    frequency: str
+    mean: float
+    minimum: float
+    maximum: float
+    q1: float
+    q3: float
+    riqd_percent: float
+
+    def as_row(self) -> dict[str, float | int | str]:
+        """Column-name -> value mapping matching Table 1's header."""
+        return {
+            "LEN": self.length,
+            "FREQ": self.frequency,
+            "MEAN": self.mean,
+            "MIN": self.minimum,
+            "MAX": self.maximum,
+            "Q1": self.q1,
+            "Q3": self.q3,
+            "rIQD": self.riqd_percent,
+        }
+
+
+def frequency_label(interval_seconds: int) -> str:
+    """Human-readable label for a sampling interval, e.g. 900 -> '15min'."""
+    label = _FREQUENCY_LABELS.get(interval_seconds)
+    if label is not None:
+        return label
+    if interval_seconds % 60 == 0:
+        return f"{interval_seconds // 60}min"
+    return f"{interval_seconds}sec"
+
+
+def riqd(values: np.ndarray) -> float:
+    """Relative interquartile difference in percent: (Q3-Q1)/mean * 100."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("rIQD is undefined for an empty series")
+    mean = float(np.mean(values))
+    if mean == 0.0:
+        raise ZeroDivisionError("rIQD is undefined when the series mean is zero")
+    q1, q3 = np.percentile(values, [25, 75])
+    return float((q3 - q1) / mean * 100.0)
+
+
+def describe(series: TimeSeries) -> DescriptiveStats:
+    """Compute the Table 1 statistics for one series."""
+    values = series.values
+    q1, q3 = np.percentile(values, [25, 75])
+    return DescriptiveStats(
+        length=len(values),
+        frequency=frequency_label(series.interval),
+        mean=float(np.mean(values)),
+        minimum=float(np.min(values)),
+        maximum=float(np.max(values)),
+        q1=float(q1),
+        q3=float(q3),
+        riqd_percent=riqd(values),
+    )

@@ -1,0 +1,201 @@
+"""Seeded synthetic stand-ins for the paper's six datasets.
+
+The paper evaluates on ETTm1, ETTm2, Solar, Weather, ElecDem, and Wind.
+Those are public downloads (the Wind set was released with the paper), which
+are unavailable offline, so each generator below synthesises a series that
+matches the corresponding row of Table 1 — length, sampling interval, mean,
+range, quartiles, and crucially the relative interquartile difference (rIQD)
+— together with the qualitative structure the paper's analyses rely on
+(diurnal/weekly seasonality, Solar's zero nights, Weather's narrow band,
+Wind's heavy-tailed turbine power).  All generators are deterministic given
+``seed``.
+
+Lengths default to the paper's (Table 1) and can be reduced via ``length=``
+for laptop-scale experiments; the generators keep the same per-tick
+structure at any length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.timeseries import Dataset, TimeSeries
+
+PAPER_LENGTHS = {
+    "ETTm1": 69_680,
+    "ETTm2": 69_680,
+    "Solar": 52_560,
+    "Weather": 52_704,
+    "ElecDem": 230_736,
+    "Wind": 432_000,
+}
+
+_DAY_SECONDS = 86_400
+_WEEK_SECONDS = 7 * _DAY_SECONDS
+_YEAR_SECONDS = 365 * _DAY_SECONDS
+
+
+def _ar1(rng: np.random.Generator, n: int, phi: float, sigma: float) -> np.ndarray:
+    """A zero-mean AR(1) path with persistence ``phi`` and shock ``sigma``."""
+    from scipy.signal import lfilter
+
+    shocks = rng.normal(0.0, sigma, size=n)
+    return lfilter([1.0], [1.0, -phi], shocks)
+
+
+def _quantize(values: np.ndarray, decimals: int) -> np.ndarray:
+    """Mimic the acquisition pipeline of the published datasets: the sensor
+    records a fixed number of decimals and the published files carry the
+    values after a float32 conversion (visible in e.g. ETT's CSVs as long
+    decimal expansions such as 5.827000141143799)."""
+    return np.float32(np.round(values, decimals)).astype(np.float64)
+
+
+def _phase(n: int, interval: int, period_seconds: float, offset: float = 0.0
+           ) -> np.ndarray:
+    """Phase (radians) of each tick against a cycle of ``period_seconds``."""
+    t = np.arange(n, dtype=np.float64) * interval
+    return 2.0 * np.pi * (t / period_seconds + offset)
+
+
+def _single_column(name: str, values: np.ndarray, interval: int,
+                   seasonal_period: int, column: str = "OT") -> Dataset:
+    series = TimeSeries(values, start=1_577_836_800, interval=interval, name=column)
+    return Dataset(name, {column: series}, target=column,
+                   seasonal_period=seasonal_period)
+
+
+def ettm1(length: int | None = None, seed: int = 0) -> Dataset:
+    """Electrical-transformer oil temperature no. 1 (15 min interval).
+
+    Table 1 targets: mean 13.3, range [-4, 46], Q1 7, Q3 18, rIQD 82%.
+    """
+    n = length or PAPER_LENGTHS["ETTm1"]
+    rng = np.random.default_rng(seed)
+    interval = 900
+    daily = 6.0 * np.sin(_phase(n, interval, _DAY_SECONDS, offset=-0.25))
+    weekly = 1.6 * np.sin(_phase(n, interval, _WEEK_SECONDS))
+    annual = 8.0 * np.sin(_phase(n, interval, _YEAR_SECONDS, offset=-0.1))
+    load = _ar1(rng, n, phi=0.995, sigma=0.28)
+    noise = rng.normal(0.0, 0.35, size=n)
+    values = 13.3 + daily + weekly + annual + load + noise
+    return _single_column("ETTm1", _quantize(np.clip(values, -4.0, 46.0), 3), interval,
+                          seasonal_period=96)
+
+
+def ettm2(length: int | None = None, seed: int = 1) -> Dataset:
+    """Electrical-transformer oil temperature no. 2 (15 min interval).
+
+    Table 1 targets: mean 26.6, range [-3, 58], Q1 16, Q3 36, rIQD 75%.
+    """
+    n = length or PAPER_LENGTHS["ETTm2"]
+    rng = np.random.default_rng(seed)
+    interval = 900
+    daily = 10.5 * np.sin(_phase(n, interval, _DAY_SECONDS, offset=-0.3))
+    annual = 13.0 * np.sin(_phase(n, interval, _YEAR_SECONDS, offset=0.15))
+    load = _ar1(rng, n, phi=0.997, sigma=0.35)
+    noise = rng.normal(0.0, 0.5, size=n)
+    values = 26.6 + daily + annual + load + noise
+    return _single_column("ETTm2", _quantize(np.clip(values, -3.0, 58.0), 3), interval,
+                          seasonal_period=96)
+
+
+def solar(length: int | None = None, seed: int = 2, plants: int = 4) -> Dataset:
+    """Photovoltaic power output (10 min interval), zero at night.
+
+    Table 1 targets: mean 6.35, range [0, 34], Q1 0, Q3 12, rIQD 200%.
+    The paper's dataset has 137 plants; ``plants`` controls how many
+    correlated columns are generated (the first is the target).
+    """
+    n = length or PAPER_LENGTHS["Solar"]
+    rng = np.random.default_rng(seed)
+    interval = 600
+    sun = np.sin(_phase(n, interval, _DAY_SECONDS, offset=-0.25))
+    irradiance = np.clip(sun, 0.0, None) ** 1.4  # daylight bell, zero at night
+    season = 1.0 + 0.25 * np.sin(_phase(n, interval, _YEAR_SECONDS, offset=-0.2))
+    shared_clouds = np.clip(1.0 - 0.5 * np.abs(_ar1(rng, n, 0.97, 0.12)), 0.05, 1.0)
+    columns: dict[str, TimeSeries] = {}
+    for plant in range(plants):
+        local_clouds = np.clip(
+            1.0 - 0.3 * np.abs(_ar1(rng, n, 0.9, 0.1)), 0.05, 1.0)
+        capacity = 27.0 * (1.0 + 0.08 * rng.standard_normal())
+        power = capacity * irradiance * season * shared_clouds * local_clouds
+        power += rng.normal(0.0, 0.05, size=n) * (power > 0)
+        values = _quantize(np.clip(power, 0.0, 34.0), 2)
+        name = f"PV{plant:03d}"
+        columns[name] = TimeSeries(values, start=1_577_836_800,
+                                   interval=interval, name=name)
+    return Dataset("Solar", columns, target="PV000", seasonal_period=144)
+
+
+def weather(length: int | None = None, seed: int = 3) -> Dataset:
+    """Ambient-air CO2 concentration (10 min interval), very narrow band.
+
+    Table 1 targets: mean 427.7, range [305, 524], Q1 415, Q3 437, rIQD 5%.
+    """
+    n = length or PAPER_LENGTHS["Weather"]
+    rng = np.random.default_rng(seed)
+    interval = 600
+    daily = 14.0 * np.sin(_phase(n, interval, _DAY_SECONDS, offset=0.4))
+    annual = 12.0 * np.sin(_phase(n, interval, _YEAR_SECONDS))
+    drift = _ar1(rng, n, phi=0.999, sigma=0.18)
+    noise = rng.normal(0.0, 3.5, size=n)
+    spikes = rng.standard_t(df=3, size=n) * 3.5  # rare excursions widen the range
+    values = 427.7 + daily + annual + drift + noise + spikes
+    return _single_column("Weather", _quantize(np.clip(values, 305.0, 524.0), 2), interval,
+                          seasonal_period=144, column="CO2")
+
+
+def elecdem(length: int | None = None, seed: int = 4) -> Dataset:
+    """Half-hourly electricity demand of Victoria, Australia.
+
+    Table 1 targets: mean 6740, range [3498, 12865], Q1 5751, Q3 7658,
+    rIQD 28%.
+    """
+    n = length or PAPER_LENGTHS["ElecDem"]
+    rng = np.random.default_rng(seed)
+    interval = 1800
+    base = 6_250.0
+    daily = (1_050.0 * np.sin(_phase(n, interval, _DAY_SECONDS, offset=-0.3))
+             + 350.0 * np.sin(_phase(n, interval, _DAY_SECONDS / 2, offset=0.1)))
+    weekly = 320.0 * np.sin(_phase(n, interval, _WEEK_SECONDS, offset=0.05))
+    annual = 620.0 * np.sin(_phase(n, interval, _YEAR_SECONDS, offset=0.6))
+    economy = _ar1(rng, n, phi=0.999, sigma=18.0)
+    noise = rng.normal(0.0, 150.0, size=n)
+    heat_waves = 2_600.0 * np.clip(_ar1(rng, n, 0.98, 0.12), 0.0, None) ** 2
+    values = base + daily + weekly + annual + economy + noise + heat_waves
+    return _single_column("ElecDem", _quantize(np.clip(values, 3_498.0, 12_865.0), 1), interval,
+                          seasonal_period=48, column="demand")
+
+
+def wind(length: int | None = None, seed: int = 5, extra_variables: int = 3
+         ) -> Dataset:
+    """Active power of a wind turbine sampled every 2 seconds.
+
+    Table 1 targets: mean 363.7, range [-68, 2030], Q1 108, Q3 550,
+    rIQD 121%.  Wind speed follows a slowly mixing Ornstein-Uhlenbeck
+    process pushed through a turbine power curve (cut-in, cubic region,
+    rated cap); small negative readings model standby consumption.
+    """
+    n = length or PAPER_LENGTHS["Wind"]
+    rng = np.random.default_rng(seed)
+    interval = 2
+    speed = 7.4 + 1.7 * _ar1(rng, n, phi=0.9995, sigma=0.035) \
+        + 0.8 * np.sin(_phase(n, interval, _DAY_SECONDS, offset=0.2))
+    speed = np.clip(speed, 0.0, 28.0)
+    cut_in, rated_speed, rated_power = 3.0, 12.0, 2_000.0
+    cubic = rated_power * ((speed - cut_in) / (rated_speed - cut_in)) ** 3
+    power = np.where(speed < cut_in, 0.0, np.minimum(cubic, rated_power))
+    power += rng.normal(0.0, 14.0, size=n)
+    power = np.where(power <= 0.0, rng.normal(-20.0, 12.0, size=n), power)
+    power = _quantize(np.clip(power, -68.0, 2_030.0), 1)
+    columns = {"active_power": TimeSeries(power, start=1_577_836_800,
+                                          interval=interval, name="active_power")}
+    extras = {"wind_speed": speed,
+              "rotor_speed": np.clip(speed * 1.3 + rng.normal(0, 0.4, n), 0, None),
+              "nacelle_temp": 35.0 + 0.002 * power + rng.normal(0, 0.5, n)}
+    for name in list(extras)[:extra_variables]:
+        columns[name] = TimeSeries(extras[name], start=1_577_836_800,
+                                   interval=interval, name=name)
+    return Dataset("Wind", columns, target="active_power",
+                   seasonal_period=43_200)

@@ -1,0 +1,115 @@
+"""Regular time-series containers (Definitions 1-3 of the paper).
+
+A :class:`TimeSeries` is a univariate regular series: a start timestamp, a
+constant sampling interval, and a value per tick.  A :class:`Dataset` groups
+one or more aligned series (columns) and names the forecasting target, which
+matches how the paper's datasets are organised (e.g. ETT's seven variables
+with oil temperature as the target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """A univariate regular time series.
+
+    Attributes:
+        values: float64 array of observations, one per tick.
+        start: timestamp of the first observation (seconds since epoch).
+        interval: seconds between consecutive observations; must be positive.
+        name: human-readable series name.
+    """
+
+    values: np.ndarray
+    start: int = 0
+    interval: int = 60
+    name: str = "series"
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.ndim != 1:
+            raise ValueError(f"TimeSeries values must be 1-D, got shape {values.shape}")
+        if self.interval <= 0:
+            raise ValueError(f"sampling interval must be positive, got {self.interval}")
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Timestamps of every observation, derived from start and interval."""
+        return self.start + self.interval * np.arange(len(self.values), dtype=np.int64)
+
+    def segment(self, i: int, j: int) -> "TimeSeries":
+        """Return the sub-series covering ticks ``i`` to ``j`` inclusive."""
+        if not 0 <= i <= j < len(self.values):
+            raise IndexError(
+                f"segment [{i}, {j}] out of bounds for series of length {len(self)}"
+            )
+        return TimeSeries(
+            values=self.values[i : j + 1],
+            start=self.start + i * self.interval,
+            interval=self.interval,
+            name=self.name,
+        )
+
+    def with_values(self, values: np.ndarray) -> "TimeSeries":
+        """Return a copy carrying ``values`` but the same time axis and name."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self.values.shape:
+            raise ValueError(
+                f"replacement values have shape {values.shape}, "
+                f"expected {self.values.shape}"
+            )
+        return TimeSeries(values, self.start, self.interval, self.name)
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A named collection of aligned series with a designated target column."""
+
+    name: str
+    columns: dict[str, TimeSeries]
+    target: str
+    seasonal_period: int = 0  # ticks per dominant season (0 = unknown)
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError("Dataset needs at least one column")
+        if self.target not in self.columns:
+            raise KeyError(
+                f"target column {self.target!r} not among {sorted(self.columns)}"
+            )
+        lengths = {len(series) for series in self.columns.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"all columns must share one length, got {lengths}")
+        intervals = {series.interval for series in self.columns.values()}
+        if len(intervals) != 1:
+            raise ValueError(f"all columns must share one interval, got {intervals}")
+
+    def __len__(self) -> int:
+        return len(self.target_series)
+
+    @property
+    def target_series(self) -> TimeSeries:
+        """The target column as a :class:`TimeSeries`."""
+        return self.columns[self.target]
+
+    @property
+    def interval(self) -> int:
+        """Shared sampling interval in seconds."""
+        return self.target_series.interval
+
+    def with_target_values(self, values: np.ndarray) -> "Dataset":
+        """Return a dataset whose target column carries ``values``."""
+        columns = dict(self.columns)
+        columns[self.target] = self.target_series.with_values(values)
+        return Dataset(self.name, columns, self.target,
+                       self.seasonal_period, dict(self.metadata))

@@ -1,0 +1,6 @@
+"""Bit-level encoding substrate shared by the compression codecs."""
+
+from repro.encoding.bits import BitReader, BitWriter
+from repro.encoding import huffman, varint
+
+__all__ = ["BitReader", "BitWriter", "huffman", "varint"]

@@ -1,0 +1,82 @@
+"""Bit-level writer and reader used by the Gorilla and SZ codecs.
+
+Bits are packed most-significant-bit first into a growing ``bytearray``.
+Both classes are deliberately small and explicit: the compressors built on
+top of them (``repro.compression.gorilla`` and ``repro.compression.sz``)
+only need append-only writing and sequential reading.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Append-only MSB-first bit buffer."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._current = 0
+        self._filled = 0  # bits currently held in ``_current``
+
+    def __len__(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._buffer) * 8 + self._filled
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (any truthy value counts as 1)."""
+        self._current = (self._current << 1) | (1 if bit else 0)
+        self._filled += 1
+        if self._filled == 8:
+            self._buffer.append(self._current)
+            self._current = 0
+            self._filled = 0
+
+    def write_bits(self, value: int, count: int) -> None:
+        """Append the ``count`` low-order bits of ``value``, MSB first."""
+        if count < 0:
+            raise ValueError(f"bit count must be non-negative, got {count}")
+        if value < 0:
+            raise ValueError(f"value must be non-negative, got {value}")
+        for shift in range(count - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def to_bytes(self) -> bytes:
+        """Return the written bits padded with zero bits to a whole byte."""
+        result = bytearray(self._buffer)
+        if self._filled:
+            result.append(self._current << (8 - self._filled))
+        return bytes(result)
+
+
+class BitReader:
+    """Sequential MSB-first reader over ``bytes``."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0  # absolute bit position
+
+    @property
+    def position(self) -> int:
+        """Current absolute bit offset from the start of the buffer."""
+        return self._position
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bits (including any final padding bits)."""
+        return len(self._data) * 8 - self._position
+
+    def read_bit(self) -> int:
+        """Read the next bit; raises ``EOFError`` past the end."""
+        byte_index, bit_index = divmod(self._position, 8)
+        if byte_index >= len(self._data):
+            raise EOFError("attempted to read past the end of the bit stream")
+        self._position += 1
+        return (self._data[byte_index] >> (7 - bit_index)) & 1
+
+    def read_bits(self, count: int) -> int:
+        """Read ``count`` bits as an unsigned integer, MSB first."""
+        if count < 0:
+            raise ValueError(f"bit count must be non-negative, got {count}")
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.read_bit()
+        return value

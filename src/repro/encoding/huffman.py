@@ -1,0 +1,116 @@
+"""Canonical Huffman coding over integer symbols.
+
+The SZ compressor quantizes prediction residuals into a small alphabet of
+integer codes and entropy-codes them with Huffman before the final gzip
+stage, exactly as described in the paper's Section 3.2.  The encoded stream
+is self-describing: the code-length table is stored in the header so the
+decoder can rebuild the canonical code.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.encoding.bits import BitReader, BitWriter
+from repro.encoding import varint
+
+
+def code_lengths(symbols: Iterable[int]) -> dict[int, int]:
+    """Compute Huffman code lengths for the given symbol stream.
+
+    Returns a mapping ``symbol -> bit length``.  A stream with a single
+    distinct symbol gets a 1-bit code so the output remains decodable.
+    """
+    frequencies = Counter(symbols)
+    if not frequencies:
+        return {}
+    if len(frequencies) == 1:
+        only = next(iter(frequencies))
+        return {only: 1}
+    # Classic heap merge; entries are (weight, tiebreak, [symbols...]).
+    heap: list[tuple[int, int, list[int]]] = [
+        (weight, index, [symbol])
+        for index, (symbol, weight) in enumerate(sorted(frequencies.items()))
+    ]
+    heapq.heapify(heap)
+    lengths: dict[int, int] = {symbol: 0 for symbol in frequencies}
+    tiebreak = len(heap)
+    while len(heap) > 1:
+        weight_a, _, group_a = heapq.heappop(heap)
+        weight_b, _, group_b = heapq.heappop(heap)
+        for symbol in group_a + group_b:
+            lengths[symbol] += 1
+        heapq.heappush(heap, (weight_a + weight_b, tiebreak, group_a + group_b))
+        tiebreak += 1
+    return lengths
+
+
+def canonical_codes(lengths: dict[int, int]) -> dict[int, tuple[int, int]]:
+    """Assign canonical codes; returns ``symbol -> (code, bit_length)``.
+
+    Canonical assignment sorts by (length, symbol) so the table can be
+    reconstructed from lengths alone.
+    """
+    ordered = sorted(lengths.items(), key=lambda item: (item[1], item[0]))
+    codes: dict[int, tuple[int, int]] = {}
+    code = 0
+    previous_length = 0
+    for symbol, length in ordered:
+        code <<= length - previous_length
+        codes[symbol] = (code, length)
+        code += 1
+        previous_length = length
+    return codes
+
+
+def encode(symbols: Sequence[int]) -> bytes:
+    """Encode a sequence of non-negative integers.
+
+    Layout: ``varint(n_symbols) varint(n_distinct)
+    [varint(symbol) varint(length)]* payload_bits``.
+    """
+    lengths = code_lengths(symbols)
+    codes = canonical_codes(lengths)
+    header = bytearray()
+    header += varint.encode_unsigned(len(symbols))
+    header += varint.encode_unsigned(len(lengths))
+    for symbol in sorted(lengths):
+        header += varint.encode_unsigned(symbol)
+        header += varint.encode_unsigned(lengths[symbol])
+    writer = BitWriter()
+    for symbol in symbols:
+        code, length = codes[symbol]
+        writer.write_bits(code, length)
+    return bytes(header) + writer.to_bytes()
+
+
+def decode(data: bytes) -> list[int]:
+    """Decode a stream produced by :func:`encode`."""
+    count, offset = varint.decode_unsigned(data, 0)
+    distinct, offset = varint.decode_unsigned(data, offset)
+    lengths: dict[int, int] = {}
+    for _ in range(distinct):
+        symbol, offset = varint.decode_unsigned(data, offset)
+        length, offset = varint.decode_unsigned(data, offset)
+        lengths[symbol] = length
+    if count and not lengths:
+        raise ValueError("huffman stream announces symbols but carries no table")
+    decoding = {
+        (code, length): symbol
+        for symbol, (code, length) in canonical_codes(lengths).items()
+    }
+    reader = BitReader(data[offset:])
+    symbols: list[int] = []
+    code = 0
+    length = 0
+    while len(symbols) < count:
+        code = (code << 1) | reader.read_bit()
+        length += 1
+        symbol = decoding.get((code, length))
+        if symbol is not None:
+            symbols.append(symbol)
+            code = 0
+            length = 0
+    return symbols

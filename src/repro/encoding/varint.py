@@ -1,0 +1,61 @@
+"""LEB128-style variable-length integer encoding.
+
+Used by the segment serializers to store run lengths and residual codes
+compactly before the final gzip stage.
+"""
+
+from __future__ import annotations
+
+
+def encode_unsigned(value: int) -> bytes:
+    """Encode a non-negative integer as a little-endian base-128 varint."""
+    if value < 0:
+        raise ValueError(f"unsigned varint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_unsigned(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint at ``offset``; returns ``(value, next_offset)``."""
+    value = 0
+    shift = 0
+    position = offset
+    while True:
+        if position >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[position]
+        position += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, position
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long (more than 64 bits)")
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed integer onto an unsigned one (0, -1, 1, -2, ... -> 0..)."""
+    return (value << 1) ^ (value >> 63) if value < 0 else value << 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_signed(value: int) -> bytes:
+    """Encode a signed integer using zigzag + unsigned varint."""
+    return encode_unsigned(zigzag_encode(value))
+
+
+def decode_signed(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a signed zigzag varint at ``offset``."""
+    raw, next_offset = decode_unsigned(data, offset)
+    return zigzag_decode(raw), next_offset

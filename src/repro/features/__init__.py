@@ -1,0 +1,24 @@
+"""The 42 time-series characteristics of Section 4.3.1."""
+
+from repro.features.registry import (FEATURE_NAMES, FEATURES, compute_all,
+                                     relative_difference)
+from repro.features.decomposition import Decomposition, decompose
+from repro.features import (autocorr, decomposition, heterogeneity, rolling,
+                            shift, smoothing, stationarity, structure)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FEATURES",
+    "compute_all",
+    "relative_difference",
+    "Decomposition",
+    "decompose",
+    "autocorr",
+    "decomposition",
+    "heterogeneity",
+    "rolling",
+    "shift",
+    "smoothing",
+    "stationarity",
+    "structure",
+]

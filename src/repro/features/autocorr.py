@@ -1,0 +1,140 @@
+"""Autocorrelation and partial-autocorrelation characteristics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def acf(values: np.ndarray, max_lag: int) -> np.ndarray:
+    """Sample autocorrelation function for lags ``1..max_lag``.
+
+    Uses the standard biased estimator (normalizing by the lag-0
+    autocovariance), matching R's ``acf``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = len(values)
+    if n < 2:
+        return np.full(max_lag, np.nan)
+    centered = values - values.mean()
+    denominator = float(np.dot(centered, centered))
+    if denominator == 0.0:
+        return np.full(max_lag, np.nan)
+    out = np.empty(max_lag)
+    for lag in range(1, max_lag + 1):
+        if lag >= n:
+            out[lag - 1] = np.nan
+        else:
+            out[lag - 1] = float(np.dot(centered[:-lag], centered[lag:])) / denominator
+    return out
+
+
+def pacf(values: np.ndarray, max_lag: int) -> np.ndarray:
+    """Partial autocorrelations for lags ``1..max_lag`` via Durbin-Levinson."""
+    rho = acf(values, max_lag)
+    if np.any(~np.isfinite(rho)):
+        return np.full(max_lag, np.nan)
+    phi = np.zeros((max_lag + 1, max_lag + 1))
+    out = np.empty(max_lag)
+    phi[1, 1] = rho[0]
+    out[0] = rho[0]
+    for k in range(2, max_lag + 1):
+        numerator = rho[k - 1] - float(
+            np.dot(phi[k - 1, 1:k], rho[k - 2::-1][: k - 1])
+        )
+        denominator = 1.0 - float(np.dot(phi[k - 1, 1:k], rho[: k - 1]))
+        if abs(denominator) < 1e-12:
+            out[k - 1:] = np.nan
+            return out
+        phi[k, k] = numerator / denominator
+        for j in range(1, k):
+            phi[k, j] = phi[k - 1, j] - phi[k, k] * phi[k - 1, k - j]
+        out[k - 1] = phi[k, k]
+    return out
+
+
+def _sum_of_squares(array: np.ndarray) -> float:
+    finite = array[np.isfinite(array)]
+    if finite.size == 0:
+        return float("nan")
+    return float(np.sum(finite ** 2))
+
+
+def x_acf1(values: np.ndarray) -> float:
+    """ACF at lag 1 of the raw series."""
+    return float(acf(values, 1)[0])
+
+
+def x_acf10(values: np.ndarray) -> float:
+    """Sum of squares of the first ten autocorrelations."""
+    return _sum_of_squares(acf(values, 10))
+
+
+def diff1_acf1(values: np.ndarray) -> float:
+    """ACF at lag 1 of the first-differenced series."""
+    return float(acf(np.diff(values), 1)[0]) if len(values) > 2 else float("nan")
+
+
+def diff1_acf10(values: np.ndarray) -> float:
+    """Sum of squares of the first ten ACF values of the differenced series."""
+    return _sum_of_squares(acf(np.diff(values), 10))
+
+
+def diff2_acf1(values: np.ndarray) -> float:
+    """ACF at lag 1 of the twice-differenced series."""
+    return float(acf(np.diff(values, 2), 1)[0]) if len(values) > 3 else float("nan")
+
+
+def diff2_acf10(values: np.ndarray) -> float:
+    """Sum of squares of the first ten ACF values of the twice-differenced series."""
+    return _sum_of_squares(acf(np.diff(values, 2), 10))
+
+
+def acf_at(values: np.ndarray, lag: int) -> float:
+    """Sample autocorrelation at one specific lag (O(n), any lag)."""
+    values = np.asarray(values, dtype=np.float64)
+    n = len(values)
+    if lag < 1 or lag >= n:
+        return float("nan")
+    centered = values - values.mean()
+    denominator = float(np.dot(centered, centered))
+    if denominator == 0.0:
+        return float("nan")
+    return float(np.dot(centered[:-lag], centered[lag:])) / denominator
+
+
+def seas_acf1(values: np.ndarray, period: int) -> float:
+    """ACF at the first seasonal lag (SACF1)."""
+    return acf_at(values, period)
+
+
+def x_pacf5(values: np.ndarray) -> float:
+    """Sum of squares of the first five partial autocorrelations."""
+    return _sum_of_squares(pacf(values, 5))
+
+
+def diff1x_pacf5(values: np.ndarray) -> float:
+    """Sum of squares of the first five PACF values of the differenced series."""
+    return _sum_of_squares(pacf(np.diff(values), 5))
+
+
+def diff2x_pacf5(values: np.ndarray) -> float:
+    """Sum of squares of the first five PACF values after double differencing."""
+    return _sum_of_squares(pacf(np.diff(values, 2), 5))
+
+
+def seas_pacf(values: np.ndarray, period: int, max_period: int = 400) -> float:
+    """Partial autocorrelation at the first seasonal lag.
+
+    Durbin-Levinson is O(period^2); seasonal periods above ``max_period``
+    return NaN rather than stalling the pipeline.
+    """
+    if period < 1 or period >= len(values) or period > max_period:
+        return float("nan")
+    return float(pacf(values, period)[period - 1])
+
+
+def firstzero_ac(values: np.ndarray, max_lag: int = 100) -> float:
+    """First lag at which the ACF drops below zero."""
+    correlations = acf(values, min(max_lag, max(len(values) - 2, 1)))
+    below = np.nonzero(correlations < 0)[0]
+    return float(below[0] + 1) if below.size else float(len(correlations) + 1)

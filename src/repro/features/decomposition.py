@@ -1,0 +1,149 @@
+"""Classic additive decomposition and the STL-style characteristics.
+
+Implements the trend/seasonal/remainder split the way R's ``decompose``
+does it — a centered moving average for the trend and period-position means
+for the seasonal component — and derives the tsfeatures characteristics
+built on it: trend/seasonal strength, spike, linearity, curvature, peak,
+trough, and the remainder autocorrelations (``e_acf1``/``e_acf10``).
+
+DLinear's trend/remainder split (Section 4.4.1 of the paper) reuses
+:func:`moving_average_trend`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.autocorr import acf
+
+
+def moving_average_trend(values: np.ndarray, period: int) -> np.ndarray:
+    """Centered moving average of window ``period`` (edges extended)."""
+    values = np.asarray(values, dtype=np.float64)
+    window = max(int(period), 2)
+    if window % 2 == 0:
+        # classic 2xMA for even periods
+        kernel = np.concatenate([[0.5], np.ones(window - 1), [0.5]]) / window
+    else:
+        kernel = np.ones(window) / window
+    pad = len(kernel) // 2
+    padded = np.concatenate([
+        np.full(pad, values[0]), values, np.full(pad, values[-1])
+    ])
+    return np.convolve(padded, kernel, mode="valid")[: len(values)]
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """Additive decomposition ``values = trend + seasonal + remainder``."""
+
+    trend: np.ndarray
+    seasonal: np.ndarray
+    remainder: np.ndarray
+    period: int
+
+
+def decompose(values: np.ndarray, period: int) -> Decomposition:
+    """Additive trend + seasonal + remainder decomposition.
+
+    With ``period <= 1`` (non-seasonal), the seasonal component is zero.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = len(values)
+    if n < 3:
+        raise ValueError(f"decomposition needs at least 3 points, got {n}")
+    period = int(period)
+    if period > n // 2:
+        period = 0  # too few cycles to estimate a seasonal component
+    trend = moving_average_trend(values, period if period > 1 else max(n // 10, 2))
+    detrended = values - trend
+    if period > 1:
+        positions = np.arange(n) % period
+        means = np.zeros(period)
+        for p in range(period):
+            means[p] = detrended[positions == p].mean()
+        means -= means.mean()
+        seasonal = means[positions]
+    else:
+        seasonal = np.zeros(n)
+    remainder = detrended - seasonal
+    return Decomposition(trend, seasonal, remainder, period)
+
+
+def _strength(component: np.ndarray, remainder: np.ndarray) -> float:
+    denominator = float(np.var(component + remainder))
+    if denominator == 0.0:
+        return 0.0
+    return float(max(0.0, min(1.0, 1.0 - np.var(remainder) / denominator)))
+
+
+def trend_strength(dec: Decomposition) -> float:
+    """1 - Var(remainder)/Var(trend + remainder), clipped to [0, 1]."""
+    return _strength(dec.trend, dec.remainder)
+
+
+def seas_strength(dec: Decomposition) -> float:
+    """1 - Var(remainder)/Var(seasonal + remainder), clipped to [0, 1]."""
+    if dec.period <= 1:
+        return 0.0
+    return _strength(dec.seasonal, dec.remainder)
+
+
+def spike(dec: Decomposition) -> float:
+    """Variance of leave-one-out variances of the remainder."""
+    r = dec.remainder
+    n = len(r)
+    if n < 3:
+        return float("nan")
+    total = float(np.sum(r ** 2))
+    mean = float(np.mean(r))
+    # leave-one-out variance, vectorized
+    loo_mean = (mean * n - r) / (n - 1)
+    loo_var = (total - r ** 2) / (n - 1) - loo_mean ** 2
+    return float(np.var(loo_var))
+
+
+def _orthogonal_poly_coefficients(trend: np.ndarray) -> tuple[float, float]:
+    n = len(trend)
+    t = np.linspace(-1.0, 1.0, n)
+    basis = np.polynomial.legendre.legvander(t, 2)
+    coefficients, *_ = np.linalg.lstsq(basis, trend, rcond=None)
+    return float(coefficients[1]), float(coefficients[2])
+
+
+def linearity(dec: Decomposition) -> float:
+    """First-order orthogonal-polynomial coefficient of the trend."""
+    return _orthogonal_poly_coefficients(dec.trend)[0]
+
+
+def curvature(dec: Decomposition) -> float:
+    """Second-order orthogonal-polynomial coefficient of the trend."""
+    return _orthogonal_poly_coefficients(dec.trend)[1]
+
+
+def peak(dec: Decomposition) -> float:
+    """Period position of the seasonal maximum."""
+    if dec.period <= 1:
+        return 0.0
+    return float(np.argmax(dec.seasonal[: dec.period]) + 1)
+
+
+def trough(dec: Decomposition) -> float:
+    """Period position of the seasonal minimum."""
+    if dec.period <= 1:
+        return 0.0
+    return float(np.argmin(dec.seasonal[: dec.period]) + 1)
+
+
+def e_acf1(dec: Decomposition) -> float:
+    """ACF at lag 1 of the remainder."""
+    return float(acf(dec.remainder, 1)[0])
+
+
+def e_acf10(dec: Decomposition) -> float:
+    """Sum of squares of the first ten remainder autocorrelations."""
+    values = acf(dec.remainder, 10)
+    finite = values[np.isfinite(values)]
+    return float(np.sum(finite ** 2)) if finite.size else float("nan")

@@ -1,0 +1,37 @@
+"""Conditional-heteroskedasticity (ARCH) characteristics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.autocorr import acf
+
+
+def arch_acf(values: np.ndarray, lags: int = 12) -> float:
+    """Sum of squares of the first autocorrelations of the squared series."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) < lags + 2:
+        return float("nan")
+    squared = (values - values.mean()) ** 2
+    correlations = acf(squared, lags)
+    finite = correlations[np.isfinite(correlations)]
+    return float(np.sum(finite ** 2)) if finite.size else float("nan")
+
+
+def arch_r2(values: np.ndarray, lags: int = 12) -> float:
+    """R-squared of the ARCH LM regression (squared series on its lags)."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) < lags + 2:
+        return float("nan")
+    squared = (values - values.mean()) ** 2
+    y = squared[lags:]
+    columns = [np.ones(len(y))]
+    columns += [squared[lags - k:-k] for k in range(1, lags + 1)]
+    x = np.column_stack(columns)
+    beta, *_ = np.linalg.lstsq(x, y, rcond=None)
+    fitted = x @ beta
+    ss_total = float(np.sum((y - y.mean()) ** 2))
+    if ss_total <= 0.0:
+        return float("nan")
+    ss_res = float(np.sum((y - fitted) ** 2))
+    return float(min(max(1.0 - ss_res / ss_total, 0.0), 1.0))

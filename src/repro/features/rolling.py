@@ -1,0 +1,43 @@
+"""Vectorized rolling means and variances used by the shift features."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rolling_mean(values: np.ndarray, width: int) -> np.ndarray:
+    """Means of every contiguous window of ``width`` points."""
+    values = np.asarray(values, dtype=np.float64)
+    if width < 1:
+        raise ValueError(f"window width must be positive, got {width}")
+    if len(values) < width:
+        raise ValueError(
+            f"series of length {len(values)} is shorter than window {width}"
+        )
+    cumulative = np.concatenate([[0.0], np.cumsum(values)])
+    return (cumulative[width:] - cumulative[:-width]) / width
+
+
+def rolling_var(values: np.ndarray, width: int) -> np.ndarray:
+    """Population variances of every contiguous window of ``width`` points."""
+    values = np.asarray(values, dtype=np.float64)
+    means = rolling_mean(values, width)
+    cumulative_sq = np.concatenate([[0.0], np.cumsum(values ** 2)])
+    mean_sq = (cumulative_sq[width:] - cumulative_sq[:-width]) / width
+    # Clip tiny negatives produced by cancellation.
+    return np.maximum(mean_sq - means ** 2, 0.0)
+
+
+def tiled_means_vars(values: np.ndarray, width: int
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Means and variances of non-overlapping tiles (for stability/lumpiness)."""
+    values = np.asarray(values, dtype=np.float64)
+    if width < 1:
+        raise ValueError(f"tile width must be positive, got {width}")
+    n_tiles = len(values) // width
+    if n_tiles == 0:
+        raise ValueError(
+            f"series of length {len(values)} is shorter than one tile of {width}"
+        )
+    tiles = values[: n_tiles * width].reshape(n_tiles, width)
+    return tiles.mean(axis=1), tiles.var(axis=1)

@@ -1,0 +1,62 @@
+"""Holt linear-trend smoothing parameters (tsfeatures' alpha / beta).
+
+The ``beta`` characteristic appears among the paper's Table 4 correlates.
+The parameters are estimated by a coarse-to-fine grid search minimizing the
+one-step-ahead sum of squared errors, which is robust and dependency-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _holt_sse(values: np.ndarray, alpha: float, beta: float) -> float:
+    level = values[0]
+    trend = values[1] - values[0]
+    sse = 0.0
+    for value in values[1:]:
+        forecast = level + trend
+        error = value - forecast
+        sse += error * error
+        new_level = alpha * value + (1.0 - alpha) * (level + trend)
+        trend = beta * (new_level - level) + (1.0 - beta) * trend
+        level = new_level
+    return sse
+
+
+def holt_parameters(values: np.ndarray, max_points: int = 500
+                    ) -> tuple[float, float]:
+    """Estimate Holt's (alpha, beta) on at most ``max_points`` points."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) < 4:
+        return float("nan"), float("nan")
+    if len(values) > max_points:
+        stride = len(values) // max_points
+        values = values[::stride][:max_points]
+    best = (float("inf"), 0.5, 0.1)
+    grid = np.linspace(0.05, 0.95, 7)
+    for alpha in grid:
+        for beta in grid:
+            sse = _holt_sse(values, alpha, beta)
+            if sse < best[0]:
+                best = (sse, alpha, beta)
+    # refine around the best cell
+    _, alpha0, beta0 = best
+    fine_alpha = np.clip(np.linspace(alpha0 - 0.1, alpha0 + 0.1, 5), 0.01, 0.99)
+    fine_beta = np.clip(np.linspace(beta0 - 0.1, beta0 + 0.1, 5), 0.01, 0.99)
+    for alpha in fine_alpha:
+        for beta in fine_beta:
+            sse = _holt_sse(values, alpha, beta)
+            if sse < best[0]:
+                best = (sse, alpha, beta)
+    return float(best[1]), float(best[2])
+
+
+def hs_alpha(values: np.ndarray) -> float:
+    """Holt smoothing parameter for the level."""
+    return holt_parameters(values)[0]
+
+
+def hs_beta(values: np.ndarray) -> float:
+    """Holt smoothing parameter for the trend."""
+    return holt_parameters(values)[1]

@@ -1,0 +1,101 @@
+"""Multi-head attention, full and ProbSparse variants.
+
+The full variant is the standard scaled dot-product attention of Vaswani
+et al. (2017).  The ProbSparse variant implements Informer's query
+selection: queries are ranked by the sparsity measure
+``M(q) = max_k(qK/sqrt(d)) - mean_k(qK/sqrt(d))`` and only the top
+``u = c * ln(L)`` queries attend normally, while the remaining queries
+output the mean of the values — exactly Informer's fallback.  (This
+reproduction computes the scores densely in numpy, so it preserves
+ProbSparse's *function*, not its asymptotic speed.)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.forecasting.nn.layers import Linear, Module
+from repro.forecasting.nn.tensor import Tensor
+
+
+def _split_heads(x: Tensor, heads: int) -> Tensor:
+    batch, length, features = x.shape
+    head_dim = features // heads
+    return x.reshape(batch, length, heads, head_dim).transpose(0, 2, 1, 3)
+
+
+def _merge_heads(x: Tensor) -> Tensor:
+    batch, heads, length, head_dim = x.shape
+    return x.transpose(0, 2, 1, 3).reshape(batch, length, heads * head_dim)
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Additive mask forbidding attention to future positions."""
+    mask = np.triu(np.full((length, length), -1e9), k=1)
+    return mask[None, None, :, :]
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head scaled dot-product attention."""
+
+    def __init__(self, features: int, heads: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        if features % heads:
+            raise ValueError(f"features {features} not divisible by heads {heads}")
+        self.heads = heads
+        self.query_proj = Linear(features, features, rng)
+        self.key_proj = Linear(features, features, rng)
+        self.value_proj = Linear(features, features, rng)
+        self.output_proj = Linear(features, features, rng)
+
+    def forward(self, queries: Tensor, keys: Tensor, values: Tensor,
+                mask: np.ndarray | None = None) -> Tensor:
+        q = _split_heads(self.query_proj(queries), self.heads)
+        k = _split_heads(self.key_proj(keys), self.heads)
+        v = _split_heads(self.value_proj(values), self.heads)
+        scale = 1.0 / math.sqrt(q.shape[-1])
+        scores = (q @ k.swapaxes(-1, -2)) * scale
+        if mask is not None:
+            scores = scores + Tensor(mask)
+        attended = scores.softmax(axis=-1) @ v
+        return self.output_proj(_merge_heads(attended))
+
+
+class ProbSparseAttention(Module):
+    """Informer's probabilistic sparse self-attention."""
+
+    def __init__(self, features: int, heads: int, rng: np.random.Generator,
+                 factor: float = 5.0) -> None:
+        super().__init__()
+        if features % heads:
+            raise ValueError(f"features {features} not divisible by heads {heads}")
+        self.heads = heads
+        self.factor = factor
+        self.query_proj = Linear(features, features, rng)
+        self.key_proj = Linear(features, features, rng)
+        self.value_proj = Linear(features, features, rng)
+        self.output_proj = Linear(features, features, rng)
+
+    def forward(self, queries: Tensor, keys: Tensor, values: Tensor,
+                mask: np.ndarray | None = None) -> Tensor:
+        q = _split_heads(self.query_proj(queries), self.heads)
+        k = _split_heads(self.key_proj(keys), self.heads)
+        v = _split_heads(self.value_proj(values), self.heads)
+        scale = 1.0 / math.sqrt(q.shape[-1])
+        scores = (q @ k.swapaxes(-1, -2)) * scale
+        if mask is not None:
+            scores = scores + Tensor(mask)
+        length = q.shape[2]
+        top_u = max(1, min(length, int(self.factor * math.ceil(math.log(length + 1)))))
+        # sparsity measurement M(q) = max - mean over keys (plain numpy: the
+        # selection itself is not differentiated, matching Informer).
+        measurement = scores.data.max(axis=-1) - scores.data.mean(axis=-1)
+        threshold = np.sort(measurement, axis=-1)[..., -top_u][..., None]
+        active = Tensor((measurement >= threshold)[..., None].astype(np.float64))
+        attended = scores.softmax(axis=-1) @ v
+        fallback = v.mean(axis=2, keepdims=True)
+        mixed = active * attended + (1.0 - active) * fallback
+        return self.output_proj(_merge_heads(mixed))

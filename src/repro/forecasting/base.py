@@ -1,0 +1,63 @@
+"""Forecaster interface (Definition 7) and shared configuration.
+
+Every model consumes windows of ``input_length`` past values (the paper
+fixes this to 96, following Informer) and predicts the next ``horizon``
+values (24 in the paper).  Models are trained on the raw training split and
+then queried with (possibly decompressed) test windows — exactly the
+paper's evaluation scenario of Section 3.6.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+#: Section 3.4 defaults
+DEFAULT_INPUT_LENGTH = 96
+DEFAULT_HORIZON = 24
+
+
+class Forecaster(ABC):
+    """A trainable model mapping input windows to forecast windows."""
+
+    #: registry name, e.g. "Arima"
+    name: str = "?"
+
+    def __init__(self, input_length: int = DEFAULT_INPUT_LENGTH,
+                 horizon: int = DEFAULT_HORIZON, seed: int = 0) -> None:
+        if input_length < 1:
+            raise ValueError(f"input length must be positive, got {input_length}")
+        if horizon < 1:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        self.input_length = input_length
+        self.horizon = horizon
+        self.seed = seed
+        self._fitted = False
+
+    @abstractmethod
+    def fit(self, train: np.ndarray, validation: np.ndarray) -> None:
+        """Train on the raw training series, tuning against validation."""
+
+    @abstractmethod
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Forecast ``horizon`` steps for each row of ``windows``.
+
+        ``windows`` has shape ``(batch, input_length)``; the return value
+        has shape ``(batch, horizon)``.
+        """
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{self.name}: predict() called before fit()")
+
+    def _check_windows(self, windows: np.ndarray) -> np.ndarray:
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim == 1:
+            windows = windows[None, :]
+        if windows.ndim != 2 or windows.shape[1] != self.input_length:
+            raise ValueError(
+                f"{self.name}: expected windows of shape (batch, "
+                f"{self.input_length}), got {windows.shape}"
+            )
+        return windows

@@ -1,0 +1,70 @@
+"""DLinear (Zeng et al., AAAI 2023).
+
+The model decomposes each input window into a moving-average trend and a
+remainder, applies one linear layer to each component, and sums the two
+forecasts.  Its simplicity is the point: the paper uses it both as a strong
+baseline (best model on ETTm1 and Weather) and, in Section 4.4.1, as the
+model whose trend/remainder split explains sensitivity to compression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecasting.deep import DeepForecaster
+from repro.forecasting.nn.layers import Linear, Module
+from repro.forecasting.nn.tensor import Tensor
+
+DEFAULT_KERNEL = 25  # moving-average window from the DLinear paper
+
+
+def moving_average_split(windows: np.ndarray, kernel: int
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Split windows (B, L) into (trend, remainder) via edge-padded MA."""
+    windows = np.asarray(windows, dtype=np.float64)
+    if windows.ndim == 1:
+        windows = windows[None, :]
+    pad_left = (kernel - 1) // 2
+    pad_right = kernel - 1 - pad_left
+    padded = np.concatenate([
+        np.repeat(windows[:, :1], pad_left, axis=1),
+        windows,
+        np.repeat(windows[:, -1:], pad_right, axis=1),
+    ], axis=1)
+    cumulative = np.cumsum(padded, axis=1)
+    cumulative = np.concatenate([np.zeros((len(windows), 1)), cumulative], axis=1)
+    trend = (cumulative[:, kernel:] - cumulative[:, :-kernel]) / kernel
+    return trend, windows - trend
+
+
+class _DLinearNetwork(Module):
+    def __init__(self, input_length: int, horizon: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.trend_head = Linear(input_length, horizon, rng)
+        self.remainder_head = Linear(input_length, horizon, rng)
+
+    def forward(self, trend: Tensor, remainder: Tensor) -> Tensor:
+        return self.trend_head(trend) + self.remainder_head(remainder)
+
+
+class DLinearForecaster(DeepForecaster):
+    """Decomposition + two linear heads."""
+
+    name = "DLinear"
+
+    def __init__(self, input_length: int = 96, horizon: int = 24, seed: int = 0,
+                 kernel: int = DEFAULT_KERNEL, **kwargs) -> None:
+        kwargs.setdefault("epochs", 40)
+        kwargs.setdefault("max_train_windows", 3000)
+        super().__init__(input_length, horizon, seed, **kwargs)
+        if kernel < 2:
+            raise ValueError(f"moving-average kernel must be >= 2, got {kernel}")
+        self.kernel = kernel
+
+    def build_network(self, rng: np.random.Generator) -> Module:
+        return _DLinearNetwork(self.input_length, self.horizon, rng)
+
+    def forward(self, batch: np.ndarray) -> Tensor:
+        trend, remainder = moving_average_split(batch, self.kernel)
+        return self._network.forward(Tensor(trend), Tensor(remainder))

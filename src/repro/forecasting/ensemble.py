@@ -1,0 +1,77 @@
+"""Accuracy + resilience ensemble (the Section 5 research direction).
+
+The paper suggests combining a model that forecasts well on raw data
+(e.g. Transformer) with one that is resilient to compression (e.g. Arima).
+This ensemble averages member forecasts with weights chosen on the
+validation split by inverse validation MSE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecasting.base import Forecaster
+from repro.forecasting.windows import make_windows
+
+
+class EnsembleForecaster(Forecaster):
+    """Weighted average of heterogeneous forecasters."""
+
+    name = "Ensemble"
+
+    def __init__(self, members: list[Forecaster], seed: int = 0,
+                 validation_start: int | None = None) -> None:
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        lengths = {m.input_length for m in members}
+        horizons = {m.horizon for m in members}
+        if len(lengths) != 1 or len(horizons) != 1:
+            raise ValueError(
+                f"members must agree on window sizes, got inputs {lengths} "
+                f"and horizons {horizons}"
+            )
+        super().__init__(lengths.pop(), horizons.pop(), seed)
+        self.members = members
+        #: absolute tick index of the validation split's first value; lets
+        #: seasonal members (Arima's Fourier terms) validate in phase
+        self.validation_start = validation_start
+        self.weights: np.ndarray | None = None
+
+    def fit(self, train: np.ndarray, validation: np.ndarray) -> None:
+        for member in self.members:
+            member.fit(train, validation)
+        if len(validation) >= self.input_length + self.horizon:
+            x_val, y_val = make_windows(validation, self.input_length,
+                                        self.horizon, stride=self.horizon)
+            positions = None
+            if self.validation_start is not None:
+                offsets = np.arange(0, len(validation) - self.input_length
+                                    - self.horizon + 1, self.horizon)
+                positions = self.validation_start + offsets.astype(float)
+            inverse_errors = []
+            for member in self.members:
+                try:
+                    prediction = member.predict(x_val, positions=positions)
+                except TypeError:
+                    prediction = member.predict(x_val)
+                mse = float(np.mean((prediction - y_val) ** 2))
+                inverse_errors.append(1.0 / max(mse, 1e-12))
+            weights = np.array(inverse_errors)
+            self.weights = weights / weights.sum()
+        else:
+            self.weights = np.full(len(self.members), 1.0 / len(self.members))
+        self._fitted = True
+
+    def predict(self, windows: np.ndarray,
+                positions: np.ndarray | None = None) -> np.ndarray:
+        self._check_fitted()
+        windows = self._check_windows(windows)
+        total = None
+        for weight, member in zip(self.weights, self.members):
+            try:
+                prediction = member.predict(windows, positions=positions)
+            except TypeError:
+                prediction = member.predict(windows)
+            total = (weight * prediction if total is None
+                     else total + weight * prediction)
+        return total

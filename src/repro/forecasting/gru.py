@@ -1,0 +1,57 @@
+"""Encoder-decoder GRU forecaster (Section 3.4's recurrent model).
+
+The encoder GRU consumes the input window one value per step; its final
+hidden state seeds a decoder GRU that rolls out ``horizon`` steps, feeding
+each prediction back as the next input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecasting.deep import DeepForecaster
+from repro.forecasting.nn.layers import GRUCell, Linear, Module
+from repro.forecasting.nn.tensor import Tensor, concatenate
+
+
+class _GRUNetwork(Module):
+    def __init__(self, hidden: int, horizon: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.horizon = horizon
+        self.encoder = GRUCell(1, hidden, rng)
+        self.decoder = GRUCell(1, hidden, rng)
+        self.head = Linear(hidden, 1, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, length = x.shape
+        state = Tensor(np.zeros((batch, self.hidden)))
+        for t in range(length):
+            state = self.encoder(x[:, t:t + 1], state)
+        outputs = []
+        step_input = x[:, -1:]
+        for _ in range(self.horizon):
+            state = self.decoder(step_input, state)
+            step_input = self.head(state)
+            outputs.append(step_input)
+        return concatenate(outputs, axis=1)
+
+
+class GRUForecaster(DeepForecaster):
+    """Encoder-decoder gated recurrent network."""
+
+    name = "GRU"
+
+    def __init__(self, input_length: int = 96, horizon: int = 24, seed: int = 0,
+                 hidden: int = 32, **kwargs) -> None:
+        kwargs.setdefault("max_train_windows", 1200)
+        kwargs.setdefault("epochs", 40)
+        super().__init__(input_length, horizon, seed, **kwargs)
+        self.hidden = hidden
+
+    def build_network(self, rng: np.random.Generator) -> Module:
+        return _GRUNetwork(self.hidden, self.horizon, rng)
+
+    def forward(self, batch: np.ndarray) -> Tensor:
+        return self._network.forward(Tensor(batch))

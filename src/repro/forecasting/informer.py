@@ -1,0 +1,20 @@
+"""Informer (Zhou et al., AAAI 2021).
+
+Architecturally the compact Transformer of this package with the encoder's
+full self-attention replaced by Informer's ProbSparse self-attention and a
+generative one-pass decoder (which the base Transformer here already uses,
+as it was popularised by this very paper).
+"""
+
+from __future__ import annotations
+
+from repro.forecasting.attention import ProbSparseAttention
+from repro.forecasting.transformer import TransformerForecaster
+
+
+class InformerForecaster(TransformerForecaster):
+    """Transformer variant with ProbSparse encoder self-attention."""
+
+    name = "Informer"
+
+    encoder_attention = ProbSparseAttention

@@ -1,0 +1,78 @@
+"""Channel-independent multivariate training (DLinear's Solar recipe).
+
+The paper trains DLinear on Solar with a larger input "as suggested for
+multivariate time series" (Section 3.4).  DLinear — like most linear/MLP
+forecasters — handles multivariate data *channel-independently*: a single
+weight set is trained on windows pooled from every channel, exploiting the
+correlation between the 137 PV plants without any cross-channel wiring.
+
+:class:`ChannelIndependentTrainer` wraps any univariate forecaster with
+that recipe: ``fit`` pools training windows across all columns of a
+:class:`~repro.datasets.timeseries.Dataset`; ``predict`` works on target-
+channel windows exactly like the wrapped model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.timeseries import Dataset
+from repro.forecasting.base import Forecaster
+from repro.forecasting.windows import make_windows
+
+
+class ChannelIndependentTrainer(Forecaster):
+    """Train one shared forecaster on windows pooled from every channel."""
+
+    name = "ChannelIndependent"
+
+    def __init__(self, base: Forecaster) -> None:
+        super().__init__(base.input_length, base.horizon, base.seed)
+        self.base = base
+        self.name = f"CI-{base.name}"
+
+    def fit_dataset(self, train: Dataset, validation: Dataset) -> None:
+        """Fit on windows pooled from every channel of the datasets.
+
+        Windows are built per channel (never spanning channel boundaries)
+        and pooled; a base model exposing ``fit_windows`` (the deep
+        forecasters) trains on the pooled set with a scaler fitted on the
+        pooled training values.
+        """
+        if not hasattr(self.base, "fit_windows"):
+            raise TypeError(
+                f"{self.base.name} does not support window-level fitting; "
+                "wrap a deep forecaster (DLinear, NBeats, GRU, ...)"
+            )
+
+        def pooled(dataset: Dataset) -> tuple[np.ndarray, np.ndarray]:
+            xs, ys = [], []
+            for series in dataset.columns.values():
+                if len(series) >= self.input_length + self.horizon:
+                    x, y = make_windows(series.values, self.input_length,
+                                        self.horizon)
+                    xs.append(x)
+                    ys.append(y)
+            if not xs:
+                raise ValueError("no channel is long enough for one window")
+            return np.concatenate(xs), np.concatenate(ys)
+
+        x, y = pooled(train)
+        x_val, y_val = pooled(validation)
+        scaler_values = np.concatenate(
+            [series.values for series in train.columns.values()])
+        self.base.fit_windows(x, y, x_val, y_val, scaler_values=scaler_values)
+        self._fitted = True
+
+    def fit(self, train: np.ndarray, validation: np.ndarray) -> None:
+        """Univariate fallback: behaves exactly like the wrapped model."""
+        self.base.fit(train, validation)
+        self._fitted = True
+
+    def predict(self, windows: np.ndarray,
+                positions: np.ndarray | None = None) -> np.ndarray:
+        self._check_fitted()
+        try:
+            return self.base.predict(windows, positions=positions)
+        except TypeError:
+            return self.base.predict(windows)

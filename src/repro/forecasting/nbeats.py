@@ -1,0 +1,74 @@
+"""N-BEATS (Oreshkin et al., ICLR 2020) — generic architecture.
+
+A deep stack of fully connected blocks with backward ("backcast") and
+forward ("forecast") residual links: each block subtracts its backcast from
+the running input and adds its forecast to the running output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecasting.deep import DeepForecaster
+from repro.forecasting.nn.layers import Linear, Module
+from repro.forecasting.nn.tensor import Tensor
+
+
+class _Block(Module):
+    """One generic N-BEATS block: FC stack -> theta -> backcast/forecast."""
+
+    def __init__(self, input_length: int, horizon: int, hidden: int,
+                 layers: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        widths = [input_length] + [hidden] * layers
+        self.stack = [Linear(widths[i], widths[i + 1], rng)
+                      for i in range(layers)]
+        self.backcast_head = Linear(hidden, input_length, rng)
+        self.forecast_head = Linear(hidden, horizon, rng)
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        hidden = x
+        for layer in self.stack:
+            hidden = layer(hidden).relu()
+        return self.backcast_head(hidden), self.forecast_head(hidden)
+
+
+class _NBeatsNetwork(Module):
+    def __init__(self, input_length: int, horizon: int, hidden: int,
+                 blocks: int, layers: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.blocks = [_Block(input_length, horizon, hidden, layers, rng)
+                       for _ in range(blocks)]
+        self.horizon = horizon
+
+    def forward(self, x: Tensor) -> Tensor:
+        residual = x
+        forecast: Tensor | None = None
+        for block in self.blocks:
+            backcast, block_forecast = block(residual)
+            residual = residual - backcast
+            forecast = (block_forecast if forecast is None
+                        else forecast + block_forecast)
+        return forecast
+
+
+class NBeatsForecaster(DeepForecaster):
+    """Generic N-BEATS with doubly residual stacking."""
+
+    name = "NBeats"
+
+    def __init__(self, input_length: int = 96, horizon: int = 24, seed: int = 0,
+                 hidden: int = 64, blocks: int = 4, layers: int = 3,
+                 **kwargs) -> None:
+        kwargs.setdefault("epochs", 30)
+        super().__init__(input_length, horizon, seed, **kwargs)
+        self.hidden = hidden
+        self.blocks = blocks
+        self.layers = layers
+
+    def build_network(self, rng: np.random.Generator) -> Module:
+        return _NBeatsNetwork(self.input_length, self.horizon, self.hidden,
+                              self.blocks, self.layers, rng)
+
+    def forward(self, batch: np.ndarray) -> Tensor:
+        return self._network.forward(Tensor(batch))

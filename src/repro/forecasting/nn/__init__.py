@@ -1,0 +1,26 @@
+"""Numpy reverse-mode autograd substrate for the deep forecasting models."""
+
+from repro.forecasting.nn.tensor import Tensor, concatenate, mse_loss, stack
+from repro.forecasting.nn.layers import (Dropout, FeedForward, GRUCell,
+                                         LayerNorm, Linear, Module,
+                                         positional_encoding)
+from repro.forecasting.nn.optim import Adam
+from repro.forecasting.nn.train import evaluate, fit_model, predict_in_batches
+
+__all__ = [
+    "Tensor",
+    "concatenate",
+    "mse_loss",
+    "stack",
+    "Dropout",
+    "FeedForward",
+    "GRUCell",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "positional_encoding",
+    "Adam",
+    "evaluate",
+    "fit_model",
+    "predict_in_batches",
+]

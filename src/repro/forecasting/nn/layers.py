@@ -1,0 +1,180 @@
+"""Neural layers built on the autograd tensor."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.forecasting.nn.tensor import Tensor, concatenate
+
+
+class Module:
+    """Base class: tracks parameters and sub-modules, toggles train mode."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable tensors of this module and its children."""
+        found: list[Tensor] = []
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            for parameter in _parameters_of(value):
+                if id(parameter) not in seen:
+                    seen.add(id(parameter))
+                    found.append(parameter)
+        return found
+
+    def train(self) -> None:
+        self.training = True
+        for value in self.__dict__.values():
+            for module in _modules_of(value):
+                module.train()
+
+    def eval(self) -> None:
+        self.training = False
+        for value in self.__dict__.values():
+            for module in _modules_of(value):
+                module.eval()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def state(self) -> list[np.ndarray]:
+        """Snapshot of parameter values (for early-stopping restores)."""
+        return [parameter.data.copy() for parameter in self.parameters()]
+
+    def load_state(self, state: list[np.ndarray]) -> None:
+        """Restore a snapshot taken with :meth:`state`."""
+        parameters = self.parameters()
+        if len(parameters) != len(state):
+            raise ValueError(
+                f"state has {len(state)} arrays but module has "
+                f"{len(parameters)} parameters"
+            )
+        for parameter, data in zip(parameters, state):
+            parameter.data = data.copy()
+
+
+def _parameters_of(value) -> list[Tensor]:
+    if isinstance(value, Tensor) and value.requires_grad:
+        return [value]
+    if isinstance(value, Module):
+        return value.parameters()
+    if isinstance(value, (list, tuple)):
+        out: list[Tensor] = []
+        for item in value:
+            out.extend(_parameters_of(item))
+        return out
+    return []
+
+
+def _modules_of(value) -> list["Module"]:
+    if isinstance(value, Module):
+        return [value]
+    if isinstance(value, (list, tuple)):
+        out: list[Module] = []
+        for item in value:
+            out.extend(_modules_of(item))
+        return out
+    return []
+
+
+class Linear(Module):
+    """Affine map ``x @ W + b`` with Glorot-uniform initialization."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True) -> None:
+        super().__init__()
+        limit = math.sqrt(6.0 / (in_features + out_features))
+        self.weight = Tensor(rng.uniform(-limit, limit,
+                                         (in_features, out_features)),
+                             requires_grad=True)
+        self.bias = (Tensor(np.zeros(out_features), requires_grad=True)
+                     if bias else None)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = self._rng.random(x.shape) < keep
+        return x * Tensor(mask / keep)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, features: int, epsilon: float = 1e-5) -> None:
+        super().__init__()
+        self.gain = Tensor(np.ones(features), requires_grad=True)
+        self.shift = Tensor(np.zeros(features), requires_grad=True)
+        self.epsilon = epsilon
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered * (variance + self.epsilon) ** -0.5
+        return normalized * self.gain + self.shift
+
+
+class GRUCell(Module):
+    """A gated recurrent unit cell (Cho et al., 2014)."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.gates = Linear(input_size + hidden_size, 2 * hidden_size, rng)
+        self.candidate = Linear(input_size + hidden_size, hidden_size, rng)
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        joined = concatenate([x, hidden], axis=-1)
+        gates = self.gates(joined).sigmoid()
+        update = gates[..., : self.hidden_size]
+        reset = gates[..., self.hidden_size:]
+        candidate_input = concatenate([x, reset * hidden], axis=-1)
+        candidate = self.candidate(candidate_input).tanh()
+        return update * hidden + (1.0 - update) * candidate
+
+
+class FeedForward(Module):
+    """Two-layer position-wise feed-forward block with ReLU."""
+
+    def __init__(self, features: int, hidden: int, rng: np.random.Generator,
+                 dropout: float = 0.0) -> None:
+        super().__init__()
+        self.expand = Linear(features, hidden, rng)
+        self.contract = Linear(hidden, features, rng)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.contract(self.dropout(self.expand(x).relu()))
+
+
+def positional_encoding(length: int, features: int) -> np.ndarray:
+    """Classic sinusoidal positional encoding (Vaswani et al., 2017)."""
+    position = np.arange(length)[:, None]
+    div = np.exp(np.arange(0, features, 2) * (-math.log(10_000.0) / features))
+    encoding = np.zeros((length, features))
+    encoding[:, 0::2] = np.sin(position * div)
+    encoding[:, 1::2] = np.cos(position * div[: features // 2])
+    return encoding

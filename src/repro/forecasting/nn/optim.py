@@ -1,0 +1,53 @@
+"""Adam optimizer (Kingma & Ba, 2015) with decoupled weight decay.
+
+Section 3.4: learning rate 0.001 and weight decay 0.0001 are the paper's
+defaults for every deep model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecasting.nn.tensor import Tensor
+
+
+class Adam:
+    """Adam with the paper's default hyperparameters."""
+
+    def __init__(self, parameters: list[Tensor], learning_rate: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999),
+                 epsilon: float = 1e-8, weight_decay: float = 1e-4) -> None:
+        if not parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.parameters = parameters
+        self.learning_rate = learning_rate
+        self.beta1, self.beta2 = betas
+        self.epsilon = epsilon
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in parameters]
+        self._v = [np.zeros_like(p.data) for p in parameters]
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on all managed parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        """Apply one Adam update using the current gradients."""
+        self._step += 1
+        correction1 = 1.0 - self.beta1 ** self._step
+        correction2 = 1.0 - self.beta2 ** self._step
+        for i, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            self._m[i] = self.beta1 * self._m[i] + (1.0 - self.beta1) * gradient
+            self._v[i] = (self.beta2 * self._v[i]
+                          + (1.0 - self.beta2) * gradient ** 2)
+            m_hat = self._m[i] / correction1
+            v_hat = self._v[i] / correction2
+            parameter.data = parameter.data - self.learning_rate * m_hat / (
+                np.sqrt(v_hat) + self.epsilon)

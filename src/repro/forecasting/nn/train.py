@@ -1,0 +1,84 @@
+"""Shared mini-batch training loop with early stopping (Section 3.4).
+
+Every deep model trains the same way: Adam (lr 0.001, weight decay 0.0001),
+mini-batches, and early stopping on the validation loss with patience 3,
+restoring the best parameters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.forecasting.nn.layers import Module
+from repro.forecasting.nn.optim import Adam
+from repro.forecasting.nn.tensor import Tensor, mse_loss
+
+
+def fit_model(model: Module,
+              forward: Callable[[np.ndarray], Tensor],
+              train_x: np.ndarray, train_y: np.ndarray,
+              val_x: np.ndarray, val_y: np.ndarray,
+              rng: np.random.Generator,
+              epochs: int = 20,
+              batch_size: int = 64,
+              patience: int = 3,
+              learning_rate: float = 1e-3) -> list[float]:
+    """Train ``model`` with ``forward(batch_x) -> prediction`` on MSE.
+
+    Returns the per-epoch validation losses; the model ends up with the
+    parameters of its best validation epoch.
+    """
+    if len(train_x) == 0:
+        raise ValueError("training requires at least one window")
+    optimizer = Adam(model.parameters(), learning_rate=learning_rate)
+    best_loss = float("inf")
+    best_state = model.state()
+    bad_epochs = 0
+    history: list[float] = []
+    for _ in range(epochs):
+        model.train()
+        order = rng.permutation(len(train_x))
+        for begin in range(0, len(order), batch_size):
+            batch = order[begin:begin + batch_size]
+            optimizer.zero_grad()
+            prediction = forward(train_x[batch])
+            loss = mse_loss(prediction, train_y[batch])
+            loss.backward()
+            optimizer.step()
+        validation_loss = evaluate(forward, model, val_x, val_y, batch_size)
+        history.append(validation_loss)
+        if validation_loss < best_loss - 1e-9:
+            best_loss = validation_loss
+            best_state = model.state()
+            bad_epochs = 0
+        else:
+            bad_epochs += 1
+            if bad_epochs >= patience:
+                break
+    model.load_state(best_state)
+    model.eval()
+    return history
+
+
+def evaluate(forward: Callable[[np.ndarray], Tensor], model: Module,
+             x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
+    """Mean squared error of ``forward`` over ``(x, y)`` without gradients."""
+    if len(x) == 0:
+        return float("nan")
+    model.eval()
+    total = 0.0
+    for begin in range(0, len(x), batch_size):
+        prediction = forward(x[begin:begin + batch_size]).data
+        total += float(np.sum((prediction - y[begin:begin + batch_size]) ** 2))
+    return total / y.size
+
+
+def predict_in_batches(forward: Callable[[np.ndarray], Tensor], model: Module,
+                       x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+    """Run ``forward`` over ``x`` in chunks and return a plain array."""
+    model.eval()
+    outputs = [forward(x[begin:begin + batch_size]).data
+               for begin in range(0, len(x), batch_size)]
+    return np.concatenate(outputs, axis=0)

@@ -1,0 +1,56 @@
+"""Saving and loading trained forecasters.
+
+In the paper's deployment the forecasting model lives in the cloud and is
+trained once on raw history (Section 3.6); persisting and reloading that
+model is the natural workflow.  Models are plain-Python objects with numpy
+state, so pickle is sufficient; this module adds a versioned envelope with
+integrity checks so stale or foreign files fail loudly instead of
+mispredicting.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.forecasting.base import Forecaster
+
+_MAGIC = b"repro-forecaster"
+_VERSION = 1
+
+
+def save_forecaster(model: Forecaster, path: str) -> None:
+    """Serialize a *fitted* forecaster to ``path``."""
+    if not getattr(model, "_fitted", False):
+        raise ValueError("refusing to save an unfitted forecaster")
+    envelope = {
+        "magic": _MAGIC,
+        "version": _VERSION,
+        "name": model.name,
+        "input_length": model.input_length,
+        "horizon": model.horizon,
+        "model": model,
+    }
+    with open(path, "wb") as handle:
+        pickle.dump(envelope, handle)
+
+
+def load_forecaster(path: str, expected_name: str | None = None) -> Forecaster:
+    """Load a forecaster saved with :func:`save_forecaster`.
+
+    ``expected_name`` optionally pins the model family (e.g. "DLinear") so
+    a pipeline cannot silently pick up the wrong artifact.
+    """
+    with open(path, "rb") as handle:
+        envelope = pickle.load(handle)
+    if not isinstance(envelope, dict) or envelope.get("magic") != _MAGIC:
+        raise ValueError(f"{path} is not a saved forecaster")
+    if envelope.get("version") != _VERSION:
+        raise ValueError(
+            f"{path} was saved with format version {envelope.get('version')}, "
+            f"this build reads version {_VERSION}"
+        )
+    if expected_name is not None and envelope["name"] != expected_name:
+        raise ValueError(
+            f"{path} holds a {envelope['name']} model, expected {expected_name}"
+        )
+    return envelope["model"]

@@ -1,0 +1,40 @@
+"""Name-based access to the seven forecasting models of Section 3.4."""
+
+from __future__ import annotations
+
+from repro.forecasting.arima import ArimaForecaster
+from repro.forecasting.base import Forecaster
+from repro.forecasting.dlinear import DLinearForecaster
+from repro.forecasting.gboost import GBoostForecaster
+from repro.forecasting.gru import GRUForecaster
+from repro.forecasting.informer import InformerForecaster
+from repro.forecasting.nbeats import NBeatsForecaster
+from repro.forecasting.transformer import TransformerForecaster
+
+MODEL_CLASSES = {
+    "Arima": ArimaForecaster,
+    "GBoost": GBoostForecaster,
+    "DLinear": DLinearForecaster,
+    "GRU": GRUForecaster,
+    "Informer": InformerForecaster,
+    "NBeats": NBeatsForecaster,
+    "Transformer": TransformerForecaster,
+}
+
+MODEL_NAMES = tuple(MODEL_CLASSES)
+
+#: deep models run with 10 random seeds in the paper, the rest with 5
+DEEP_MODELS = ("DLinear", "GRU", "Informer", "NBeats", "Transformer")
+
+
+def make(name: str, input_length: int = 96, horizon: int = 24, seed: int = 0,
+         **kwargs) -> Forecaster:
+    """Instantiate a forecasting model by its paper name."""
+    try:
+        cls = MODEL_CLASSES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown forecasting model {name!r}; choose one of "
+            f"{sorted(MODEL_CLASSES)}"
+        ) from None
+    return cls(input_length=input_length, horizon=horizon, seed=seed, **kwargs)

@@ -1,0 +1,34 @@
+"""Standard scaling of model inputs (Section 3.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaler fitted on the training series."""
+
+    def __init__(self) -> None:
+        self.mean: float | None = None
+        self.scale: float | None = None
+
+    def fit(self, values: np.ndarray) -> "StandardScaler":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot fit a scaler on an empty series")
+        self.mean = float(values.mean())
+        scale = float(values.std())
+        self.scale = scale if scale > 0.0 else 1.0
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.mean is None:
+            raise RuntimeError("scaler used before fit()")
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return (np.asarray(values, dtype=np.float64) - self.mean) / self.scale
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(values, dtype=np.float64) * self.scale + self.mean

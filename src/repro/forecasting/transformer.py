@@ -1,0 +1,124 @@
+"""Encoder-decoder Transformer forecaster (Section 3.4).
+
+A compact version of the darts Transformer the paper uses: scalar values
+are embedded into ``d_model`` dimensions, sinusoidal positional encodings
+added, a self-attention encoder digests the input window, and a decoder
+with causal self-attention plus cross-attention emits the horizon in one
+generative pass (its input is the last ``label_length`` window values
+followed by zero placeholders, as popularised by Informer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecasting.attention import MultiHeadAttention, causal_mask
+from repro.forecasting.deep import DeepForecaster
+from repro.forecasting.nn.layers import (Dropout, FeedForward, LayerNorm,
+                                         Linear, Module, positional_encoding)
+from repro.forecasting.nn.tensor import Tensor
+
+
+class EncoderLayer(Module):
+    """Post-norm encoder layer: self-attention + feed-forward."""
+
+    def __init__(self, features: int, heads: int, hidden: int,
+                 rng: np.random.Generator, dropout: float,
+                 attention_cls=MultiHeadAttention) -> None:
+        super().__init__()
+        self.attention = attention_cls(features, heads, rng)
+        self.feed_forward = FeedForward(features, hidden, rng, dropout)
+        self.norm1 = LayerNorm(features)
+        self.norm2 = LayerNorm(features)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.norm1(x + self.dropout(self.attention(x, x, x)))
+        return self.norm2(x + self.feed_forward(x))
+
+
+class DecoderLayer(Module):
+    """Causal self-attention, cross-attention to the encoder, feed-forward."""
+
+    def __init__(self, features: int, heads: int, hidden: int,
+                 rng: np.random.Generator, dropout: float) -> None:
+        super().__init__()
+        self.self_attention = MultiHeadAttention(features, heads, rng)
+        self.cross_attention = MultiHeadAttention(features, heads, rng)
+        self.feed_forward = FeedForward(features, hidden, rng, dropout)
+        self.norm1 = LayerNorm(features)
+        self.norm2 = LayerNorm(features)
+        self.norm3 = LayerNorm(features)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, x: Tensor, memory: Tensor) -> Tensor:
+        mask = causal_mask(x.shape[1])
+        x = self.norm1(x + self.dropout(self.self_attention(x, x, x, mask)))
+        x = self.norm2(x + self.dropout(self.cross_attention(x, memory, memory)))
+        return self.norm3(x + self.feed_forward(x))
+
+
+class _TransformerNetwork(Module):
+    def __init__(self, input_length: int, horizon: int, label_length: int,
+                 d_model: int, heads: int, hidden: int, encoder_layers: int,
+                 rng: np.random.Generator, dropout: float,
+                 encoder_attention=MultiHeadAttention) -> None:
+        super().__init__()
+        self.horizon = horizon
+        self.label_length = label_length
+        self.embed = Linear(1, d_model, rng)
+        self.encoder = [EncoderLayer(d_model, heads, hidden, rng, dropout,
+                                     encoder_attention)
+                        for _ in range(encoder_layers)]
+        self.decoder = DecoderLayer(d_model, heads, hidden, rng, dropout)
+        self.head = Linear(d_model, 1, rng)
+        self._encoder_positions = positional_encoding(input_length, d_model)
+        self._decoder_positions = positional_encoding(label_length + horizon,
+                                                      d_model)
+
+    def forward(self, batch: np.ndarray) -> Tensor:
+        batch = np.asarray(batch, dtype=np.float64)
+        encoder_input = Tensor(batch[:, :, None])
+        memory = self.embed(encoder_input) + Tensor(self._encoder_positions)
+        for layer in self.encoder:
+            memory = layer(memory)
+        decoder_values = np.concatenate([
+            batch[:, -self.label_length:],
+            np.zeros((len(batch), self.horizon)),
+        ], axis=1)
+        decoded = (self.embed(Tensor(decoder_values[:, :, None]))
+                   + Tensor(self._decoder_positions))
+        decoded = self.decoder(decoded, memory)
+        outputs = self.head(decoded)
+        return outputs[:, -self.horizon:, 0]
+
+
+class TransformerForecaster(DeepForecaster):
+    """Compact encoder-decoder Transformer."""
+
+    name = "Transformer"
+
+    encoder_attention = MultiHeadAttention
+
+    def __init__(self, input_length: int = 96, horizon: int = 24, seed: int = 0,
+                 d_model: int = 16, heads: int = 2, hidden: int = 32,
+                 encoder_layers: int = 2, label_length: int = 24,
+                 dropout: float = 0.05, **kwargs) -> None:
+        kwargs.setdefault("max_train_windows", 900)
+        kwargs.setdefault("epochs", 25)
+        super().__init__(input_length, horizon, seed, **kwargs)
+        self.d_model = d_model
+        self.heads = heads
+        self.hidden = hidden
+        self.encoder_layers = encoder_layers
+        self.label_length = min(label_length, input_length)
+        self.dropout = dropout
+
+    def build_network(self, rng: np.random.Generator) -> Module:
+        return _TransformerNetwork(
+            self.input_length, self.horizon, self.label_length, self.d_model,
+            self.heads, self.hidden, self.encoder_layers, rng, self.dropout,
+            encoder_attention=self.encoder_attention)
+
+    def forward(self, batch: np.ndarray) -> Tensor:
+        return self._network.forward(batch)

@@ -1,0 +1,150 @@
+"""Multi-output least-squares regression trees.
+
+The building block for gradient boosting (Section 3.4's GBoost uses simple
+decision trees as base predictors).  Trees store their structure in flat
+arrays — children, split feature, threshold, leaf value, node sample counts
+— which is also exactly what the TreeSHAP implementation in
+``repro.core.shap`` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_LEAF = -1
+
+
+@dataclass
+class RegressionTree:
+    """A binary regression tree grown by exact variance-reduction splits."""
+
+    max_depth: int = 3
+    min_samples_leaf: int = 5
+    # flat structure, filled by fit()
+    feature: list[int] = field(default_factory=list)
+    threshold: list[float] = field(default_factory=list)
+    children_left: list[int] = field(default_factory=list)
+    children_right: list[int] = field(default_factory=list)
+    value: list[np.ndarray] = field(default_factory=list)
+    n_node_samples: list[int] = field(default_factory=list)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        """Grow the tree on features ``x`` (n, f) and targets ``y`` (n, o)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim == 1:
+            y = y[:, None]
+        if len(x) != len(y):
+            raise ValueError(f"{len(x)} rows of features vs {len(y)} targets")
+        if len(x) == 0:
+            raise ValueError("cannot fit a tree on zero samples")
+        self.feature.clear()
+        self.threshold.clear()
+        self.children_left.clear()
+        self.children_right.clear()
+        self.value.clear()
+        self.n_node_samples.clear()
+        self._grow(x, y, depth=0)
+        return self
+
+    def _new_node(self, y: np.ndarray) -> int:
+        index = len(self.feature)
+        self.feature.append(_LEAF)
+        self.threshold.append(0.0)
+        self.children_left.append(_LEAF)
+        self.children_right.append(_LEAF)
+        self.value.append(y.mean(axis=0))
+        self.n_node_samples.append(len(y))
+        return index
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> int:
+        node = self._new_node(y)
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf:
+            return node
+        split = self._best_split(x, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = x[:, feature] <= threshold
+        if not mask.any() or mask.all():  # defensive: never split off nothing
+            return node
+        self.feature[node] = feature
+        self.threshold[node] = threshold
+        self.children_left[node] = self._grow(x[mask], y[mask], depth + 1)
+        self.children_right[node] = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray
+                    ) -> tuple[int, float] | None:
+        n, n_features = x.shape
+        best_gain = 1e-12
+        best: tuple[int, float] | None = None
+        total_sum = y.sum(axis=0)
+        total_sse = float((y ** 2).sum()) - float((total_sum ** 2).sum()) / n
+        for feature in range(n_features):
+            order = np.argsort(x[:, feature], kind="stable")
+            sorted_x = x[order, feature]
+            sorted_y = y[order]
+            left_sums = np.cumsum(sorted_y, axis=0)
+            left_sq = np.cumsum((sorted_y ** 2).sum(axis=1))
+            counts = np.arange(1, n + 1)
+            # candidate split after position i (1-based count i+1 left)
+            valid = np.nonzero(np.diff(sorted_x) > 0)[0]
+            valid = valid[(counts[valid] >= self.min_samples_leaf)
+                          & (n - counts[valid] >= self.min_samples_leaf)]
+            if valid.size == 0:
+                continue
+            left_count = counts[valid].astype(np.float64)
+            right_count = n - left_count
+            left_sum = left_sums[valid]
+            right_sum = total_sum[None, :] - left_sum
+            left_sse = left_sq[valid] - (left_sum ** 2).sum(axis=1) / left_count
+            right_sq = left_sq[-1] - left_sq[valid]
+            right_sse = right_sq - (right_sum ** 2).sum(axis=1) / right_count
+            gains = total_sse - (left_sse + right_sse)
+            best_index = int(np.argmax(gains))
+            if gains[best_index] > best_gain:
+                best_gain = float(gains[best_index])
+                position = valid[best_index]
+                left_value = sorted_x[position]
+                right_value = sorted_x[position + 1]
+                midpoint = 0.5 * (left_value + right_value)
+                # For huge nearly-equal values the midpoint can round onto
+                # the right value, which would send every sample left and
+                # create an empty child; fall back to the exact left value.
+                if not left_value <= midpoint < right_value:
+                    midpoint = left_value
+                best = (feature, float(midpoint))
+        return best
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict target vectors for feature rows ``x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        outputs = np.empty((len(x), len(self.value[0])))
+        for row, features in enumerate(x):
+            node = 0
+            while self.feature[node] != _LEAF:
+                if features[self.feature[node]] <= self.threshold[node]:
+                    node = self.children_left[node]
+                else:
+                    node = self.children_right[node]
+            outputs[row] = self.value[node]
+        return outputs
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+    @property
+    def max_depth_reached(self) -> int:
+        """Actual depth of the grown tree."""
+        def depth_of(node: int) -> int:
+            if self.feature[node] == _LEAF:
+                return 0
+            return 1 + max(depth_of(self.children_left[node]),
+                           depth_of(self.children_right[node]))
+        return depth_of(0)

@@ -1,0 +1,70 @@
+"""Hyperparameter grid search on the validation split (Section 3.4).
+
+The paper tunes each model by grid search around literature-suggested
+hyperparameters, scoring candidates on the validation subset.  This module
+implements that procedure for any :class:`~repro.forecasting.base.Forecaster`
+class: supply a parameter grid, and each candidate is trained on the
+training split and scored by validation NRMSE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.forecasting.base import Forecaster
+from repro.forecasting.windows import make_windows
+from repro.metrics.pointwise import nrmse
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of one grid search."""
+
+    best_params: dict
+    best_score: float
+    best_model: Forecaster
+    #: every evaluated candidate: (params, validation NRMSE)
+    trials: tuple[tuple[dict, float], ...]
+
+
+def expand_grid(grid: dict[str, list]) -> list[dict]:
+    """All combinations of a parameter grid, in deterministic order."""
+    if not grid:
+        return [{}]
+    names = sorted(grid)
+    return [dict(zip(names, combination))
+            for combination in product(*(grid[name] for name in names))]
+
+
+def grid_search(model_class: type[Forecaster], grid: dict[str, list],
+                train: np.ndarray, validation: np.ndarray,
+                base_params: dict | None = None,
+                metric=nrmse) -> TuningResult:
+    """Exhaustive search over ``grid``, scored on the validation split.
+
+    ``base_params`` holds fixed constructor arguments (input_length,
+    horizon, seed, ...); grid values override them per candidate.
+    """
+    base_params = dict(base_params or {})
+    candidates = expand_grid(grid)
+    if not candidates:
+        raise ValueError("parameter grid expanded to zero candidates")
+    trials: list[tuple[dict, float]] = []
+    best: tuple[float, dict, Forecaster] | None = None
+    for params in candidates:
+        merged = {**base_params, **params}
+        model = model_class(**merged)
+        model.fit(train, validation)
+        x_val, y_val = make_windows(validation, model.input_length,
+                                    model.horizon, stride=model.horizon)
+        prediction = model.predict(x_val)
+        score = metric(y_val.ravel(), prediction.ravel())
+        trials.append((params, score))
+        if best is None or score < best[0]:
+            best = (score, params, model)
+    score, params, model = best
+    return TuningResult(best_params=params, best_score=score,
+                        best_model=model, trials=tuple(trials))

@@ -1,0 +1,62 @@
+"""Sliding-window construction for training and evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_windows(values: np.ndarray, input_length: int, horizon: int,
+                 stride: int = 1) -> tuple[np.ndarray, np.ndarray]:
+    """Build ``(inputs, targets)`` windows from one series.
+
+    ``inputs[i]`` holds ``input_length`` consecutive values and
+    ``targets[i]`` the ``horizon`` values that follow, advancing by
+    ``stride`` between windows.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if stride < 1:
+        raise ValueError(f"stride must be positive, got {stride}")
+    total = input_length + horizon
+    if len(values) < total:
+        raise ValueError(
+            f"series of length {len(values)} is too short for windows of "
+            f"{input_length}+{horizon}"
+        )
+    starts = np.arange(0, len(values) - total + 1, stride)
+    inputs = np.stack([values[s:s + input_length] for s in starts])
+    targets = np.stack([values[s + input_length:s + total] for s in starts])
+    return inputs, targets
+
+
+def paired_windows(input_values: np.ndarray, target_values: np.ndarray,
+                   input_length: int, horizon: int, stride: int = 1
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Windows whose inputs come from one series and targets from another.
+
+    The paper's scenario feeds models *decompressed* inputs while scoring
+    against the *raw* future values (Algorithm 1: ``test.x`` transformed,
+    ``test.y`` raw), which requires the two series to be aligned.
+    """
+    input_values = np.asarray(input_values, dtype=np.float64)
+    target_values = np.asarray(target_values, dtype=np.float64)
+    if input_values.shape != target_values.shape:
+        raise ValueError(
+            f"aligned series must share a shape, got {input_values.shape} "
+            f"vs {target_values.shape}"
+        )
+    inputs, _ = make_windows(input_values, input_length, horizon, stride)
+    _, targets = make_windows(target_values, input_length, horizon, stride)
+    return inputs, targets
+
+
+def subsample_windows(inputs: np.ndarray, targets: np.ndarray, limit: int,
+                      rng: np.random.Generator
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Randomly keep at most ``limit`` windows (for fast laptop training)."""
+    if limit < 1:
+        raise ValueError(f"limit must be positive, got {limit}")
+    if len(inputs) <= limit:
+        return inputs, targets
+    keep = rng.choice(len(inputs), size=limit, replace=False)
+    keep.sort()
+    return inputs[keep], targets[keep]

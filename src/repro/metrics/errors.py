@@ -1,0 +1,38 @@
+"""Transformation error, forecasting error, and TFE (Definitions 6-9)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.timeseries import TimeSeries
+from repro.metrics.pointwise import METRICS
+
+
+def transformation_error(original: TimeSeries, transformed: TimeSeries,
+                         metric: str = "NRMSE") -> float:
+    """Definition 6: distance between a series and its decompressed twin."""
+    if metric not in METRICS:
+        raise KeyError(f"unknown metric {metric!r}; choose one of {sorted(METRICS)}")
+    return METRICS[metric](original.values, transformed.values)
+
+
+def forecasting_error(actual: np.ndarray, predicted: np.ndarray,
+                      metric: str = "NRMSE") -> float:
+    """Definition 8: distance between forecasts and the true future values."""
+    if metric not in METRICS:
+        raise KeyError(f"unknown metric {metric!r}; choose one of {sorted(METRICS)}")
+    return METRICS[metric](np.ravel(actual), np.ravel(predicted))
+
+
+def tfe(baseline_error: float, transformed_error: float) -> float:
+    """Definition 9: relative change of the forecasting error.
+
+    ``TFE = (D(F(T(X)), y) - D(F(X), y)) / D(F(X), y)``.  Negative values
+    mean compression *improved* the forecast; positive values mean it
+    degraded.
+    """
+    if baseline_error <= 0.0:
+        raise ValueError(
+            f"baseline forecasting error must be positive, got {baseline_error}"
+        )
+    return (transformed_error - baseline_error) / baseline_error

@@ -1,0 +1,64 @@
+"""Additional forecast-error metrics beyond Section 3.5's four.
+
+The forecasting literature the paper draws on (Shcherbakov et al., 2013;
+Hyndman & Athanasopoulos, 2021) routinely reports MAE, MAPE, sMAPE, and
+MASE alongside RMSE-family metrics; they are provided here for downstream
+users comparing against other studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.pointwise import _validate
+
+
+def mae(x: np.ndarray, y: np.ndarray) -> float:
+    """Mean absolute error."""
+    x, y = _validate(x, y)
+    return float(np.mean(np.abs(x - y)))
+
+
+def mape(x: np.ndarray, y: np.ndarray) -> float:
+    """Mean absolute percentage error against the reference ``x``.
+
+    Undefined (raises) when the reference contains zeros.
+    """
+    x, y = _validate(x, y)
+    if np.any(x == 0.0):
+        raise ZeroDivisionError("MAPE is undefined for references with zeros")
+    return float(np.mean(np.abs((x - y) / x)) * 100.0)
+
+
+def smape(x: np.ndarray, y: np.ndarray) -> float:
+    """Symmetric MAPE (the M4 competition definition, in percent)."""
+    x, y = _validate(x, y)
+    denominator = (np.abs(x) + np.abs(y)) / 2.0
+    mask = denominator > 0.0
+    if not np.any(mask):
+        return 0.0
+    return float(np.mean(np.abs(x - y)[mask] / denominator[mask]) * 100.0)
+
+
+def mase(x: np.ndarray, y: np.ndarray, training: np.ndarray,
+         period: int = 1) -> float:
+    """Mean absolute scaled error (Hyndman & Koehler, 2006).
+
+    Scales the forecast MAE by the in-sample MAE of the seasonal-naive
+    method on ``training``.
+    """
+    x, y = _validate(x, y)
+    training = np.asarray(training, dtype=np.float64)
+    if period < 1:
+        raise ValueError(f"period must be positive, got {period}")
+    if len(training) <= period:
+        raise ValueError(
+            f"training series of length {len(training)} too short for "
+            f"period {period}"
+        )
+    naive_errors = np.abs(training[period:] - training[:-period])
+    scale = float(naive_errors.mean())
+    if scale == 0.0:
+        raise ZeroDivisionError(
+            "MASE is undefined when the naive method is perfect on training")
+    return mae(x, y) / scale

@@ -1,0 +1,67 @@
+"""Distance metrics of Section 3.5: RMSE, NRMSE, RSE, and correlation R.
+
+``x`` always denotes the reference series (raw data), ``y`` the compared
+series (predictions or the transformed/decompressed series).  RMSE, NRMSE,
+and RSE are distances (lower is better); R is a similarity (higher is
+better).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    if x.size == 0:
+        raise ValueError("metrics are undefined for empty inputs")
+    return x, y
+
+
+def rmse(x: np.ndarray, y: np.ndarray) -> float:
+    """Root Mean Square Error (Equation 5)."""
+    x, y = _validate(x, y)
+    return float(np.sqrt(np.mean((x - y) ** 2)))
+
+
+def nrmse(x: np.ndarray, y: np.ndarray) -> float:
+    """RMSE normalized by the reference range ``max(x) - min(x)`` (Eq. 4)."""
+    x, y = _validate(x, y)
+    value_range = float(np.max(x) - np.min(x))
+    if value_range == 0.0:
+        raise ZeroDivisionError("NRMSE is undefined when the reference is constant")
+    return rmse(x, y) / value_range
+
+
+def rse(x: np.ndarray, y: np.ndarray) -> float:
+    """Root Relative Squared Error against the reference mean (Eq. 5)."""
+    x, y = _validate(x, y)
+    denominator = float(np.sqrt(np.sum((x - np.mean(x)) ** 2)))
+    if denominator == 0.0:
+        raise ZeroDivisionError("RSE is undefined when the reference is constant")
+    return float(np.sqrt(np.sum((x - y) ** 2)) / denominator)
+
+
+def correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation R between the two series."""
+    x, y = _validate(x, y)
+    xc = x - np.mean(x)
+    yc = y - np.mean(y)
+    denominator = float(np.sqrt(np.sum(xc ** 2)) * np.sqrt(np.sum(yc ** 2)))
+    if denominator == 0.0:
+        raise ZeroDivisionError("R is undefined when either series is constant")
+    return float(np.sum(xc * yc) / denominator)
+
+
+METRICS = {
+    "R": correlation,
+    "RSE": rse,
+    "RMSE": rmse,
+    "NRMSE": nrmse,
+}
+
+#: metrics where lower is better (distances, unlike R)
+DISTANCE_METRICS = ("RSE", "RMSE", "NRMSE")

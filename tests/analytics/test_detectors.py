@@ -1,0 +1,77 @@
+"""Tests for the change-point and anomaly detectors."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (mean_shift_changepoints, f1_score, match_detections,
+                             zscore_anomalies)
+
+
+def test_mean_shift_detects_a_step():
+    rng = np.random.default_rng(0)
+    values = np.concatenate([rng.normal(0, 1, 500), rng.normal(8, 1, 500)])
+    detections = mean_shift_changepoints(values)
+    assert any(abs(d - 500) < 30 for d in detections)
+
+
+def test_mean_shift_quiet_on_stationary_noise():
+    rng = np.random.default_rng(1)
+    detections = mean_shift_changepoints(rng.normal(0, 1, 2000))
+    assert len(detections) <= 1
+
+
+def test_mean_shift_detects_multiple_changes():
+    rng = np.random.default_rng(2)
+    values = np.concatenate([rng.normal(0, 1, 400), rng.normal(10, 1, 400),
+                             rng.normal(-5, 1, 400)])
+    detections = mean_shift_changepoints(values)
+    assert any(abs(d - 400) < 30 for d in detections)
+    assert any(abs(d - 800) < 30 for d in detections)
+
+
+def test_mean_shift_constant_series_empty():
+    assert mean_shift_changepoints(np.full(100, 3.0)) == []
+
+
+def test_mean_shift_short_series_empty():
+    assert mean_shift_changepoints(np.array([1.0, 2.0])) == []
+
+
+def test_zscore_finds_injected_spike():
+    rng = np.random.default_rng(3)
+    values = rng.normal(0, 1, 1000)
+    values[600] += 15.0
+    detections = zscore_anomalies(values)
+    assert 600 in detections
+
+
+def test_zscore_quiet_on_clean_data():
+    rng = np.random.default_rng(4)
+    values = 10 + 0.1 * rng.normal(0, 1, 1000)
+    assert len(zscore_anomalies(values)) <= 2
+
+
+def test_zscore_short_series_empty():
+    assert zscore_anomalies(np.arange(10.0), window=48) == []
+
+
+def test_zscore_bad_window_rejected():
+    with pytest.raises(ValueError):
+        zscore_anomalies(np.arange(100.0), window=1)
+
+
+def test_match_detections_counts():
+    tp, fp, fn = match_detections([100, 500], [102, 300, 900], tolerance=10)
+    assert (tp, fp, fn) == (1, 2, 1)
+
+
+def test_match_detections_one_to_one():
+    # two detections near one truth point: only one may match
+    tp, fp, fn = match_detections([100], [98, 102], tolerance=10)
+    assert (tp, fp, fn) == (1, 1, 0)
+
+
+def test_f1_perfect_and_empty():
+    assert f1_score(5, 0, 0) == 1.0
+    assert f1_score(0, 0, 0) == 0.0
+    assert f1_score(1, 1, 1) == pytest.approx(0.5)

@@ -1,0 +1,43 @@
+"""Tests for whole-dataset (multi-column) compression."""
+
+import numpy as np
+
+from repro.compression import PMC, check_error_bound, compress_dataset
+from repro.datasets import load
+
+
+def test_all_columns_compressed():
+    dataset = load("Solar", length=2000)
+    result = compress_dataset(dataset, PMC(), 0.1)
+    assert set(result.columns) == set(dataset.columns)
+    assert result.method == "PMC"
+    assert result.error_bound == 0.1
+
+
+def test_sizes_aggregate_over_columns():
+    dataset = load("Wind", length=2000)
+    result = compress_dataset(dataset, PMC(), 0.1)
+    assert result.compressed_size == sum(
+        r.compressed_size for r in result.columns.values())
+    assert result.compression_ratio > 1.0
+
+
+def test_every_column_respects_the_bound():
+    dataset = load("Wind", length=2000)
+    result = compress_dataset(dataset, PMC(), 0.2)
+    for name, column_result in result.columns.items():
+        assert check_error_bound(dataset.columns[name],
+                                 column_result.decompressed, 0.2), name
+
+
+def test_decompressed_dataset_preserves_structure():
+    dataset = load("Solar", length=2000)
+    result = compress_dataset(dataset, PMC(), 0.1)
+    rebuilt = result.decompressed_dataset(dataset)
+    assert rebuilt.target == dataset.target
+    assert set(rebuilt.columns) == set(dataset.columns)
+    assert len(rebuilt) == len(dataset)
+    assert rebuilt.interval == dataset.interval
+    # values differ from the original (lossy) but stay within the bound
+    target = rebuilt.target_series.values
+    assert not np.array_equal(target, dataset.target_series.values)

@@ -1,0 +1,107 @@
+"""Tests for PMC-Mean."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import PMC, check_error_bound
+from repro.datasets import TimeSeries
+
+
+def series_of(values, interval=60):
+    return TimeSeries(np.asarray(values, dtype=float), interval=interval)
+
+
+def test_constant_series_becomes_one_segment():
+    result = PMC().compress(series_of([5.0] * 100), 0.1)
+    assert result.num_segments == 1
+    assert np.allclose(result.decompressed.values, 5.0)
+
+
+def test_zero_error_bound_is_exact_within_float32():
+    values = np.float32(np.linspace(1.0, 2.0, 50)).astype(float)
+    result = PMC().compress(series_of(values), 0.0)
+    assert np.array_equal(result.decompressed.values, values)
+
+
+def test_step_function_splits_at_the_step():
+    values = [1.0] * 50 + [10.0] * 50
+    result = PMC().compress(series_of(values), 0.05)
+    assert result.num_segments == 2
+    assert np.allclose(result.decompressed.values[:50], 1.0, rtol=0.05)
+    assert np.allclose(result.decompressed.values[50:], 10.0, rtol=0.05)
+
+
+def test_segment_value_is_window_mean():
+    values = [1.0, 2.0, 3.0]
+    result = PMC().compress(series_of(values), 1.0)  # generous bound: one window
+    assert result.num_segments == 1
+    assert result.decompressed.values[0] == pytest.approx(2.0, rel=1e-6)
+
+
+def test_error_bound_is_respected_on_noisy_data():
+    rng = np.random.default_rng(0)
+    values = 10.0 + rng.normal(0, 1, 2000).cumsum() * 0.1
+    series = series_of(values)
+    for eb in [0.01, 0.1, 0.5]:
+        result = PMC().compress(series, eb)
+        assert check_error_bound(series, result.decompressed, eb)
+
+
+def test_segments_decrease_with_error_bound():
+    rng = np.random.default_rng(1)
+    values = 50.0 + rng.normal(0, 5, 3000)
+    series = series_of(values)
+    counts = [PMC().compress(series, eb).num_segments
+              for eb in [0.01, 0.05, 0.2, 0.5]]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_round_trip_through_bytes():
+    rng = np.random.default_rng(2)
+    series = series_of(20 + rng.normal(0, 2, 500), interval=900)
+    result = PMC().compress(series, 0.1)
+    reconstructed = PMC().decompress(result.compressed)
+    assert np.array_equal(reconstructed.values, result.decompressed.values)
+    assert reconstructed.start == series.start
+    assert reconstructed.interval == series.interval
+
+
+def test_preserves_outliers_outside_bound():
+    """A large spike cannot be averaged away: the bound forces a break."""
+    values = [1.0] * 100 + [100.0] + [1.0] * 100
+    result = PMC().compress(series_of(values), 0.1)
+    spike = result.decompressed.values[100]
+    assert spike == pytest.approx(100.0, rel=0.1)
+
+
+def test_empty_series_rejected():
+    with pytest.raises(ValueError):
+        PMC().compress(series_of([]), 0.1)
+
+
+def test_negative_error_bound_rejected():
+    with pytest.raises(ValueError):
+        PMC().compress(series_of([1.0]), -0.1)
+
+
+def test_long_constant_run_splits_at_16bit_limit():
+    n = 70_000
+    result = PMC().compress(series_of(np.ones(n)), 0.1)
+    assert result.num_segments == 2  # 65535 + 4465
+    assert len(result.decompressed) == n
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-1e4, max_value=1e4,
+                       allow_nan=False, allow_infinity=False),
+             min_size=1, max_size=300),
+    st.sampled_from([0.01, 0.05, 0.1, 0.3, 0.8]),
+)
+def test_property_error_bound_holds(values, error_bound):
+    series = series_of(values)
+    result = PMC().compress(series, error_bound)
+    assert len(result.decompressed) == len(series)
+    assert check_error_bound(series, result.decompressed, error_bound)

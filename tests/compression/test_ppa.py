@@ -1,0 +1,86 @@
+"""Tests for the PPA piecewise polynomial compressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import PMC, PPA, Swing, check_error_bound
+from repro.datasets import TimeSeries
+
+
+def series_of(values, interval=60):
+    return TimeSeries(np.asarray(values, dtype=float), interval=interval)
+
+
+def test_quadratic_becomes_one_segment():
+    t = np.linspace(0, 1, 300)
+    values = 5.0 + 3.0 * t - 2.0 * t ** 2
+    result = PPA().compress(series_of(values), 0.01)
+    assert result.num_segments == 1
+    assert np.allclose(result.decompressed.values, values, rtol=0.01)
+
+
+def test_cubic_within_max_degree():
+    t = np.linspace(-1, 1, 200)
+    values = 10 + t ** 3
+    result = PPA(max_degree=3).compress(series_of(values), 0.01)
+    assert result.num_segments == 1
+
+
+def test_degree_zero_only_behaves_like_pmc_class():
+    values = np.array([1.0] * 50 + [5.0] * 50)
+    result = PPA(max_degree=0).compress(series_of(values), 0.05)
+    assert result.num_segments == 2
+
+
+def test_fewer_segments_than_linear_methods_on_curved_data():
+    t = np.linspace(0, 6 * np.pi, 2000)
+    values = 20 + 5 * np.sin(t)
+    series = series_of(values)
+    ppa_segments = PPA().compress(series, 0.05).num_segments
+    swing_segments = Swing().compress(series, 0.05).num_segments
+    pmc_segments = PMC().compress(series, 0.05).num_segments
+    assert ppa_segments < swing_segments < pmc_segments
+
+
+def test_error_bound_respected_on_noisy_data():
+    rng = np.random.default_rng(0)
+    values = 10 + rng.normal(0, 1, 1500).cumsum() * 0.1
+    series = series_of(values)
+    for eb in [0.01, 0.1, 0.5]:
+        result = PPA().compress(series, eb)
+        assert check_error_bound(series, result.decompressed, eb)
+
+
+def test_round_trip_through_bytes():
+    rng = np.random.default_rng(1)
+    series = series_of(50 + rng.normal(0, 3, 600), interval=900)
+    result = PPA().compress(series, 0.1)
+    reconstructed = PPA().decompress(result.compressed)
+    assert np.array_equal(reconstructed.values, result.decompressed.values)
+    assert reconstructed.start == series.start
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        PPA(max_degree=9)
+    with pytest.raises(ValueError):
+        PPA(growth=0)
+
+
+def test_single_point_series():
+    result = PPA().compress(series_of([7.0]), 0.1)
+    assert result.decompressed.values.tolist() == [7.0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                min_size=1, max_size=200),
+       st.sampled_from([0.05, 0.3]))
+def test_property_error_bound_holds(values, error_bound):
+    series = series_of(values)
+    result = PPA().compress(series, error_bound)
+    assert len(result.decompressed) == len(series)
+    assert check_error_bound(series, result.decompressed, error_bound,
+                             slack=1e-5)

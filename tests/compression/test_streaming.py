@@ -1,0 +1,119 @@
+"""Tests for the online (streaming) PMC and Swing encoders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import PMC, Swing
+from repro.compression.streaming import (ConstantSegment, LinearSegment,
+                                         OnlinePMC, OnlineSwing, reconstruct)
+from repro.datasets import TimeSeries
+
+
+def noisy_series(n=800, seed=0):
+    rng = np.random.default_rng(seed)
+    return 20 + rng.normal(0, 1, n).cumsum() * 0.1
+
+
+def test_online_pmc_matches_batch_segmentation():
+    values = noisy_series()
+    encoder = OnlinePMC(0.1)
+    encoder.extend(values)
+    encoder.flush()
+    batch = PMC().compress(TimeSeries(values, interval=60), 0.1)
+    assert len(encoder.segments) == batch.num_segments
+    assert np.allclose(reconstruct(encoder.segments),
+                       batch.decompressed.values, atol=1e-6)
+
+
+def test_online_swing_matches_batch_reconstruction():
+    values = noisy_series(seed=1)
+    encoder = OnlineSwing(0.1)
+    encoder.extend(values)
+    encoder.flush()
+    batch = Swing().compress(TimeSeries(values, interval=60), 0.1)
+    assert len(encoder.segments) == batch.num_segments
+    assert np.allclose(reconstruct(encoder.segments),
+                       batch.decompressed.values, atol=1e-5)
+
+
+def test_push_returns_segments_as_they_close():
+    encoder = OnlinePMC(0.01)
+    closed = []
+    for value in [1.0, 1.0, 1.0, 5.0, 5.0, 9.0]:
+        closed += encoder.push(value)
+    closed += encoder.flush()
+    assert [type(s) for s in closed] == [ConstantSegment] * 3
+    assert [s.length for s in closed] == [3, 2, 1]
+
+
+def test_stream_length_preserved():
+    values = noisy_series(seed=2)
+    encoder = OnlineSwing(0.05)
+    encoder.extend(values)
+    encoder.flush()
+    assert sum(s.length for s in encoder.segments) == len(values)
+
+
+def test_error_bound_respected_by_stream():
+    values = noisy_series(seed=3)
+    for encoder in (OnlinePMC(0.1), OnlineSwing(0.1)):
+        encoder.extend(values)
+        encoder.flush()
+        decoded = reconstruct(encoder.segments)
+        assert np.all(np.abs(decoded - values)
+                      <= 0.1 * np.abs(values) + 1e-5)
+
+
+def test_push_after_flush_rejected():
+    encoder = OnlinePMC(0.1)
+    encoder.push(1.0)
+    encoder.flush()
+    with pytest.raises(RuntimeError):
+        encoder.push(2.0)
+
+
+def test_double_flush_is_noop():
+    encoder = OnlinePMC(0.1)
+    encoder.push(1.0)
+    first = encoder.flush()
+    assert len(first) == 1
+    assert encoder.flush() == []
+
+
+def test_max_segment_length_enforced():
+    encoder = OnlinePMC(0.5, max_segment_length=10)
+    encoder.extend(np.ones(25))
+    encoder.flush()
+    assert [s.length for s in encoder.segments] == [10, 10, 5]
+
+
+def test_negative_error_bound_rejected():
+    with pytest.raises(ValueError):
+        OnlinePMC(-0.1)
+
+
+def test_empty_stream_flush():
+    encoder = OnlineSwing(0.1)
+    assert encoder.flush() == []
+    assert reconstruct(encoder.segments).size == 0
+
+
+def test_linear_segment_reconstruction():
+    segment = LinearSegment(length=4, slope=2.0, intercept=1.0)
+    assert segment.reconstruct().tolist() == [1.0, 3.0, 5.0, 7.0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+                min_size=1, max_size=200),
+       st.sampled_from([0.01, 0.1, 0.5]))
+def test_property_streaming_pmc_equals_batch(values, error_bound):
+    values = np.asarray(values)
+    encoder = OnlinePMC(error_bound)
+    encoder.extend(values)
+    encoder.flush()
+    batch = PMC().compress(TimeSeries(values, interval=60), error_bound)
+    assert np.allclose(reconstruct(encoder.segments),
+                       batch.decompressed.values, atol=1e-5)

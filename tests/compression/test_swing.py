@@ -1,0 +1,99 @@
+"""Tests for the Swing filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import Swing, check_error_bound
+from repro.datasets import TimeSeries
+
+
+def series_of(values, interval=60):
+    return TimeSeries(np.asarray(values, dtype=float), interval=interval)
+
+
+def test_perfect_line_is_one_segment():
+    values = 2.0 + 0.5 * np.arange(200)
+    result = Swing().compress(series_of(values), 0.01)
+    assert result.num_segments == 1
+    assert np.allclose(result.decompressed.values, values, rtol=0.01)
+
+
+def test_constant_series_is_one_segment_with_zero_slope():
+    result = Swing().compress(series_of([7.0] * 100), 0.05)
+    assert result.num_segments == 1
+    assert np.allclose(result.decompressed.values, 7.0)
+
+
+def test_two_lines_become_two_segments():
+    up = 1.0 + 1.0 * np.arange(100)
+    down = up[-1] - 1.0 * np.arange(1, 101)
+    series = series_of(np.concatenate([up, down]))
+    result = Swing().compress(series, 0.01)
+    assert result.num_segments == 2
+
+
+def test_single_point_series():
+    result = Swing().compress(series_of([3.0]), 0.1)
+    assert result.num_segments == 1
+    assert result.decompressed.values.tolist() == [3.0]
+
+
+def test_error_bound_is_respected_on_noisy_data():
+    rng = np.random.default_rng(0)
+    values = 10.0 + rng.normal(0, 1, 2000).cumsum() * 0.1
+    series = series_of(values)
+    for eb in [0.01, 0.1, 0.5]:
+        result = Swing().compress(series, eb)
+        assert check_error_bound(series, result.decompressed, eb)
+
+
+def test_fewer_segments_than_pmc_on_trending_data():
+    """Linear models cover ramps that constants cannot (Figure 3)."""
+    from repro.compression import PMC
+
+    rng = np.random.default_rng(3)
+    values = np.cumsum(rng.normal(0.05, 0.02, 3000)) + 10.0
+    series = series_of(values)
+    swing_segments = Swing().compress(series, 0.05).num_segments
+    pmc_segments = PMC().compress(series, 0.05).num_segments
+    assert swing_segments < pmc_segments
+
+
+def test_round_trip_through_bytes():
+    rng = np.random.default_rng(2)
+    series = series_of(20 + rng.normal(0, 2, 500), interval=900)
+    result = Swing().compress(series, 0.1)
+    reconstructed = Swing().decompress(result.compressed)
+    assert np.array_equal(reconstructed.values, result.decompressed.values)
+    assert reconstructed.start == series.start
+    assert reconstructed.interval == series.interval
+
+
+def test_segments_decrease_with_error_bound():
+    rng = np.random.default_rng(1)
+    values = 50.0 + rng.normal(0, 5, 3000)
+    series = series_of(values)
+    counts = [Swing().compress(series, eb).num_segments
+              for eb in [0.01, 0.05, 0.2, 0.5]]
+    assert counts == sorted(counts, reverse=True)
+
+
+def test_empty_series_rejected():
+    with pytest.raises(ValueError):
+        Swing().compress(series_of([]), 0.1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-1e4, max_value=1e4,
+                       allow_nan=False, allow_infinity=False),
+             min_size=1, max_size=300),
+    st.sampled_from([0.01, 0.05, 0.1, 0.3, 0.8]),
+)
+def test_property_error_bound_holds(values, error_bound):
+    series = series_of(values)
+    result = Swing().compress(series, error_bound)
+    assert len(result.decompressed) == len(series)
+    assert check_error_bound(series, result.decompressed, error_bound)

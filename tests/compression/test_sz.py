@@ -1,0 +1,104 @@
+"""Tests for the SZ-style blockwise predictive compressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import SZ, check_error_bound
+from repro.datasets import TimeSeries
+
+
+def series_of(values, interval=60):
+    return TimeSeries(np.asarray(values, dtype=float), interval=interval)
+
+
+def test_error_bound_is_respected_on_noisy_data():
+    rng = np.random.default_rng(0)
+    values = 10.0 + rng.normal(0, 1, 2000).cumsum() * 0.1
+    series = series_of(values)
+    for eb in [0.01, 0.1, 0.5]:
+        result = SZ().compress(series, eb)
+        assert check_error_bound(series, result.decompressed, eb)
+
+
+def test_handles_zeros_exactly():
+    """Solar nights are exact zeros; a relative bound forces exactness."""
+    values = np.concatenate([np.zeros(200), np.full(100, 8.0), np.zeros(200)])
+    series = series_of(values)
+    result = SZ().compress(series, 0.1)
+    assert np.all(result.decompressed.values[:200] == 0.0)
+    assert np.all(result.decompressed.values[-200:] == 0.0)
+    assert check_error_bound(series, result.decompressed, 0.1)
+
+
+def test_round_trip_through_bytes():
+    rng = np.random.default_rng(2)
+    series = series_of(400 + rng.normal(0, 5, 700), interval=600)
+    result = SZ().compress(series, 0.05)
+    reconstructed = SZ().decompress(result.compressed)
+    assert np.array_equal(reconstructed.values, result.decompressed.values)
+    assert reconstructed.start == series.start
+    assert reconstructed.interval == series.interval
+
+
+def test_compresses_smooth_high_magnitude_data_well():
+    """The Weather regime: large values, narrow band -> very high CR."""
+    from repro.compression import raw_gz_size
+
+    t = np.linspace(0, 20 * np.pi, 5000)
+    values = np.round(420.0 + 10 * np.sin(t), 2)
+    series = series_of(values)
+    result = SZ().compress(series, 0.05)
+    ratio = raw_gz_size(series) / result.compressed_size
+    assert ratio > 20
+
+
+def test_output_shows_quantization_staircase():
+    """Figure 1: SZ output at a coarse bound looks piecewise constant."""
+    rng = np.random.default_rng(5)
+    values = 30.0 + rng.normal(0, 0.3, 1000)
+    result = SZ().compress(series_of(values), 0.3)
+    distinct = len(np.unique(result.decompressed.values))
+    assert distinct < 100  # far fewer levels than points
+
+
+def test_segment_count_is_change_runs_and_decreases_with_bound():
+    rng = np.random.default_rng(6)
+    values = 50.0 + rng.normal(0, 5, 3000)
+    series = series_of(values)
+    counts = [SZ().compress(series, eb).num_segments for eb in [0.01, 0.1, 0.5]]
+    assert counts == sorted(counts, reverse=True)
+    assert counts[0] <= len(series)
+
+
+def test_block_size_validation():
+    with pytest.raises(ValueError):
+        SZ(block_size=2)
+
+
+def test_short_series_smaller_than_block():
+    series = series_of([5.0, 5.1, 5.2])
+    result = SZ().compress(series, 0.05)
+    assert check_error_bound(series, result.decompressed, 0.05)
+
+
+def test_outlier_escape_preserves_spikes():
+    values = np.concatenate([np.full(100, 1.0), [5000.0], np.full(100, 1.0)])
+    series = series_of(values)
+    result = SZ().compress(series, 0.01)
+    assert result.decompressed.values[100] == pytest.approx(5000.0, rel=0.01)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(min_value=-1e4, max_value=1e4,
+                       allow_nan=False, allow_infinity=False),
+             min_size=1, max_size=300),
+    st.sampled_from([0.01, 0.1, 0.5]),
+)
+def test_property_error_bound_holds(values, error_bound):
+    series = series_of(values)
+    result = SZ().compress(series, error_bound)
+    assert len(result.decompressed) == len(series)
+    assert check_error_bound(series, result.decompressed, error_bound)

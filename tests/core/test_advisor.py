@@ -1,0 +1,86 @@
+"""Tests for the compression-impact advisor (the Section 5 direction)."""
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import CompressionAdvisor, Recommendation
+from repro.core.results import RAW, ScenarioRecord
+from repro.datasets import load
+
+
+def synthetic_training_data():
+    """Cells whose TFE is a simple function of the error bound."""
+    bounds = (0.01, 0.05, 0.1, 0.2, 0.4, 0.8)
+    records = []
+    deltas = {}
+    for dataset in ("D1", "D2"):
+        per_cell = {}
+        scale = 1.0 if dataset == "D1" else 2.0
+        records.append(ScenarioRecord(dataset, "M", RAW, 0.0, 0,
+                                      {"NRMSE": 0.1}))
+        for method in ("PMC",):
+            for bound in bounds:
+                impact = scale * bound  # ground truth relationship
+                records.append(ScenarioRecord(
+                    dataset, "M", method, bound, 0,
+                    {"NRMSE": 0.1 * (1 + impact)}))
+                # deltas correlated with impact, one informative feature
+                per_cell[(method, bound)] = {
+                    "max_kl_shift": 100 * impact,
+                    "mean": 5 * impact,
+                }
+        deltas[dataset] = per_cell
+    return deltas, records
+
+
+def test_fit_learns_the_relationship():
+    deltas, records = synthetic_training_data()
+    advisor = CompressionAdvisor(n_estimators=60).fit(deltas, records)
+    assert advisor.r_squared > 0.8
+
+
+def test_predict_impact_on_real_series():
+    deltas, records = synthetic_training_data()
+    advisor = CompressionAdvisor(n_estimators=60).fit(deltas, records)
+    series = load("ETTm1", length=1500).target_series
+    impact = advisor.predict_impact(series, "PMC", 0.1, period=96)
+    assert np.isfinite(impact)
+
+
+def test_use_before_fit_rejected():
+    advisor = CompressionAdvisor()
+    series = load("ETTm1", length=500).target_series
+    with pytest.raises(RuntimeError):
+        advisor.predict_impact(series, "PMC", 0.1)
+
+
+def test_recommend_bound_respects_budget():
+    deltas, records = synthetic_training_data()
+    advisor = CompressionAdvisor(n_estimators=60).fit(deltas, records)
+    series = load("ETTm1", length=1500).target_series
+    recommendation = advisor.recommend_bound(
+        series, "PMC", tfe_budget=10.0,  # generous: everything fits
+        candidate_bounds=(0.05, 0.2), period=96)
+    assert isinstance(recommendation, Recommendation)
+    assert recommendation.error_bound == 0.2  # largest within budget
+    assert len(recommendation.sweep) == 2
+
+
+def test_recommend_bound_can_return_none():
+    deltas, records = synthetic_training_data()
+    advisor = CompressionAdvisor(n_estimators=60).fit(deltas, records)
+    series = load("ETTm1", length=1500).target_series
+    recommendation = advisor.recommend_bound(
+        series, "PMC", tfe_budget=0.0, candidate_bounds=(0.8,), period=96)
+    if recommendation.error_bound is None:
+        assert recommendation.predicted_tfe is None
+    assert len(recommendation.sweep) == 1
+
+
+def test_negative_budget_rejected():
+    deltas, records = synthetic_training_data()
+    advisor = CompressionAdvisor(n_estimators=10).fit(deltas, records)
+    series = load("ETTm1", length=500).target_series
+    with pytest.raises(ValueError):
+        advisor.recommend_bound(series, "PMC", tfe_budget=-0.1,
+                                candidate_bounds=(0.1,))

@@ -1,0 +1,51 @@
+"""Tests for the disk cache."""
+
+import numpy as np
+
+from repro.core import DiskCache
+
+
+def test_memory_layer_avoids_recompute(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    calls = []
+    value = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+    again = cache.get_or_compute("k", lambda: calls.append(1) or 43)
+    assert value == again == 42
+    assert len(calls) == 1
+
+
+def test_disk_layer_survives_new_instance(tmp_path):
+    DiskCache(str(tmp_path)).get_or_compute("k", lambda: {"a": np.arange(3)})
+    fresh = DiskCache(str(tmp_path))
+    value = fresh.get_or_compute("k", lambda: (_ for _ in ()).throw(
+        AssertionError("should have come from disk")))
+    assert np.array_equal(value["a"], np.arange(3))
+
+
+def test_none_directory_is_memory_only():
+    cache = DiskCache(None)
+    assert cache.get_or_compute("k", lambda: 7) == 7
+    assert cache.get_or_compute("k", lambda: 8) == 7
+
+
+def test_clear_memory_keeps_disk(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    cache.get_or_compute("k", lambda: 1)
+    cache.clear_memory()
+    assert cache.get_or_compute("k", lambda: 2) == 1
+
+
+def test_corrupt_entry_recomputed(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    cache.get_or_compute("k", lambda: 1)
+    path = cache._path("k")
+    with open(path, "wb") as handle:
+        handle.write(b"not a pickle")
+    fresh = DiskCache(str(tmp_path))
+    assert fresh.get_or_compute("k", lambda: 99) == 99
+
+
+def test_distinct_keys_do_not_collide(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    assert cache.get_or_compute("a", lambda: 1) == 1
+    assert cache.get_or_compute("b", lambda: 2) == 2

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info_lists_everything(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    for token in ("ETTm1", "Wind", "PMC", "SZ", "GORILLA", "Arima",
+                  "Transformer", "0.01", "0.8"):
+        assert token in out
+
+
+def test_compress_reports_ratio(capsys):
+    assert main(["compress", "--dataset", "Weather", "--method", "PMC",
+                 "--error-bound", "0.2", "--length", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "compression ratio" in out
+    assert "TE (NRMSE)" in out
+    assert "segments" in out
+
+
+def test_sweep_prints_all_bounds(capsys):
+    assert main(["sweep", "--dataset", "ETTm1", "--length", "1500"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("PMC") == 13
+    assert "GORILLA lossless CR" in out
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["compress", "--dataset", "Nope",
+                                   "--method", "PMC"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_evaluate_fast_model(capsys):
+    assert main(["evaluate", "--dataset", "ETTm1", "--model", "Arima",
+                 "--length", "1500", "--error-bounds", "0.1", "0.4"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline NRMSE" in out
+    assert "PMC" in out and "SWING" in out and "SZ" in out

@@ -1,0 +1,58 @@
+"""Tests for Spearman rank correlation."""
+
+import numpy as np
+import pytest
+
+from repro.core import spearman, spearman_ranking
+
+
+def test_perfect_monotone_relationship():
+    x = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert spearman(x, np.exp(x)) == pytest.approx(1.0)
+    assert spearman(x, -np.exp(x)) == pytest.approx(-1.0)
+
+
+def test_matches_scipy():
+    from scipy.stats import spearmanr
+
+    rng = np.random.default_rng(0)
+    x = rng.normal(0, 1, 200)
+    y = x + rng.normal(0, 1, 200)
+    assert spearman(x, y) == pytest.approx(spearmanr(x, y).statistic, abs=1e-12)
+
+
+def test_matches_scipy_with_ties():
+    from scipy.stats import spearmanr
+
+    rng = np.random.default_rng(1)
+    x = rng.integers(0, 5, 100).astype(float)
+    y = rng.integers(0, 5, 100).astype(float)
+    assert spearman(x, y) == pytest.approx(spearmanr(x, y).statistic, abs=1e-12)
+
+
+def test_nan_pairs_dropped():
+    x = np.array([1.0, 2.0, np.nan, 4.0, 5.0, 6.0])
+    y = np.array([1.0, 2.0, 3.0, np.nan, 5.0, 6.0])
+    assert spearman(x, y) == pytest.approx(1.0)
+
+
+def test_too_few_finite_pairs_gives_nan():
+    assert np.isnan(spearman(np.array([1.0, np.nan]), np.array([1.0, 2.0])))
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        spearman(np.zeros(3), np.zeros(4))
+
+
+def test_ranking_sorted_by_absolute_value():
+    rng = np.random.default_rng(2)
+    target = rng.normal(0, 1, 300)
+    features = {
+        "strong_negative": -target + rng.normal(0, 0.1, 300),
+        "weak": rng.normal(0, 1, 300),
+        "strong_positive": target + rng.normal(0, 0.2, 300),
+    }
+    ranking = spearman_ranking(features, target)
+    assert ranking[0][0] in ("strong_negative", "strong_positive")
+    assert ranking[-1][0] == "weak"

@@ -1,0 +1,50 @@
+"""Tests for Kneedle elbow detection."""
+
+import numpy as np
+import pytest
+
+from repro.core import elbow_point, kneedle
+
+
+def test_detects_elbow_of_hockey_stick():
+    x = np.linspace(0, 1, 21)
+    y = np.where(x < 0.5, 0.02 * x, 0.02 * 0.5 + 4.0 * (x - 0.5))
+    ex, _ = elbow_point(x, y)
+    assert 0.35 <= ex <= 0.65
+
+
+def test_detects_elbow_of_exponential():
+    x = np.linspace(0, 1, 30)
+    y = np.exp(5 * x)
+    ex, _ = elbow_point(x, y)
+    assert 0.5 < ex < 0.95
+
+
+def test_flat_curve_returns_midpoint():
+    x = np.linspace(0, 1, 11)
+    index = kneedle(x, np.zeros(11))
+    assert index == 5
+
+
+def test_handles_unsorted_x():
+    x = np.array([0.5, 0.1, 0.9, 0.3, 0.7, 0.0, 1.0])
+    y = np.where(x < 0.6, 0.0, 10 * (x - 0.6))
+    index = kneedle(x, y)
+    assert 0.4 <= x[index] <= 0.8
+
+
+def test_concave_knee():
+    x = np.linspace(0, 1, 30)
+    y = np.sqrt(x)  # concave: knee early
+    index = kneedle(x, y, concave=True)
+    assert x[index] < 0.5
+
+
+def test_too_few_points_rejected():
+    with pytest.raises(ValueError):
+        kneedle(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        kneedle(np.zeros(5), np.zeros(4))

@@ -1,0 +1,67 @@
+"""Tests for CSV export of evaluation results."""
+
+import csv
+
+from repro.core.export import (export_baselines, export_compression_sweep,
+                               export_scenario_records, export_tfe)
+from repro.core.results import RAW, CompressionRecord, ScenarioRecord
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.reader(handle))
+
+
+def sample_records():
+    return [
+        ScenarioRecord("DS", "M", RAW, 0.0, 0, {"NRMSE": 0.1, "R": 0.9}),
+        ScenarioRecord("DS", "M", RAW, 0.0, 1, {"NRMSE": 0.2, "R": 0.8}),
+        ScenarioRecord("DS", "M", "PMC", 0.1, 0, {"NRMSE": 0.15, "R": 0.85}),
+        ScenarioRecord("DS", "M", "PMC", 0.1, 1, {"NRMSE": 0.15, "R": 0.85}),
+    ]
+
+
+def test_compression_sweep_csv(tmp_path):
+    records = [CompressionRecord("DS", "PMC", 0.1, {"NRMSE": 0.02, "R": 0.99},
+                                 12.5, 42)]
+    path = str(tmp_path / "sweep.csv")
+    export_compression_sweep(records, path)
+    rows = read_csv(path)
+    assert rows[0] == ["dataset", "method", "error_bound", "compression_ratio",
+                       "num_segments", "te_nrmse", "te_r"]
+    assert rows[1][:3] == ["DS", "PMC", "0.1"]
+    assert float(rows[1][3]) == 12.5
+
+
+def test_scenario_records_csv(tmp_path):
+    path = str(tmp_path / "records.csv")
+    export_scenario_records(sample_records(), path)
+    rows = read_csv(path)
+    assert len(rows) == 5  # header + 4 records
+    assert rows[0][:4] == ["dataset", "model", "method", "error_bound"]
+
+
+def test_tfe_csv_contains_seed_averaged_values(tmp_path):
+    path = str(tmp_path / "tfe.csv")
+    export_tfe(sample_records(), path)
+    rows = read_csv(path)
+    assert rows[0] == ["dataset", "model", "method", "error_bound",
+                       "retrained", "tfe"]
+    assert len(rows) == 2  # one lossy cell
+    # baseline mean 0.15, compressed mean 0.15 -> TFE 0
+    assert abs(float(rows[1][5])) < 1e-12
+
+
+def test_baselines_csv(tmp_path):
+    path = str(tmp_path / "baselines.csv")
+    export_baselines(sample_records(), path)
+    rows = read_csv(path)
+    assert rows[0] == ["dataset", "model", "nrmse", "r"]
+    assert float(rows[1][2]) == 0.15000000000000002 or \
+        abs(float(rows[1][2]) - 0.15) < 1e-12
+
+
+def test_export_creates_directories(tmp_path):
+    path = str(tmp_path / "nested" / "deep" / "out.csv")
+    export_tfe(sample_records(), path)
+    assert read_csv(path)

@@ -1,0 +1,60 @@
+"""Tests for OLS with standard errors."""
+
+import numpy as np
+import pytest
+
+from repro.core import fit_linear
+
+
+def test_exact_line_recovered():
+    x = np.linspace(0, 10, 20)
+    fit = fit_linear(x, 3.0 * x + 1.0)
+    assert fit.slope == pytest.approx(3.0)
+    assert fit.intercept == pytest.approx(1.0)
+    assert fit.slope_se == pytest.approx(0.0, abs=1e-9)
+    assert fit.r_squared == pytest.approx(1.0)
+
+
+def test_noise_gives_positive_standard_errors():
+    rng = np.random.default_rng(0)
+    x = np.linspace(0, 1, 100)
+    y = 2.0 * x + rng.normal(0, 0.5, 100)
+    fit = fit_linear(x, y)
+    assert fit.slope == pytest.approx(2.0, abs=0.5)
+    assert fit.slope_se > 0
+    assert fit.intercept_se > 0
+
+
+def test_se_shrinks_with_sample_size():
+    rng = np.random.default_rng(1)
+    small_x = np.linspace(0, 1, 20)
+    large_x = np.linspace(0, 1, 2000)
+    fit_small = fit_linear(small_x, small_x + rng.normal(0, 0.3, 20))
+    fit_large = fit_linear(large_x, large_x + rng.normal(0, 0.3, 2000))
+    assert fit_large.slope_se < fit_small.slope_se
+
+
+def test_se_matches_textbook_formula():
+    rng = np.random.default_rng(2)
+    x = rng.uniform(0, 5, 50)
+    y = 1.5 * x - 2 + rng.normal(0, 1, 50)
+    fit = fit_linear(x, y)
+    residuals = y - fit.predict(x)
+    sigma2 = residuals @ residuals / (50 - 2)
+    expected_se = np.sqrt(sigma2 / np.sum((x - x.mean()) ** 2))
+    assert fit.slope_se == pytest.approx(expected_se)
+
+
+def test_predict_applies_coefficients():
+    fit = fit_linear(np.array([0.0, 1.0, 2.0]), np.array([1.0, 3.0, 5.0]))
+    assert fit.predict(np.array([10.0]))[0] == pytest.approx(21.0)
+
+
+def test_constant_x_rejected():
+    with pytest.raises(ValueError):
+        fit_linear(np.ones(10), np.arange(10.0))
+
+
+def test_too_few_points_rejected():
+    with pytest.raises(ValueError):
+        fit_linear(np.array([0.0, 1.0]), np.array([0.0, 1.0]))

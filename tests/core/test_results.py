@@ -1,0 +1,61 @@
+"""Tests for result aggregation and TFE computation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (RAW, ScenarioRecord, confidence_interval95,
+                        mean_over_seeds, tfe_table)
+
+
+def record(model="M", method=RAW, eb=0.0, seed=0, nrmse=0.1, retrained=False):
+    return ScenarioRecord("DS", model, method, eb, seed,
+                          {"NRMSE": nrmse, "RMSE": nrmse * 2}, retrained)
+
+
+def test_mean_over_seeds_averages_metrics():
+    records = [record(seed=0, nrmse=0.1), record(seed=1, nrmse=0.3)]
+    means = mean_over_seeds(records)
+    key = ("DS", "M", RAW, 0.0, False)
+    assert means[key]["NRMSE"] == pytest.approx(0.2)
+    assert means[key]["RMSE"] == pytest.approx(0.4)
+
+
+def test_tfe_table_relative_to_baseline():
+    records = [
+        record(method=RAW, nrmse=0.10),
+        record(method="PMC", eb=0.1, nrmse=0.12),
+        record(method="PMC", eb=0.5, nrmse=0.09),
+    ]
+    table = tfe_table(records)
+    assert table[("DS", "M", "PMC", 0.1, False)] == pytest.approx(0.2)
+    assert table[("DS", "M", "PMC", 0.5, False)] == pytest.approx(-0.1)
+
+
+def test_tfe_table_missing_baseline_rejected():
+    with pytest.raises(KeyError):
+        tfe_table([record(method="PMC", eb=0.1)])
+
+
+def test_retrained_records_keep_raw_baseline():
+    records = [
+        record(method=RAW, nrmse=0.10),
+        record(method="PMC", eb=0.1, nrmse=0.2, retrained=True),
+    ]
+    table = tfe_table(records)
+    assert table[("DS", "M", "PMC", 0.1, True)] == pytest.approx(1.0)
+
+
+def test_confidence_interval():
+    mean, half = confidence_interval95(np.array([1.0, 2.0, 3.0]))
+    assert mean == pytest.approx(2.0)
+    assert half == pytest.approx(1.96 * 1.0 / np.sqrt(3))
+
+
+def test_confidence_interval_single_sample():
+    mean, half = confidence_interval95(np.array([5.0]))
+    assert (mean, half) == (5.0, 0.0)
+
+
+def test_confidence_interval_empty_rejected():
+    with pytest.raises(ValueError):
+        confidence_interval95(np.array([]))

@@ -1,0 +1,112 @@
+"""Tests for exact TreeSHAP, including brute-force verification."""
+
+from itertools import combinations
+from math import factorial
+
+import numpy as np
+import pytest
+
+from repro.core.shap import (ensemble_shap, expected_value,
+                             mean_absolute_shap, shap_values, tree_shap)
+from repro.forecasting import GradientBoostingRegressor, RegressionTree
+
+
+def brute_force_shapley(predict_expectation, x, n_features):
+    """Exponential-time Shapley values directly from the definition."""
+    features = list(range(n_features))
+    phi = np.zeros(n_features)
+    for i in features:
+        others = [f for f in features if f != i]
+        for size in range(n_features):
+            for subset in combinations(others, size):
+                weight = (factorial(size) * factorial(n_features - size - 1)
+                          / factorial(n_features))
+                s = frozenset(subset)
+                phi[i] += weight * (predict_expectation(x, s | {i})
+                                    - predict_expectation(x, s))
+    return phi
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(0, 1, (300, 3))
+    y = 3.0 * x[:, 0] + np.sin(4 * x[:, 1]) + 0.1 * rng.normal(size=300)
+    tree = RegressionTree(max_depth=3).fit(x, y)
+    return tree, x, y
+
+
+def test_expected_value_with_all_features_is_prediction(fitted):
+    tree, x, _ = fitted
+    sample = x[7]
+    full = expected_value(tree, sample, frozenset(range(3)))
+    assert full == pytest.approx(float(tree.predict(sample)[0, 0]))
+
+
+def test_expected_value_with_no_features_is_weighted_mean(fitted):
+    tree, x, _ = fitted
+    marginal = expected_value(tree, x[0], frozenset())
+    # the root expectation must match the sample-weighted leaf mean
+    assert marginal == pytest.approx(float(tree.value[0][0]), abs=1e-9)
+
+
+def test_tree_shap_matches_brute_force(fitted):
+    tree, x, _ = fitted
+    for sample in x[:5]:
+        exact = tree_shap(tree, sample, 3)
+        brute = brute_force_shapley(
+            lambda s, known: expected_value(tree, s, known), sample, 3)
+        assert exact == pytest.approx(brute, abs=1e-10)
+
+
+def test_local_accuracy(fitted):
+    """SHAP values plus the base expectation must equal the prediction."""
+    tree, x, _ = fitted
+    for sample in x[:10]:
+        phi = tree_shap(tree, sample, 3)
+        base = expected_value(tree, sample, frozenset())
+        assert base + phi.sum() == pytest.approx(
+            float(tree.predict(sample)[0, 0]), abs=1e-9)
+
+
+def test_irrelevant_feature_gets_zero(fitted):
+    rng = np.random.default_rng(1)
+    x = rng.uniform(0, 1, (200, 3))
+    y = x[:, 0]  # only feature 0 matters
+    tree = RegressionTree(max_depth=2).fit(x, y)
+    phi = tree_shap(tree, x[0], 3)
+    assert phi[1] == 0.0
+    assert phi[2] == 0.0
+    assert abs(phi[0]) > 0
+
+
+def test_ensemble_local_accuracy():
+    rng = np.random.default_rng(2)
+    x = rng.uniform(0, 1, (300, 4))
+    y = 2 * x[:, 0] - 3 * x[:, 1] * x[:, 2] + rng.normal(0, 0.05, 300)
+    model = GradientBoostingRegressor(n_estimators=25, subsample=1.0).fit(x, y)
+    for sample in x[:5]:
+        phi = ensemble_shap(model, sample, 4)
+        prediction = float(model.predict(sample)[0, 0])
+        base = float(model.base_prediction[0]) + sum(
+            model.learning_rate * expected_value(t, sample, frozenset())
+            for t in model.trees)
+        assert base + phi.sum() == pytest.approx(prediction, abs=1e-8)
+
+
+def test_shap_values_matrix_shape():
+    rng = np.random.default_rng(3)
+    x = rng.uniform(0, 1, (50, 4))
+    y = x[:, 0]
+    model = GradientBoostingRegressor(n_estimators=5).fit(x, y)
+    matrix = shap_values(model, x[:10])
+    assert matrix.shape == (10, 4)
+
+
+def test_mean_absolute_shap_ranks_important_feature_first():
+    rng = np.random.default_rng(4)
+    x = rng.uniform(0, 1, (400, 5))
+    y = 10 * x[:, 2] + 0.5 * x[:, 0] + rng.normal(0, 0.1, 400)
+    model = GradientBoostingRegressor(n_estimators=40, subsample=1.0).fit(x, y)
+    importance = mean_absolute_shap(model, x[:60])
+    assert int(np.argmax(importance)) == 2

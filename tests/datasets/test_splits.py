@@ -1,0 +1,56 @@
+"""Tests for chronological 70/10/20 splitting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, TimeSeries, split, split_series
+
+
+def dataset_of(n):
+    series = TimeSeries(np.arange(n, dtype=float), interval=60)
+    return Dataset("d", {"series": series}, target="series")
+
+
+def test_default_split_is_70_10_20():
+    parts = split(dataset_of(1000))
+    assert len(parts.train) == 700
+    assert len(parts.validation) == 100
+    assert len(parts.test) == 200
+
+
+def test_split_is_chronological_and_complete():
+    parts = split(dataset_of(100))
+    joined = np.concatenate([
+        parts.train.target_series.values,
+        parts.validation.target_series.values,
+        parts.test.target_series.values,
+    ])
+    assert joined.tolist() == list(range(100))
+
+
+def test_split_preserves_time_axis():
+    parts = split(dataset_of(100))
+    assert parts.validation.target_series.start == 70 * 60
+    assert parts.test.target_series.start == 80 * 60
+
+
+def test_bad_fractions_rejected():
+    with pytest.raises(ValueError):
+        split(dataset_of(100), train_fraction=0.0)
+    with pytest.raises(ValueError):
+        split(dataset_of(100), validation_fraction=1.0)
+    with pytest.raises(ValueError):
+        split(dataset_of(100), train_fraction=0.8, validation_fraction=0.2)
+
+
+def test_too_short_dataset_rejected():
+    with pytest.raises(ValueError):
+        split(dataset_of(3))
+
+
+def test_split_series_convenience():
+    series = TimeSeries(np.arange(50, dtype=float), interval=60)
+    train, validation, test = split_series(series)
+    assert len(train) == 35
+    assert len(validation) == 5
+    assert len(test) == 10

@@ -1,0 +1,46 @@
+"""Tests for Table 1 descriptive statistics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TimeSeries, describe, riqd
+from repro.datasets.stats import frequency_label
+
+
+def test_riqd_matches_hand_computation():
+    values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+    q1, q3 = np.percentile(values, [25, 75])
+    assert riqd(values) == pytest.approx((q3 - q1) / 3.0 * 100.0)
+
+
+def test_riqd_rejects_empty():
+    with pytest.raises(ValueError):
+        riqd(np.array([]))
+
+
+def test_riqd_rejects_zero_mean():
+    with pytest.raises(ZeroDivisionError):
+        riqd(np.array([-1.0, 1.0]))
+
+
+@pytest.mark.parametrize(
+    "interval, label",
+    [(2, "2sec"), (600, "10min"), (900, "15min"), (1800, "30min"),
+     (3600, "1h"), (120, "2min"), (7, "7sec")],
+)
+def test_frequency_labels(interval, label):
+    assert frequency_label(interval) == label
+
+
+def test_describe_reports_all_table1_columns():
+    series = TimeSeries(np.linspace(0.0, 10.0, 101), interval=900)
+    stats = describe(series)
+    row = stats.as_row()
+    assert row["LEN"] == 101
+    assert row["FREQ"] == "15min"
+    assert row["MEAN"] == pytest.approx(5.0)
+    assert row["MIN"] == 0.0
+    assert row["MAX"] == 10.0
+    assert row["Q1"] == pytest.approx(2.5)
+    assert row["Q3"] == pytest.approx(7.5)
+    assert row["rIQD"] == pytest.approx(100.0)

@@ -1,0 +1,108 @@
+"""Tests that the synthetic datasets reproduce Table 1's characteristics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import describe, load
+from repro.datasets.registry import DATASET_NAMES
+from repro.datasets.synthetic import PAPER_LENGTHS
+
+# Table 1 of the paper: (mean, min, max, q1, q3, rIQD%).  Tolerances are
+# generous because the stand-ins are synthetic; the orderings (e.g. Weather
+# has by far the smallest rIQD, Solar the largest) are what the paper's
+# analysis depends on.
+TABLE1 = {
+    "ETTm1": (13.32, -4, 46, 7, 18, 82),
+    "ETTm2": (26.60, -3, 58, 16, 36, 75),
+    "Solar": (6.35, 0, 34, 0, 12, 200),
+    "Weather": (427.66, 305, 524, 415, 437, 5),
+    "ElecDem": (6740, 3498, 12865, 5751, 7658, 28),
+    "Wind": (363.69, -68, 2030, 108, 550, 121),
+}
+
+TEST_LENGTH = 20_000  # keep CI fast; stats checked at paper length in benches
+
+
+@pytest.fixture(scope="module", params=DATASET_NAMES)
+def dataset(request):
+    return load(request.param, length=TEST_LENGTH)
+
+
+def test_registry_covers_all_six():
+    assert set(DATASET_NAMES) == set(TABLE1)
+
+
+def test_lengths_default_to_paper(dataset):
+    assert PAPER_LENGTHS[dataset.name] > 0
+
+
+def test_requested_length_respected(dataset):
+    assert len(dataset) == TEST_LENGTH
+
+
+def test_values_within_table1_range(dataset):
+    mean, lo, hi, _, _, _ = TABLE1[dataset.name]
+    values = dataset.target_series.values
+    assert values.min() >= lo - 1e-9
+    assert values.max() <= hi + 1e-9
+
+
+def test_no_nans(dataset):
+    assert np.isfinite(dataset.target_series.values).all()
+
+
+def test_deterministic_given_seed():
+    a = load("ETTm1", length=500)
+    b = load("ETTm1", length=500)
+    assert np.array_equal(a.target_series.values, b.target_series.values)
+
+
+def test_seed_changes_values():
+    a = load("ETTm1", length=500, seed=0)
+    b = load("ETTm1", length=500, seed=99)
+    assert not np.array_equal(a.target_series.values, b.target_series.values)
+
+
+def test_riqd_ordering_matches_paper():
+    """Weather must have by far the smallest rIQD and Solar the largest."""
+    riqds = {
+        name: describe(load(name, length=TEST_LENGTH).target_series).riqd_percent
+        for name in DATASET_NAMES
+    }
+    assert riqds["Weather"] == min(riqds.values())
+    assert riqds["Solar"] == max(riqds.values())
+    assert riqds["Weather"] < 10
+    assert riqds["Solar"] > 150
+
+
+def test_solar_is_zero_at_night():
+    values = load("Solar", length=5000).target_series.values
+    assert (values == 0.0).mean() > 0.3  # nights are a large fraction of ticks
+
+
+def test_solar_has_multiple_correlated_plants():
+    dataset = load("Solar", length=5000)
+    assert len(dataset.columns) >= 2
+    first = dataset.columns["PV000"].values
+    second = dataset.columns["PV001"].values
+    corr = np.corrcoef(first, second)[0, 1]
+    assert corr > 0.7  # shared irradiance and cloud cover
+
+
+def test_wind_hits_rated_power_and_standby():
+    values = load("Wind", length=100_000).target_series.values
+    assert values.max() > 1500  # rated episodes occur
+    assert values.min() < 0  # standby consumption occurs
+
+
+def test_daily_seasonality_present():
+    dataset = load("ETTm1", length=4 * 96)
+    values = dataset.target_series.values
+    period = dataset.seasonal_period
+    lagged = np.corrcoef(values[:-period], values[period:])[0, 1]
+    assert lagged > 0.5
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(KeyError):
+        load("NoSuchDataset")

@@ -1,0 +1,96 @@
+"""Tests for the TimeSeries and Dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, TimeSeries
+
+
+def make_series(n=10, interval=60, start=0):
+    return TimeSeries(np.arange(n, dtype=float), start=start, interval=interval)
+
+
+def test_values_coerced_to_float64():
+    series = TimeSeries([1, 2, 3])
+    assert series.values.dtype == np.float64
+
+
+def test_rejects_2d_values():
+    with pytest.raises(ValueError):
+        TimeSeries(np.zeros((3, 2)))
+
+
+def test_rejects_nonpositive_interval():
+    with pytest.raises(ValueError):
+        TimeSeries([1.0], interval=0)
+
+
+def test_timestamps_are_regular():
+    series = make_series(n=5, interval=900, start=1000)
+    assert series.timestamps.tolist() == [1000, 1900, 2800, 3700, 4600]
+    diffs = np.diff(series.timestamps)
+    assert np.all(diffs == diffs[0])  # Definition 2: regular series
+
+
+def test_segment_selects_inclusive_range_and_shifts_start():
+    series = make_series(n=10, interval=60, start=0)
+    seg = series.segment(2, 5)
+    assert seg.values.tolist() == [2.0, 3.0, 4.0, 5.0]
+    assert seg.start == 120
+    assert seg.interval == 60
+
+
+def test_segment_bounds_checked():
+    series = make_series(n=5)
+    with pytest.raises(IndexError):
+        series.segment(3, 5)
+    with pytest.raises(IndexError):
+        series.segment(-1, 2)
+    with pytest.raises(IndexError):
+        series.segment(4, 2)
+
+
+def test_with_values_preserves_time_axis():
+    series = make_series(n=4, interval=30, start=7)
+    replaced = series.with_values(np.zeros(4))
+    assert replaced.start == 7
+    assert replaced.interval == 30
+    assert np.all(replaced.values == 0)
+
+
+def test_with_values_rejects_shape_mismatch():
+    with pytest.raises(ValueError):
+        make_series(n=4).with_values(np.zeros(5))
+
+
+def test_dataset_requires_known_target():
+    series = make_series()
+    with pytest.raises(KeyError):
+        Dataset("d", {"a": series}, target="b")
+
+
+def test_dataset_requires_aligned_lengths():
+    with pytest.raises(ValueError):
+        Dataset("d", {"a": make_series(5), "b": make_series(6)}, target="a")
+
+
+def test_dataset_requires_shared_interval():
+    with pytest.raises(ValueError):
+        Dataset("d",
+                {"a": make_series(5, interval=60), "b": make_series(5, interval=30)},
+                target="a")
+
+
+def test_dataset_target_series_and_len():
+    a, b = make_series(8), make_series(8)
+    dataset = Dataset("d", {"a": a, "b": b}, target="b")
+    assert dataset.target_series is b
+    assert len(dataset) == 8
+
+
+def test_with_target_values_only_touches_target():
+    a, b = make_series(4), make_series(4)
+    dataset = Dataset("d", {"a": a, "b": b}, target="b")
+    updated = dataset.with_target_values(np.full(4, 9.0))
+    assert np.all(updated.columns["b"].values == 9.0)
+    assert np.all(updated.columns["a"].values == a.values)

@@ -1,0 +1,102 @@
+"""Unit and property tests for the MSB-first bit writer/reader pair."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding.bits import BitReader, BitWriter
+
+
+def test_empty_writer_produces_no_bytes():
+    assert BitWriter().to_bytes() == b""
+
+
+def test_single_bit_is_msb_aligned():
+    writer = BitWriter()
+    writer.write_bit(1)
+    assert writer.to_bytes() == b"\x80"
+
+
+def test_eight_bits_fill_one_byte():
+    writer = BitWriter()
+    for bit in [1, 0, 1, 0, 1, 0, 1, 0]:
+        writer.write_bit(bit)
+    assert writer.to_bytes() == b"\xaa"
+
+
+def test_write_bits_encodes_value_msb_first():
+    writer = BitWriter()
+    writer.write_bits(0b1011, 4)
+    assert writer.to_bytes() == b"\xb0"
+
+
+def test_write_bits_truncates_to_count_low_bits():
+    writer = BitWriter()
+    writer.write_bits(0xFF, 4)  # only the low 4 bits are written
+    assert writer.to_bytes() == b"\xf0"
+
+
+def test_len_counts_bits():
+    writer = BitWriter()
+    writer.write_bits(0, 13)
+    assert len(writer) == 13
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        BitWriter().write_bits(0, -1)
+
+
+def test_negative_value_rejected():
+    with pytest.raises(ValueError):
+        BitWriter().write_bits(-3, 4)
+
+
+def test_reader_round_trips_mixed_writes():
+    writer = BitWriter()
+    writer.write_bit(1)
+    writer.write_bits(0x3C5, 10)
+    writer.write_bit(0)
+    reader = BitReader(writer.to_bytes())
+    assert reader.read_bit() == 1
+    assert reader.read_bits(10) == 0x3C5
+    assert reader.read_bit() == 0
+
+
+def test_reader_raises_past_end():
+    reader = BitReader(b"\x00")
+    reader.read_bits(8)
+    with pytest.raises(EOFError):
+        reader.read_bit()
+
+
+def test_reader_tracks_position_and_remaining():
+    reader = BitReader(b"\x00\x00")
+    reader.read_bits(5)
+    assert reader.position == 5
+    assert reader.remaining == 11
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1), max_size=200))
+def test_bit_round_trip(bits):
+    writer = BitWriter()
+    for bit in bits:
+        writer.write_bit(bit)
+    reader = BitReader(writer.to_bytes())
+    assert [reader.read_bit() for _ in bits] == bits
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=2**32 - 1),
+                  st.integers(min_value=32, max_value=40)),
+        max_size=50,
+    )
+)
+def test_value_round_trip(pairs):
+    writer = BitWriter()
+    for value, width in pairs:
+        writer.write_bits(value, width)
+    reader = BitReader(writer.to_bytes())
+    for value, width in pairs:
+        assert reader.read_bits(width) == value

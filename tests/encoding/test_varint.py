@@ -1,0 +1,59 @@
+"""Tests for the LEB128 varint codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.encoding import varint
+
+
+@pytest.mark.parametrize(
+    "value, expected",
+    [
+        (0, b"\x00"),
+        (1, b"\x01"),
+        (127, b"\x7f"),
+        (128, b"\x80\x01"),
+        (300, b"\xac\x02"),
+        (2**32, b"\x80\x80\x80\x80\x10"),
+    ],
+)
+def test_known_unsigned_encodings(value, expected):
+    assert varint.encode_unsigned(value) == expected
+
+
+def test_negative_unsigned_rejected():
+    with pytest.raises(ValueError):
+        varint.encode_unsigned(-1)
+
+
+def test_truncated_stream_rejected():
+    with pytest.raises(ValueError):
+        varint.decode_unsigned(b"\x80")
+
+
+def test_decode_reports_next_offset():
+    data = varint.encode_unsigned(300) + varint.encode_unsigned(5)
+    value, offset = varint.decode_unsigned(data)
+    assert (value, offset) == (300, 2)
+    value, offset = varint.decode_unsigned(data, offset)
+    assert (value, offset) == (5, 3)
+
+
+@pytest.mark.parametrize("value, mapped", [(0, 0), (-1, 1), (1, 2), (-2, 3), (2, 4)])
+def test_zigzag_mapping(value, mapped):
+    assert varint.zigzag_encode(value) == mapped
+    assert varint.zigzag_decode(mapped) == value
+
+
+@given(st.integers(min_value=0, max_value=2**63 - 1))
+def test_unsigned_round_trip(value):
+    decoded, offset = varint.decode_unsigned(varint.encode_unsigned(value))
+    assert decoded == value
+    assert offset == len(varint.encode_unsigned(value))
+
+
+@given(st.integers(min_value=-(2**62), max_value=2**62))
+def test_signed_round_trip(value):
+    decoded, _ = varint.decode_signed(varint.encode_signed(value))
+    assert decoded == value

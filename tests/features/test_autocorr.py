@@ -1,0 +1,92 @@
+"""Tests for ACF/PACF characteristics."""
+
+import numpy as np
+import pytest
+
+from repro.features import autocorr
+
+
+def ar1_series(phi, n=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    values = np.empty(n)
+    state = 0.0
+    for i in range(n):
+        state = phi * state + rng.normal()
+        values[i] = state
+    return values
+
+
+def test_acf_of_ar1_matches_phi():
+    values = ar1_series(0.8)
+    assert autocorr.x_acf1(values) == pytest.approx(0.8, abs=0.05)
+
+
+def test_acf_at_matches_full_acf():
+    values = ar1_series(0.5, n=500)
+    full = autocorr.acf(values, 10)
+    for lag in range(1, 11):
+        assert autocorr.acf_at(values, lag) == pytest.approx(full[lag - 1])
+
+
+def test_acf_lag_out_of_range_is_nan():
+    assert np.isnan(autocorr.acf_at(np.array([1.0, 2.0]), 5))
+
+
+def test_constant_series_acf_is_nan():
+    assert np.isnan(autocorr.x_acf1(np.full(100, 2.0)))
+
+
+def test_pacf_of_ar1_cuts_off_after_lag_one():
+    values = ar1_series(0.7)
+    partial = autocorr.pacf(values, 5)
+    assert partial[0] == pytest.approx(0.7, abs=0.05)
+    assert np.all(np.abs(partial[1:]) < 0.1)
+
+
+def test_pacf_of_ar2_has_two_significant_lags():
+    rng = np.random.default_rng(1)
+    n = 3000
+    values = np.zeros(n)
+    for i in range(2, n):
+        values[i] = 0.5 * values[i - 1] + 0.3 * values[i - 2] + rng.normal()
+    partial = autocorr.pacf(values, 4)
+    assert abs(partial[1]) > 0.2  # lag-2 PACF ~ 0.3
+    assert abs(partial[2]) < 0.1
+
+
+def test_seasonal_acf_detects_period():
+    t = np.arange(1000)
+    values = np.sin(2 * np.pi * t / 24) + 0.01 * np.random.default_rng(2).normal(
+        size=1000)
+    assert autocorr.seas_acf1(values, 24) > 0.95
+
+
+def test_seas_acf1_invalid_period_is_nan():
+    assert np.isnan(autocorr.seas_acf1(np.ones(10), 0))
+    assert np.isnan(autocorr.seas_acf1(np.arange(10.0), 10))
+
+
+def test_seas_pacf_large_period_capped():
+    assert np.isnan(autocorr.seas_pacf(np.arange(5000.0), 2000))
+
+
+def test_diff_features_on_random_walk():
+    rng = np.random.default_rng(3)
+    walk = np.cumsum(rng.normal(0, 1, 3000))
+    # A random walk has diff1 ~ white noise: near-zero lag-1 ACF.
+    assert abs(autocorr.diff1_acf1(walk)) < 0.1
+    # Twice-differencing white noise induces ACF(1) = -0.5.
+    assert autocorr.diff2_acf1(walk) == pytest.approx(-0.5, abs=0.1)
+
+
+def test_firstzero_ac():
+    t = np.arange(200)
+    values = np.sin(2 * np.pi * t / 20)
+    # sine of period 20 first crosses zero correlation at lag ~5
+    assert autocorr.firstzero_ac(values) == pytest.approx(5, abs=1)
+
+
+def test_x_pacf5_sum_of_squares():
+    values = ar1_series(0.6, n=1000)
+    partial = autocorr.pacf(values, 5)
+    assert autocorr.x_pacf5(values) == pytest.approx(np.sum(partial ** 2))

@@ -1,0 +1,97 @@
+"""Tests for the additive decomposition and STL-style features."""
+
+import numpy as np
+import pytest
+
+from repro.features import decomposition as dc
+
+
+def seasonal_series(n=960, period=24, trend_slope=0.01, noise=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return (trend_slope * t
+            + 2.0 * np.sin(2 * np.pi * t / period)
+            + rng.normal(0, noise, n))
+
+
+def test_decompose_recovers_components():
+    values = seasonal_series()
+    dec = dc.decompose(values, 24)
+    assert np.allclose(dec.trend + dec.seasonal + dec.remainder, values)
+    # the seasonal component should be close to the injected sine
+    t = np.arange(24)
+    expected = 2.0 * np.sin(2 * np.pi * t / 24)
+    assert np.corrcoef(dec.seasonal[:24], expected)[0, 1] > 0.99
+
+
+def test_strengths_on_strongly_seasonal_series():
+    dec = dc.decompose(seasonal_series(noise=0.05), 24)
+    assert dc.seas_strength(dec) > 0.9
+    assert dc.trend_strength(dec) > 0.5
+
+
+def test_strengths_on_white_noise_are_low():
+    rng = np.random.default_rng(1)
+    dec = dc.decompose(rng.normal(0, 1, 960), 24)
+    assert dc.seas_strength(dec) < 0.3
+    assert dc.trend_strength(dec) < 0.3
+
+
+def test_nonseasonal_period_gives_zero_seasonal():
+    values = seasonal_series()
+    dec = dc.decompose(values, 0)
+    assert np.all(dec.seasonal == 0)
+    assert dc.seas_strength(dec) == 0.0
+
+
+def test_period_longer_than_half_series_treated_nonseasonal():
+    values = seasonal_series(n=100)
+    dec = dc.decompose(values, 80)
+    assert dec.period == 0
+
+
+def test_linearity_sign_tracks_slope():
+    up = dc.decompose(seasonal_series(trend_slope=0.05), 24)
+    down = dc.decompose(seasonal_series(trend_slope=-0.05), 24)
+    assert dc.linearity(up) > 0
+    assert dc.linearity(down) < 0
+
+
+def test_curvature_detects_parabola():
+    t = np.linspace(-1, 1, 500)
+    dec = dc.decompose(5.0 * t ** 2, 0)
+    assert dc.curvature(dec) > 0.5
+
+
+def test_peak_and_trough_positions():
+    t = np.arange(960)
+    values = np.sin(2 * np.pi * t / 24)
+    dec = dc.decompose(values, 24)
+    assert dc.peak(dec) == pytest.approx(7, abs=1)  # sin peaks at period/4 + 1
+    assert dc.trough(dec) == pytest.approx(19, abs=1)
+
+
+def test_remainder_acf_near_zero_for_iid_noise():
+    dec = dc.decompose(seasonal_series(noise=0.5), 24)
+    assert abs(dc.e_acf1(dec)) < 0.2
+
+
+def test_spike_grows_with_an_outlier():
+    values = seasonal_series(noise=0.05)
+    spiked = values.copy()
+    spiked[480] += 30.0
+    base = dc.spike(dc.decompose(values, 24))
+    with_outlier = dc.spike(dc.decompose(spiked, 24))
+    assert with_outlier > 10 * base
+
+
+def test_too_short_series_rejected():
+    with pytest.raises(ValueError):
+        dc.decompose(np.array([1.0, 2.0]), 0)
+
+
+def test_moving_average_trend_is_smooth():
+    values = seasonal_series(noise=0.3)
+    trend = dc.moving_average_trend(values, 24)
+    assert len(trend) == len(values)
+    assert np.var(np.diff(trend)) < np.var(np.diff(values)) / 10

@@ -1,0 +1,78 @@
+"""Tests for the 42-characteristic catalogue."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import FEATURE_NAMES, compute_all, relative_difference
+
+
+def test_exactly_42_characteristics():
+    assert len(FEATURE_NAMES) == 42
+
+
+def test_paper_named_characteristics_present():
+    named_in_paper = {
+        "max_kl_shift", "max_level_shift", "max_var_shift", "mean", "var",
+        "seas_acf1", "x_pacf5", "unitroot_pp", "unitroot_kpss",
+        "seas_strength", "flat_spots", "diff1_acf1", "diff2x_pacf5",
+        "e_acf1", "beta", "crossing_points",
+    }
+    assert named_in_paper <= set(FEATURE_NAMES)
+
+
+def test_compute_all_returns_every_feature():
+    rng = np.random.default_rng(0)
+    values = 10 + np.sin(np.arange(2000) / 10) + rng.normal(0, 0.1, 2000)
+    features = compute_all(values, period=63)
+    assert set(features) == set(FEATURE_NAMES)
+    finite = sum(np.isfinite(v) for v in features.values())
+    assert finite >= 40  # nearly everything defined on a healthy series
+
+
+def test_compute_all_handles_constant_series():
+    features = compute_all(np.full(500, 3.0), period=10)
+    assert set(features) == set(FEATURE_NAMES)
+    assert features["mean"] == 3.0
+    assert features["var"] == 0.0
+
+
+def test_compute_all_rejects_empty():
+    with pytest.raises(ValueError):
+        compute_all(np.array([]))
+
+
+def test_relative_difference_identity_is_zero():
+    features = compute_all(np.sin(np.arange(500) / 5.0), period=31)
+    deltas = relative_difference(features, features)
+    for name, value in deltas.items():
+        if np.isfinite(value):
+            assert value == 0.0
+
+
+def test_relative_difference_scales_as_percent():
+    a = {"mean": 10.0}
+    b = {"mean": 11.0}
+    assert relative_difference(a, b)["mean"] == pytest.approx(10.0)
+
+
+def test_relative_difference_zero_original_uses_absolute():
+    a = {"mean": 0.0}
+    b = {"mean": 0.2}
+    assert relative_difference(a, b)["mean"] == pytest.approx(20.0)
+
+
+def test_relative_difference_propagates_nan():
+    a = {"mean": float("nan")}
+    b = {"mean": 1.0}
+    assert np.isnan(relative_difference(a, b)["mean"])
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=50, max_value=400), st.integers(min_value=0, max_value=9))
+def test_property_no_exceptions_on_random_series(n, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(0, 1, n).cumsum()
+    features = compute_all(values, period=24)
+    assert len(features) == 42

@@ -1,0 +1,48 @@
+"""Tests for the KPSS and Phillips-Perron statistics."""
+
+import numpy as np
+
+from repro.features.stationarity import unitroot_kpss, unitroot_pp
+
+
+def white_noise(n=2000, seed=0):
+    return np.random.default_rng(seed).normal(0, 1, n)
+
+
+def random_walk(n=2000, seed=1):
+    return np.cumsum(np.random.default_rng(seed).normal(0, 1, n))
+
+
+def test_kpss_small_for_stationary_series():
+    # 5% critical value for level stationarity is 0.463
+    assert unitroot_kpss(white_noise()) < 0.463
+
+
+def test_kpss_large_for_random_walk():
+    assert unitroot_kpss(random_walk()) > 1.0
+
+
+def test_pp_strongly_negative_for_stationary_series():
+    # PP rejects the unit root (very negative) on white noise
+    assert unitroot_pp(white_noise()) < -100
+
+
+def test_pp_near_zero_for_random_walk():
+    assert unitroot_pp(random_walk()) > -30
+
+
+def test_ordering_is_consistent_across_seeds():
+    for seed in range(3):
+        stationary = unitroot_kpss(white_noise(seed=seed))
+        integrated = unitroot_kpss(random_walk(seed=seed + 10))
+        assert stationary < integrated
+
+
+def test_short_series_gives_nan():
+    assert np.isnan(unitroot_kpss(np.ones(5)))
+    assert np.isnan(unitroot_pp(np.ones(5)))
+
+
+def test_constant_series_gives_nan():
+    assert np.isnan(unitroot_kpss(np.full(100, 2.0)))
+    assert np.isnan(unitroot_pp(np.full(100, 2.0)))

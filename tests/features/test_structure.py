@@ -1,0 +1,76 @@
+"""Tests for entropy, hurst, stability, lumpiness, and friends."""
+
+import numpy as np
+import pytest
+
+from repro.features import structure
+
+
+def test_entropy_low_for_pure_tone_high_for_noise():
+    t = np.arange(1024)
+    tone = np.sin(2 * np.pi * t / 32)
+    noise = np.random.default_rng(0).normal(0, 1, 1024)
+    assert structure.spectral_entropy(tone) < 0.2
+    assert structure.spectral_entropy(noise) > 0.8
+
+
+def test_entropy_of_constant_is_nan():
+    assert np.isnan(structure.spectral_entropy(np.full(100, 1.0)))
+
+
+def test_hurst_orders_persistence():
+    rng = np.random.default_rng(1)
+    noise = rng.normal(0, 1, 4096)
+    walk = np.cumsum(rng.normal(0, 1, 4096))
+    h_noise = structure.hurst(noise)
+    h_walk = structure.hurst(walk)
+    assert h_noise < h_walk
+    assert 0.3 < h_noise < 0.75
+    assert h_walk > 0.85
+
+
+def test_stability_detects_level_changes():
+    steady = np.random.default_rng(2).normal(5, 0.1, 400)
+    stepped = np.concatenate([np.full(200, 0.0), np.full(200, 10.0)])
+    assert structure.stability(stepped) > structure.stability(steady) * 100
+
+
+def test_lumpiness_detects_variance_changes():
+    rng = np.random.default_rng(3)
+    homoskedastic = rng.normal(0, 1, 400)
+    heteroskedastic = np.concatenate([rng.normal(0, 0.1, 200),
+                                      rng.normal(0, 5.0, 200)])
+    assert structure.lumpiness(heteroskedastic) > structure.lumpiness(
+        homoskedastic) * 10
+
+
+def test_nonlinearity_larger_for_nonlinear_map():
+    rng = np.random.default_rng(4)
+    n = 2000
+    linear = np.zeros(n)
+    quad = np.zeros(n)
+    for i in range(1, n):
+        shock = rng.normal(0, 0.1)
+        linear[i] = 0.5 * linear[i - 1] + shock
+        quad[i] = 0.3 * quad[i - 1] + 0.8 * quad[i - 1] ** 2 + shock
+        quad[i] = np.clip(quad[i], -2, 2)
+    assert structure.nonlinearity(quad) > structure.nonlinearity(linear)
+
+
+def test_flat_spots_long_for_pmc_style_output():
+    values = np.repeat([1.0, 5.0, 9.0, 2.0], 50)
+    assert structure.flat_spots(values) >= 50
+
+
+def test_flat_spots_short_for_strictly_increasing():
+    values = np.linspace(0, 100, 200)
+    assert structure.flat_spots(values) <= 21  # one decile bucket of points
+
+
+def test_crossing_points_of_alternating_series():
+    values = np.array([0.0, 1.0] * 50)
+    assert structure.crossing_points(values) == 99
+
+
+def test_crossing_points_of_monotone_series():
+    assert structure.crossing_points(np.arange(100.0)) == 1

@@ -1,0 +1,64 @@
+"""Tests for the Holt-Winters exponential smoothing forecaster."""
+
+import numpy as np
+import pytest
+
+from repro.forecasting import make_windows
+from repro.forecasting.expsmoothing import ExponentialSmoothingForecaster
+from repro.metrics import nrmse
+
+
+def seasonal(n=1200, period=12, noise=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 10 + 3 * np.sin(2 * np.pi * t / period) + rng.normal(0, noise, n)
+
+
+def test_beats_naive_on_seasonal_series():
+    values = seasonal()
+    model = ExponentialSmoothingForecaster(input_length=48, horizon=12,
+                                           seasonal_period=12)
+    model.fit(values[:800], values[800:900])
+    x, y = make_windows(values[900:], 48, 12, stride=12)
+    prediction = model.predict(x)
+    naive = np.repeat(x[:, -1:], 12, axis=1)
+    assert nrmse(y.ravel(), prediction.ravel()) < nrmse(y.ravel(),
+                                                        naive.ravel())
+
+
+def test_tracks_linear_trend():
+    rng = np.random.default_rng(1)
+    values = 0.05 * np.arange(1000) + rng.normal(0, 0.1, 1000)
+    model = ExponentialSmoothingForecaster(input_length=48, horizon=12)
+    model.fit(values[:700], values[700:800])
+    x, y = make_windows(values[800:], 48, 12, stride=12)
+    prediction = model.predict(x)
+    # trend extrapolation: mean error well below the trend's run over h
+    assert abs(np.mean(prediction - y)) < 0.3
+
+
+def test_oversized_period_disabled():
+    model = ExponentialSmoothingForecaster(input_length=48,
+                                           seasonal_period=96)
+    assert model.seasonal_period == 0
+
+
+def test_too_short_training_rejected():
+    model = ExponentialSmoothingForecaster(input_length=24, horizon=8)
+    with pytest.raises(ValueError):
+        model.fit(np.arange(4.0), np.arange(2.0))
+
+
+def test_grid_search_selects_parameters():
+    values = seasonal(seed=2)
+    model = ExponentialSmoothingForecaster(input_length=48, horizon=12,
+                                           seasonal_period=12)
+    model.fit(values[:800], values[800:900])
+    assert 0 < model.alpha < 1
+    assert 0 < model.beta < 1
+
+
+def test_predict_before_fit_rejected():
+    model = ExponentialSmoothingForecaster(input_length=24, horizon=8)
+    with pytest.raises(RuntimeError):
+        model.predict(np.zeros((1, 24)))

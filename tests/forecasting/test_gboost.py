@@ -1,0 +1,67 @@
+"""Tests for the plain gradient-boosting regressor."""
+
+import numpy as np
+import pytest
+
+from repro.forecasting import GradientBoostingRegressor
+
+
+def friedman_like(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, (n, 5))
+    y = (10 * np.sin(np.pi * x[:, 0] * x[:, 1]) + 20 * (x[:, 2] - 0.5) ** 2
+         + 10 * x[:, 3] + rng.normal(0, 0.5, n))
+    return x, y
+
+
+def test_fits_nonlinear_function():
+    x, y = friedman_like()
+    model = GradientBoostingRegressor(n_estimators=80, seed=0).fit(x, y)
+    prediction = model.predict(x)[:, 0]
+    residual_variance = np.var(y - prediction) / np.var(y)
+    assert residual_variance < 0.2
+
+
+def test_more_trees_fit_better():
+    x, y = friedman_like()
+    small = GradientBoostingRegressor(n_estimators=5, subsample=1.0).fit(x, y)
+    large = GradientBoostingRegressor(n_estimators=60, subsample=1.0).fit(x, y)
+    error_small = np.mean((small.predict(x)[:, 0] - y) ** 2)
+    error_large = np.mean((large.predict(x)[:, 0] - y) ** 2)
+    assert error_large < error_small
+
+
+def test_early_stopping_truncates_ensemble():
+    x, y = friedman_like(300)
+    x_val, y_val = friedman_like(100, seed=1)
+    model = GradientBoostingRegressor(n_estimators=200, seed=0)
+    model.fit(x, y, x_val, y_val, patience=3)
+    assert len(model.trees) < 200
+
+
+def test_multi_output_targets():
+    x, y = friedman_like()
+    targets = np.column_stack([y, -y])
+    model = GradientBoostingRegressor(n_estimators=30).fit(x, targets)
+    prediction = model.predict(x)
+    assert prediction.shape == (len(x), 2)
+    assert np.corrcoef(prediction[:, 0], -prediction[:, 1])[0, 1] > 0.99
+
+
+def test_predict_before_fit_rejected():
+    with pytest.raises(RuntimeError):
+        GradientBoostingRegressor().predict(np.zeros((1, 3)))
+
+
+def test_invalid_hyperparameters_rejected():
+    with pytest.raises(ValueError):
+        GradientBoostingRegressor(n_estimators=0)
+    with pytest.raises(ValueError):
+        GradientBoostingRegressor(subsample=0.0)
+
+
+def test_deterministic_given_seed():
+    x, y = friedman_like()
+    a = GradientBoostingRegressor(n_estimators=20, seed=3).fit(x, y)
+    b = GradientBoostingRegressor(n_estimators=20, seed=3).fit(x, y)
+    assert np.array_equal(a.predict(x), b.predict(x))

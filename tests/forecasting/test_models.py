@@ -1,0 +1,144 @@
+"""Behavioural tests for the seven forecasting models (small configs)."""
+
+import numpy as np
+import pytest
+
+from repro.forecasting import (ArimaForecaster, DLinearForecaster,
+                               EnsembleForecaster, GBoostForecaster,
+                               GRUForecaster, InformerForecaster,
+                               NBeatsForecaster, TransformerForecaster, make,
+                               make_windows)
+from repro.forecasting.registry import MODEL_NAMES
+from repro.metrics import nrmse
+
+INPUT, HORIZON = 24, 8
+PERIOD = 12
+
+
+def sine_series(n=1200, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 5.0 + 2.0 * np.sin(2 * np.pi * t / PERIOD) + rng.normal(0, noise, n)
+
+
+@pytest.fixture(scope="module")
+def data():
+    values = sine_series()
+    train, val, test = values[:800], values[800:900], values[900:]
+    x, y = make_windows(test, INPUT, HORIZON, stride=HORIZON)
+    naive = np.repeat(x[:, -1:], HORIZON, axis=1)
+    return train, val, test, x, y, nrmse(y, naive)
+
+
+def small(cls, **kw):
+    defaults = dict(input_length=INPUT, horizon=HORIZON, seed=0)
+    defaults.update(kw)
+    return cls(**defaults)
+
+
+MODEL_FACTORIES = {
+    "Arima": lambda: small(ArimaForecaster, seasonal_period=PERIOD),
+    "GBoost": lambda: small(GBoostForecaster, n_estimators=30),
+    "DLinear": lambda: small(DLinearForecaster, kernel=9, epochs=20),
+    "GRU": lambda: small(GRUForecaster, hidden=16, epochs=15,
+                         max_train_windows=300),
+    "NBeats": lambda: small(NBeatsForecaster, hidden=32, blocks=2, layers=2,
+                            epochs=15),
+    "Transformer": lambda: small(TransformerForecaster, epochs=12,
+                                 label_length=8, max_train_windows=300),
+    "Informer": lambda: small(InformerForecaster, epochs=12, label_length=8,
+                              max_train_windows=300),
+}
+
+
+def test_factories_cover_registry():
+    assert set(MODEL_FACTORIES) == set(MODEL_NAMES)
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_FACTORIES))
+def test_model_beats_naive_on_seasonal_series(name, data):
+    train, val, test, x, y, naive_error = data
+    model = MODEL_FACTORIES[name]()
+    model.fit(train, val)
+    prediction = model.predict(x)
+    assert prediction.shape == y.shape
+    assert np.all(np.isfinite(prediction))
+    assert nrmse(y, prediction) < naive_error
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_FACTORIES))
+def test_predict_before_fit_rejected(name):
+    with pytest.raises(RuntimeError):
+        MODEL_FACTORIES[name]().predict(np.zeros((1, INPUT)))
+
+
+def test_wrong_window_width_rejected(data):
+    train, val, *_ = data
+    model = MODEL_FACTORIES["DLinear"]()
+    model.fit(train, val)
+    with pytest.raises(ValueError):
+        model.predict(np.zeros((2, INPUT + 1)))
+
+
+def test_single_window_accepts_1d_input(data):
+    train, val, test, x, *_ = data
+    model = MODEL_FACTORIES["GBoost"]()
+    model.fit(train, val)
+    prediction = model.predict(x[0])
+    assert prediction.shape == (1, HORIZON)
+
+
+def test_deterministic_given_seed(data):
+    train, val, test, x, *_ = data
+    a = MODEL_FACTORIES["NBeats"]()
+    b = MODEL_FACTORIES["NBeats"]()
+    a.fit(train, val)
+    b.fit(train, val)
+    assert np.array_equal(a.predict(x), b.predict(x))
+
+
+def test_seeds_change_deep_model(data):
+    train, val, test, x, *_ = data
+    a = small(NBeatsForecaster, hidden=32, blocks=2, layers=2, epochs=5)
+    b = small(NBeatsForecaster, hidden=32, blocks=2, layers=2, epochs=5, seed=7)
+    a.fit(train, val)
+    b.fit(train, val)
+    assert not np.array_equal(a.predict(x), b.predict(x))
+
+
+def test_arima_selects_reasonable_order(data):
+    train, val, *_ = data
+    model = MODEL_FACTORIES["Arima"]()
+    model.fit(train, val)
+    p, d, q = model.order
+    assert 0 <= p <= 3 and d in (0, 1) and q in (0, 1)
+
+
+def test_registry_make_constructs_each_model():
+    for name in MODEL_NAMES:
+        model = make(name, input_length=INPUT, horizon=HORIZON)
+        assert model.name == name
+        assert model.input_length == INPUT
+
+
+def test_ensemble_blends_members(data):
+    train, val, test, x, y, naive_error = data
+    ensemble = EnsembleForecaster([
+        MODEL_FACTORIES["Arima"](),
+        MODEL_FACTORIES["DLinear"](),
+    ])
+    ensemble.fit(train, val)
+    prediction = ensemble.predict(x)
+    assert prediction.shape == y.shape
+    assert nrmse(y, prediction) < naive_error
+    assert ensemble.weights.sum() == pytest.approx(1.0)
+
+
+def test_ensemble_requires_compatible_members():
+    with pytest.raises(ValueError):
+        EnsembleForecaster([
+            ArimaForecaster(input_length=24, horizon=8),
+            ArimaForecaster(input_length=48, horizon=8),
+        ])
+    with pytest.raises(ValueError):
+        EnsembleForecaster([])

@@ -1,0 +1,73 @@
+"""Tests for channel-independent multivariate training."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load, split
+from repro.forecasting import (ArimaForecaster, ChannelIndependentTrainer,
+                               DLinearForecaster, make_windows)
+from repro.metrics import nrmse
+
+
+def small_dlinear():
+    return DLinearForecaster(input_length=48, horizon=12, epochs=12,
+                             kernel=9, seed=0)
+
+
+@pytest.fixture(scope="module")
+def solar_parts():
+    return split(load("Solar", length=2_500))
+
+
+def test_fit_dataset_pools_all_plants(solar_parts):
+    trainer = ChannelIndependentTrainer(small_dlinear())
+    trainer.fit_dataset(solar_parts.train, solar_parts.validation)
+    raw_test = solar_parts.test.target_series.values
+    x, y = make_windows(raw_test, 48, 12, stride=12)
+    prediction = trainer.predict(x)
+    naive = np.repeat(x[:, -1:], 12, axis=1)
+    assert nrmse(y.ravel(), prediction.ravel()) < nrmse(y.ravel(),
+                                                        naive.ravel())
+
+
+def test_name_reflects_base_model():
+    trainer = ChannelIndependentTrainer(small_dlinear())
+    assert trainer.name == "CI-DLinear"
+
+
+def test_pooling_uses_more_windows_than_single_channel(solar_parts):
+    """Pooled training must see windows from every plant."""
+    train = solar_parts.train
+    per_channel = len(make_windows(train.target_series.values, 48, 12)[0])
+    total = sum(
+        len(make_windows(series.values, 48, 12)[0])
+        for series in train.columns.values())
+    assert total == per_channel * len(train.columns)
+
+
+def test_univariate_fallback(solar_parts):
+    trainer = ChannelIndependentTrainer(small_dlinear())
+    trainer.fit(solar_parts.train.target_series.values,
+                solar_parts.validation.target_series.values)
+    x, _ = make_windows(solar_parts.test.target_series.values, 48, 12)
+    assert trainer.predict(x).shape == (len(x), 12)
+
+
+def test_window_incapable_base_rejected(solar_parts):
+    trainer = ChannelIndependentTrainer(
+        ArimaForecaster(input_length=48, horizon=12))
+    with pytest.raises(TypeError):
+        trainer.fit_dataset(solar_parts.train, solar_parts.validation)
+
+
+def test_fit_windows_direct_api():
+    rng = np.random.default_rng(0)
+    t = np.arange(1200)
+    values = 6 + 3 * np.sin(2 * np.pi * t / 12) + rng.normal(0, 0.1, 1200)
+    x, y = make_windows(values[:900], 48, 12)
+    x_val, y_val = make_windows(values[900:], 48, 12)
+    model = small_dlinear()
+    model.fit_windows(x, y, x_val, y_val)
+    prediction = model.predict(x_val[:3])
+    assert prediction.shape == (3, 12)
+    assert np.all(np.isfinite(prediction))

@@ -1,0 +1,72 @@
+"""Tests for forecaster save/load."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.forecasting import (ArimaForecaster, DLinearForecaster,
+                               GBoostForecaster, make_windows)
+from repro.forecasting.persistence import load_forecaster, save_forecaster
+
+
+def fitted_model(cls=DLinearForecaster, **kwargs):
+    rng = np.random.default_rng(0)
+    t = np.arange(700)
+    values = 10 + 2 * np.sin(2 * np.pi * t / 12) + rng.normal(0, 0.1, 700)
+    defaults = dict(input_length=24, horizon=8, seed=0)
+    defaults.update(kwargs)
+    model = cls(**defaults)
+    model.fit(values[:500], values[500:600])
+    return model, values
+
+
+@pytest.mark.parametrize("cls, kwargs", [
+    (DLinearForecaster, {"epochs": 5, "kernel": 9}),
+    (ArimaForecaster, {"seasonal_period": 12}),
+    (GBoostForecaster, {"n_estimators": 10}),
+])
+def test_round_trip_preserves_predictions(tmp_path, cls, kwargs):
+    model, values = fitted_model(cls, **kwargs)
+    x, _ = make_windows(values[600:], 24, 8)
+    expected = model.predict(x)
+    path = str(tmp_path / "model.pkl")
+    save_forecaster(model, path)
+    restored = load_forecaster(path)
+    assert np.array_equal(restored.predict(x), expected)
+    assert restored.name == model.name
+
+
+def test_unfitted_model_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        save_forecaster(DLinearForecaster(), str(tmp_path / "m.pkl"))
+
+
+def test_expected_name_enforced(tmp_path):
+    model, _ = fitted_model(GBoostForecaster, n_estimators=5)
+    path = str(tmp_path / "model.pkl")
+    save_forecaster(model, path)
+    with pytest.raises(ValueError):
+        load_forecaster(path, expected_name="Transformer")
+    assert load_forecaster(path, expected_name="GBoost").name == "GBoost"
+
+
+def test_foreign_pickle_rejected(tmp_path):
+    path = str(tmp_path / "other.pkl")
+    with open(path, "wb") as handle:
+        pickle.dump({"hello": "world"}, handle)
+    with pytest.raises(ValueError):
+        load_forecaster(path)
+
+
+def test_wrong_version_rejected(tmp_path):
+    model, _ = fitted_model(GBoostForecaster, n_estimators=5)
+    path = str(tmp_path / "model.pkl")
+    save_forecaster(model, path)
+    with open(path, "rb") as handle:
+        envelope = pickle.load(handle)
+    envelope["version"] = 999
+    with open(path, "wb") as handle:
+        pickle.dump(envelope, handle)
+    with pytest.raises(ValueError):
+        load_forecaster(path)

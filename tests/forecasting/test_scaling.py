@@ -1,0 +1,46 @@
+"""Tests for the standard scaler."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.forecasting import StandardScaler
+
+
+def test_transform_standardizes():
+    rng = np.random.default_rng(0)
+    values = rng.normal(50, 7, 10_000)
+    scaled = StandardScaler().fit(values).transform(values)
+    assert abs(scaled.mean()) < 1e-9
+    assert abs(scaled.std() - 1.0) < 1e-9
+
+
+def test_inverse_round_trip():
+    values = np.array([1.0, 5.0, 9.0])
+    scaler = StandardScaler().fit(values)
+    assert np.allclose(scaler.inverse_transform(scaler.transform(values)), values)
+
+
+def test_constant_series_uses_unit_scale():
+    scaler = StandardScaler().fit(np.full(10, 4.0))
+    assert np.allclose(scaler.transform(np.array([4.0, 5.0])), [0.0, 1.0])
+
+
+def test_use_before_fit_rejected():
+    with pytest.raises(RuntimeError):
+        StandardScaler().transform(np.zeros(3))
+
+
+def test_empty_fit_rejected():
+    with pytest.raises(ValueError):
+        StandardScaler().fit(np.array([]))
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                min_size=2, max_size=50))
+def test_property_round_trip(values):
+    values = np.array(values)
+    scaler = StandardScaler().fit(values)
+    restored = scaler.inverse_transform(scaler.transform(values))
+    assert np.allclose(restored, values, atol=1e-6 * (1 + np.abs(values).max()))

@@ -1,0 +1,144 @@
+"""Numerical gradient checks for the autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro.forecasting.nn import Tensor, concatenate, mse_loss, stack
+
+
+def numerical_gradient(fn, array, epsilon=1e-6):
+    """Central-difference gradient of scalar fn w.r.t. array."""
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        upper = fn()
+        flat[i] = original - epsilon
+        lower = fn()
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * epsilon)
+    return grad
+
+
+def check_gradients(build, *shapes, seed=0):
+    """Compare autograd against central differences for all inputs."""
+    rng = np.random.default_rng(seed)
+    arrays = [rng.normal(0, 1, shape) for shape in shapes]
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    out = build(*tensors)
+    out.backward()
+    for tensor, array in zip(tensors, arrays):
+        expected = numerical_gradient(
+            lambda: float(build(*[Tensor(a) for a in arrays]).data), array)
+        assert tensor.grad == pytest.approx(expected, abs=1e-4), build
+
+
+def test_add_mul_gradients():
+    check_gradients(lambda a, b: (a * b + a).sum(), (3, 4), (3, 4))
+
+
+def test_broadcast_gradients():
+    check_gradients(lambda a, b: (a + b).sum(), (3, 4), (4,))
+    check_gradients(lambda a, b: (a * b).sum(), (2, 3, 4), (1, 4))
+
+
+def test_matmul_gradients():
+    check_gradients(lambda a, b: (a @ b).sum(), (3, 4), (4, 2))
+
+
+def test_batched_matmul_gradients():
+    check_gradients(lambda a, b: (a @ b).sum(), (2, 3, 4), (2, 4, 2))
+
+
+def test_matmul_shared_weight_gradients():
+    # 3-D activations times a shared 2-D weight, as in Linear layers
+    check_gradients(lambda a, w: (a @ w).sum(), (2, 3, 4), (4, 5))
+
+
+def test_division_and_power_gradients():
+    check_gradients(lambda a: ((a * a + 2.0) ** 0.5).sum(), (5,))
+    check_gradients(lambda a, b: (a / (b * b + 1.0)).sum(), (4,), (4,))
+
+
+def test_nonlinearity_gradients():
+    check_gradients(lambda a: a.tanh().sum(), (6,))
+    check_gradients(lambda a: a.sigmoid().sum(), (6,))
+    check_gradients(lambda a: (a.exp() + 1.0).log().sum(), (6,))
+
+
+def test_relu_gradient_masks_negatives():
+    x = Tensor(np.array([-1.0, 2.0, -3.0, 4.0]), requires_grad=True)
+    x.relu().sum().backward()
+    assert x.grad.tolist() == [0.0, 1.0, 0.0, 1.0]
+
+
+def test_softmax_gradients():
+    weights = np.arange(15.0).reshape(3, 5)
+    check_gradients(lambda a: (a.softmax(axis=-1) * weights).sum(), (3, 5))
+
+
+def test_softmax_rows_sum_to_one():
+    rng = np.random.default_rng(1)
+    out = Tensor(rng.normal(0, 10, (4, 7))).softmax(axis=-1)
+    assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+
+def test_mean_and_sum_axis_gradients():
+    check_gradients(lambda a: a.mean(axis=0).sum(), (3, 4))
+    check_gradients(lambda a: a.sum(axis=1, keepdims=True).mean(), (3, 4))
+
+
+def test_reshape_transpose_gradients():
+    check_gradients(lambda a: (a.reshape(2, 6) ** 2.0).sum(), (3, 4))
+    check_gradients(lambda a: (a.transpose(1, 0) ** 2.0).sum(), (3, 4))
+    check_gradients(lambda a: (a.swapaxes(0, 2) ** 2.0).sum(), (2, 3, 4))
+
+
+def test_getitem_gradients():
+    check_gradients(lambda a: (a[1:, :2] ** 2.0).sum(), (3, 4))
+
+
+def test_concatenate_gradients():
+    check_gradients(lambda a, b: (concatenate([a, b], axis=1) ** 2.0).sum(),
+                    (2, 3), (2, 4))
+
+
+def test_stack_gradients():
+    check_gradients(lambda a, b: (stack([a, b], axis=0) ** 2.0).sum(),
+                    (2, 3), (2, 3))
+
+
+def test_gradient_accumulates_through_shared_node():
+    x = Tensor(np.array([2.0]), requires_grad=True)
+    y = x * 3.0
+    z = y + y  # y used twice
+    z.backward()
+    assert x.grad.tolist() == [6.0]
+
+
+def test_mse_loss_value_and_gradient():
+    prediction = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+    loss = mse_loss(prediction, np.array([0.0, 0.0]))
+    assert float(loss.data) == pytest.approx(2.5)
+    loss.backward()
+    assert prediction.grad == pytest.approx(np.array([1.0, 2.0]))
+
+
+def test_backward_requires_scalar():
+    x = Tensor(np.ones(3), requires_grad=True)
+    with pytest.raises(RuntimeError):
+        (x * 2).backward()
+
+
+def test_backward_on_non_grad_tensor_rejected():
+    with pytest.raises(RuntimeError):
+        Tensor(np.ones(3)).backward()
+
+
+def test_detach_cuts_graph():
+    x = Tensor(np.array([3.0]), requires_grad=True)
+    y = (x * 2).detach() * x
+    y.backward()
+    assert x.grad.tolist() == [6.0]  # only the second factor contributes

@@ -1,0 +1,95 @@
+"""Tests for the multi-output regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.forecasting import RegressionTree
+
+
+def test_single_split_recovers_step_function():
+    x = np.linspace(0, 1, 100)[:, None]
+    y = (x[:, 0] > 0.5).astype(float)
+    tree = RegressionTree(max_depth=1).fit(x, y)
+    assert tree.predict(np.array([[0.2]]))[0, 0] == pytest.approx(0.0, abs=0.1)
+    assert tree.predict(np.array([[0.8]]))[0, 0] == pytest.approx(1.0, abs=0.1)
+    assert tree.threshold[0] == pytest.approx(0.5, abs=0.02)
+
+
+def test_depth_zero_tree_predicts_mean():
+    x = np.arange(10.0)[:, None]
+    y = np.arange(10.0)
+    tree = RegressionTree(max_depth=0).fit(x, y)
+    assert tree.n_nodes == 1
+    assert tree.predict(np.array([[100.0]]))[0, 0] == pytest.approx(4.5)
+
+
+def test_max_depth_respected():
+    rng = np.random.default_rng(0)
+    x = rng.normal(0, 1, (300, 4))
+    y = rng.normal(0, 1, 300)
+    tree = RegressionTree(max_depth=2, min_samples_leaf=1).fit(x, y)
+    assert tree.max_depth_reached <= 2
+
+
+def test_min_samples_leaf_respected():
+    x = np.arange(20.0)[:, None]
+    y = (x[:, 0] > 17).astype(float)  # would want a 2-sample leaf
+    tree = RegressionTree(max_depth=3, min_samples_leaf=5).fit(x, y)
+    assert min(tree.n_node_samples[i] for i in range(tree.n_nodes)
+               if tree.feature[i] == -1) >= 5
+
+
+def test_multi_output_leaves():
+    x = np.linspace(0, 1, 100)[:, None]
+    y = np.column_stack([(x[:, 0] > 0.5), 2.0 * (x[:, 0] > 0.5)])
+    tree = RegressionTree(max_depth=1).fit(x, y)
+    prediction = tree.predict(np.array([[0.9]]))
+    assert prediction[0, 0] == pytest.approx(1.0, abs=0.1)
+    assert prediction[0, 1] == pytest.approx(2.0, abs=0.2)
+
+
+def test_picks_informative_feature():
+    rng = np.random.default_rng(1)
+    noise = rng.normal(0, 1, (200, 3))
+    signal = rng.normal(0, 1, 200)
+    x = np.column_stack([noise[:, 0], signal, noise[:, 1]])
+    y = (signal > 0).astype(float)
+    tree = RegressionTree(max_depth=1).fit(x, y)
+    assert tree.feature[0] == 1
+
+
+def test_constant_target_stays_leaf():
+    x = np.arange(50.0)[:, None]
+    tree = RegressionTree(max_depth=3).fit(x, np.ones(50))
+    assert tree.n_nodes == 1
+
+
+def test_empty_fit_rejected():
+    with pytest.raises(ValueError):
+        RegressionTree().fit(np.empty((0, 2)), np.empty(0))
+
+
+def test_mismatched_rows_rejected():
+    with pytest.raises(ValueError):
+        RegressionTree().fit(np.zeros((3, 2)), np.zeros(4))
+
+
+def test_deep_tree_fits_smooth_function():
+    x = np.linspace(0, 2 * np.pi, 400)[:, None]
+    y = np.sin(x[:, 0])
+    tree = RegressionTree(max_depth=6, min_samples_leaf=3).fit(x, y)
+    prediction = tree.predict(x)[:, 0]
+    assert np.mean((prediction - y) ** 2) < 0.01
+
+
+def test_near_equal_huge_values_never_create_empty_children():
+    """Midpoints of adjacent huge values can round onto the right value;
+    the split must fall back to the exact left value instead of sending
+    every sample into one child (regression test)."""
+    base = 3e5
+    x = np.array([[base], [base * (1 + 1e-16)], [base + 0.1], [0.0],
+                  [1.0], [2.0]] * 4)
+    y = (x[:, 0] > 100).astype(float)
+    tree = RegressionTree(max_depth=3, min_samples_leaf=1).fit(x, y)
+    prediction = tree.predict(x)
+    assert np.all(np.isfinite(prediction))

@@ -1,0 +1,67 @@
+"""Tests for the validation-split grid search."""
+
+import numpy as np
+import pytest
+
+from repro.forecasting import DLinearForecaster, GBoostForecaster
+from repro.forecasting.tuning import TuningResult, expand_grid, grid_search
+
+
+def seasonal(n=900, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 10 + 3 * np.sin(2 * np.pi * t / 12) + rng.normal(0, 0.2, n)
+
+
+def test_expand_grid_cartesian_product():
+    grid = expand_grid({"a": [1, 2], "b": ["x", "y", "z"]})
+    assert len(grid) == 6
+    assert {"a": 1, "b": "x"} in grid
+    assert {"a": 2, "b": "z"} in grid
+
+
+def test_expand_grid_empty():
+    assert expand_grid({}) == [{}]
+
+
+def test_grid_search_returns_best_candidate():
+    values = seasonal()
+    result = grid_search(
+        GBoostForecaster,
+        grid={"n_estimators": [2, 40]},
+        train=values[:600],
+        validation=values[600:800],
+        base_params={"input_length": 24, "horizon": 8, "seed": 0},
+    )
+    assert isinstance(result, TuningResult)
+    assert result.best_params == {"n_estimators": 40}
+    assert len(result.trials) == 2
+    scores = dict((tuple(sorted(p.items())), s) for p, s in result.trials)
+    assert result.best_score == min(scores.values())
+
+
+def test_grid_search_best_model_is_fitted():
+    values = seasonal(seed=1)
+    result = grid_search(
+        DLinearForecaster,
+        grid={"kernel": [5, 13]},
+        train=values[:600],
+        validation=values[600:800],
+        base_params={"input_length": 24, "horizon": 8, "seed": 0,
+                     "epochs": 8},
+    )
+    prediction = result.best_model.predict(np.zeros((1, 24)) + 10)
+    assert prediction.shape == (1, 8)
+
+
+def test_trials_record_every_candidate():
+    values = seasonal(seed=2)
+    result = grid_search(
+        GBoostForecaster,
+        grid={"n_estimators": [2, 5], "max_depth": [1, 2]},
+        train=values[:600],
+        validation=values[600:800],
+        base_params={"input_length": 24, "horizon": 8, "seed": 0},
+    )
+    assert len(result.trials) == 4
+    assert all(np.isfinite(score) for _, score in result.trials)

@@ -1,0 +1,63 @@
+"""Tests for sliding-window construction."""
+
+import numpy as np
+import pytest
+
+from repro.forecasting import make_windows, paired_windows, subsample_windows
+
+
+def test_windows_shapes_and_content():
+    values = np.arange(10.0)
+    x, y = make_windows(values, input_length=4, horizon=2)
+    assert x.shape == (5, 4)
+    assert y.shape == (5, 2)
+    assert x[0].tolist() == [0, 1, 2, 3]
+    assert y[0].tolist() == [4, 5]
+    assert x[-1].tolist() == [4, 5, 6, 7]
+    assert y[-1].tolist() == [8, 9]
+
+
+def test_stride_skips_windows():
+    values = np.arange(20.0)
+    x, _ = make_windows(values, 4, 2, stride=3)
+    assert x[1][0] == 3.0
+    assert len(x) == 5
+
+
+def test_too_short_series_rejected():
+    with pytest.raises(ValueError):
+        make_windows(np.arange(5.0), 4, 2)
+
+
+def test_bad_stride_rejected():
+    with pytest.raises(ValueError):
+        make_windows(np.arange(10.0), 4, 2, stride=0)
+
+
+def test_paired_windows_inputs_and_targets_from_different_series():
+    raw = np.arange(10.0)
+    transformed = raw + 100.0
+    x, y = paired_windows(transformed, raw, 4, 2)
+    assert x[0].tolist() == [100, 101, 102, 103]  # decompressed inputs
+    assert y[0].tolist() == [4, 5]  # raw targets (Algorithm 1)
+
+
+def test_paired_windows_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        paired_windows(np.arange(10.0), np.arange(9.0), 4, 2)
+
+
+def test_subsample_keeps_alignment():
+    x = np.arange(40.0).reshape(20, 2)
+    y = x * 10
+    rng = np.random.default_rng(0)
+    sx, sy = subsample_windows(x, y, 5, rng)
+    assert len(sx) == 5
+    assert np.array_equal(sy, sx * 10)
+
+
+def test_subsample_noop_when_under_limit():
+    x = np.zeros((3, 2))
+    y = np.zeros((3, 1))
+    sx, sy = subsample_windows(x, y, 10, np.random.default_rng(0))
+    assert sx is x and sy is y

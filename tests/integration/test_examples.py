@@ -1,0 +1,52 @@
+"""Sanity tests for the example scripts.
+
+Each example is importable without side effects (the work happens behind a
+``__main__`` guard) and exposes a ``main`` callable; the quickstart runs
+end-to-end as part of the suite.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir,
+                            "examples")
+EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+def load_example(filename):
+    path = os.path.join(EXAMPLES_DIR, filename)
+    spec = importlib.util.spec_from_file_location(filename[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_at_least_four_examples_exist():
+    assert len(EXAMPLES) >= 4
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("filename", EXAMPLES)
+def test_example_imports_cleanly_and_has_main(filename):
+    module = load_example(filename)
+    assert callable(module.main)
+
+
+@pytest.mark.parametrize("filename", EXAMPLES)
+def test_example_has_docstring(filename):
+    module = load_example(filename)
+    assert module.__doc__ and "Run:" in module.__doc__
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    module = load_example("quickstart.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "baseline forecast NRMSE" in out
+    for method in ("PMC", "SWING", "SZ"):
+        assert method in out

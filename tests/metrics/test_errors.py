@@ -1,0 +1,47 @@
+"""Tests for TE, FE, and TFE (Definitions 6-9)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import TimeSeries
+from repro.metrics import forecasting_error, tfe, transformation_error
+
+
+def test_te_zero_for_identity_transformation():
+    series = TimeSeries(np.array([1.0, 2.0, 3.0]))
+    assert transformation_error(series, series) == 0.0
+
+
+def test_te_uses_requested_metric():
+    x = TimeSeries(np.array([0.0, 10.0]))
+    y = TimeSeries(np.array([1.0, 11.0]))
+    assert transformation_error(x, y, "RMSE") == pytest.approx(1.0)
+    assert transformation_error(x, y, "NRMSE") == pytest.approx(0.1)
+
+
+def test_te_unknown_metric_rejected():
+    series = TimeSeries(np.array([1.0, 2.0]))
+    with pytest.raises(KeyError):
+        transformation_error(series, series, "MAPE")
+
+
+def test_fe_flattens_windows():
+    actual = np.array([[1.0, 2.0], [3.0, 4.0]])
+    predicted = actual + 1.0
+    assert forecasting_error(actual, predicted, "RMSE") == pytest.approx(1.0)
+
+
+def test_tfe_sign_convention():
+    # Improvement after compression -> negative TFE (Definition 9).
+    assert tfe(baseline_error=1.0, transformed_error=0.9) == pytest.approx(-0.1)
+    # Degradation -> positive TFE.
+    assert tfe(baseline_error=1.0, transformed_error=1.5) == pytest.approx(0.5)
+
+
+def test_tfe_zero_when_unchanged():
+    assert tfe(0.42, 0.42) == 0.0
+
+
+def test_tfe_rejects_nonpositive_baseline():
+    with pytest.raises(ValueError):
+        tfe(0.0, 1.0)

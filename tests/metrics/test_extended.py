@@ -1,0 +1,61 @@
+"""Tests for the extended forecast-error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.extended import mae, mape, mase, smape
+
+
+def test_mae_hand_computed():
+    assert mae(np.array([1.0, 2.0]), np.array([2.0, 0.0])) == pytest.approx(1.5)
+
+
+def test_mape_in_percent():
+    x = np.array([10.0, 20.0])
+    y = np.array([11.0, 18.0])
+    assert mape(x, y) == pytest.approx((0.1 + 0.1) / 2 * 100)
+
+
+def test_mape_rejects_zero_reference():
+    with pytest.raises(ZeroDivisionError):
+        mape(np.array([0.0, 1.0]), np.array([1.0, 1.0]))
+
+
+def test_smape_symmetric():
+    x = np.array([10.0, 20.0])
+    y = np.array([12.0, 18.0])
+    assert smape(x, y) == pytest.approx(smape(y, x))
+
+
+def test_smape_bounded_by_200():
+    x = np.array([1.0, 1.0])
+    y = np.array([-1.0, -1.0])
+    assert smape(x, y) == pytest.approx(200.0)
+
+
+def test_smape_all_zero_pairs():
+    assert smape(np.zeros(3), np.zeros(3)) == 0.0
+
+
+def test_mase_one_for_naive_forecast():
+    training = np.array([1.0, 3.0, 2.0, 5.0, 4.0, 6.0])
+    naive_scale = np.abs(np.diff(training)).mean()
+    x = np.array([7.0, 8.0])
+    y = x + naive_scale  # errors exactly at the naive scale
+    assert mase(x, y, training) == pytest.approx(1.0)
+
+
+def test_mase_seasonal_period():
+    training = np.tile([1.0, 5.0], 10) + np.arange(20) * 0.1
+    value = mase(np.array([3.0]), np.array([3.5]), training, period=2)
+    assert value > 0
+
+
+def test_mase_rejects_short_training():
+    with pytest.raises(ValueError):
+        mase(np.array([1.0]), np.array([2.0]), np.array([1.0]), period=2)
+
+
+def test_mase_rejects_constant_training():
+    with pytest.raises(ZeroDivisionError):
+        mase(np.array([1.0]), np.array([2.0]), np.ones(10))

@@ -1,0 +1,88 @@
+"""Tests for the Section 3.5 distance metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import correlation, nrmse, rmse, rse
+
+finite_arrays = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=2, max_size=100,
+)
+
+
+def test_rmse_zero_for_identical():
+    x = np.array([1.0, 2.0, 3.0])
+    assert rmse(x, x) == 0.0
+
+
+def test_rmse_hand_computed():
+    x = np.array([0.0, 0.0])
+    y = np.array([3.0, 4.0])
+    assert rmse(x, y) == pytest.approx(np.sqrt(12.5))
+
+
+def test_nrmse_normalizes_by_reference_range():
+    x = np.array([0.0, 10.0])
+    y = np.array([1.0, 11.0])
+    assert nrmse(x, y) == pytest.approx(0.1)
+
+
+def test_nrmse_constant_reference_rejected():
+    with pytest.raises(ZeroDivisionError):
+        nrmse(np.array([5.0, 5.0]), np.array([4.0, 6.0]))
+
+
+def test_rse_is_one_for_mean_predictor():
+    """Predicting the reference mean gives RSE exactly 1."""
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    y = np.full(4, x.mean())
+    assert rse(x, y) == pytest.approx(1.0)
+
+
+def test_rse_below_one_beats_mean_predictor():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    y = np.array([1.1, 2.1, 2.9, 4.0])
+    assert rse(x, y) < 1.0
+
+
+def test_correlation_perfect_for_affine_transform():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    assert correlation(x, 3 * x + 7) == pytest.approx(1.0)
+    assert correlation(x, -2 * x) == pytest.approx(-1.0)
+
+
+def test_correlation_constant_rejected():
+    with pytest.raises(ZeroDivisionError):
+        correlation(np.array([1.0, 1.0]), np.array([1.0, 2.0]))
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        rmse(np.zeros(3), np.zeros(4))
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        rmse(np.array([]), np.array([]))
+
+
+@settings(max_examples=50)
+@given(finite_arrays, finite_arrays)
+def test_rmse_symmetry_and_nonnegativity(a, b):
+    n = min(len(a), len(b))
+    x, y = np.array(a[:n]), np.array(b[:n])
+    assert rmse(x, y) >= 0.0
+    assert rmse(x, y) == pytest.approx(rmse(y, x))
+
+
+@settings(max_examples=50)
+@given(finite_arrays)
+def test_correlation_bounded(a):
+    x = np.array(a)
+    rng = np.random.default_rng(0)
+    y = x + rng.normal(0, 1 + np.abs(x).max() * 0.01, len(x))
+    if np.ptp(x) > 1e-9 and np.ptp(y) > 1e-9:
+        assert -1.0 - 1e-9 <= correlation(x, y) <= 1.0 + 1e-9
