@@ -3,8 +3,11 @@
 Every benchmark regenerates one of the paper's tables or figures on a
 laptop-scale configuration: the full 7-model x 3-compressor x 13-bound x
 6-dataset grid, but on shorter synthetic series with one seed per model.
-Trained models and scenario records are cached on disk under ``.cache`` so
-repeated runs are incremental; delete the directory for a cold start.
+The whole grid runs as ONE task graph through the runtime executor, so
+compression, training, and forecasting jobs are cached individually on
+disk under ``.cache`` — repeated runs are incremental, and setting
+``REPRO_BENCH_WORKERS=N`` runs the grid on an N-process pool.  Delete the
+cache directory for a cold start.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ def bench_config() -> EvaluationConfig:
         simple_seeds=1,
         eval_stride=24,
         cache_dir=CACHE_DIR,
+        max_workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
     )
 
 
@@ -39,19 +43,11 @@ def evaluation() -> Evaluation:
 @pytest.fixture(scope="session")
 def all_records(evaluation) -> list[ScenarioRecord]:
     """Baseline + scenario records over the whole grid (the expensive part)."""
-
-    def compute() -> list[ScenarioRecord]:
-        records: list[ScenarioRecord] = []
-        for dataset in evaluation.config.datasets:
-            for model in evaluation.config.models:
-                records += evaluation.baseline_records(model, dataset)
-                records += evaluation.scenario_records(model, dataset)
-        return records
-
-    key = (f"allrecords-{evaluation.config.datasets}-"
-           f"{evaluation.config.models}-{evaluation.config.dataset_length}-"
-           f"{evaluation.config.error_bounds}-v1")
-    return evaluation._cache.get_or_compute(key, compute)
+    records = evaluation.grid_records()
+    manifest = evaluation.last_manifest
+    print(f"\n[grid] {manifest.total} jobs, {manifest.cached} cached, "
+          f"{manifest.executed} executed in {manifest.wall_seconds:.1f}s")
+    return records
 
 
 @pytest.fixture(scope="session")

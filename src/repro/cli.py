@@ -8,6 +8,10 @@ Subcommands:
 - ``repro-eval sweep --dataset ETTm1`` — the full Figure 2/3 sweep
 - ``repro-eval evaluate --dataset ETTm1 --model DLinear`` — Algorithm 1 for
   one (model, dataset) pair: baseline NRMSE plus TFE per method and bound
+- ``repro-eval grid --datasets ETTm1 Weather --models Arima DLinear
+  --workers 4`` — run an arbitrary sub-grid through the task-graph runtime
+  and print the run manifest (jobs total/cached/executed, wall time per
+  phase) plus a digest of the resulting records
 
 All subcommands accept ``--length`` to control the synthetic series length.
 """
@@ -50,6 +54,26 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--length", type=int, default=3_000)
     evaluate.add_argument("--error-bounds", type=float, nargs="+",
                           default=[0.05, 0.1, 0.2, 0.4])
+
+    grid = commands.add_parser(
+        "grid", help="run a sub-grid through the task-graph runtime")
+    grid.add_argument("--datasets", nargs="+", choices=DATASET_NAMES,
+                      default=["ETTm1", "Weather"])
+    grid.add_argument("--models", nargs="+", choices=MODEL_NAMES,
+                      default=["Arima", "DLinear"])
+    grid.add_argument("--methods", nargs="+", choices=LOSSY_METHODS,
+                      default=list(LOSSY_METHODS))
+    grid.add_argument("--error-bounds", type=float, nargs="+",
+                      default=[0.1, 0.4])
+    grid.add_argument("--length", type=int, default=2_000)
+    grid.add_argument("--workers", type=int, default=1,
+                      help="process-pool size (1 = serial)")
+    grid.add_argument("--seeds", type=int, default=1,
+                      help="random seeds per model")
+    grid.add_argument("--cache-dir", default=".cache",
+                      help="shared job cache ('' disables caching)")
+    grid.add_argument("--retrain", action="store_true",
+                      help="also train on decompressed data (Figure 7)")
     return parser
 
 
@@ -63,12 +87,13 @@ def _command_info() -> int:
 
 def _command_compress(args: argparse.Namespace) -> int:
     from repro.compression import make, raw_gz_size
+    from repro.compression.serialize import compression_ratio
     from repro.datasets import load
     from repro.metrics import transformation_error
 
     series = load(args.dataset, length=args.length).target_series
     result = make(args.method).compress(series, args.error_bound)
-    ratio = raw_gz_size(series) / result.compressed_size
+    ratio = compression_ratio(raw_gz_size(series), result.compressed_size)
     te = transformation_error(series, result.decompressed, "NRMSE")
     print(f"{args.method} on {args.dataset} (eps={args.error_bound}):")
     print(f"  compressed size : {result.compressed_size} bytes")
@@ -116,6 +141,66 @@ def _command_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _records_digest(records) -> str:
+    """Stable fingerprint of a record list, for comparing runs.
+
+    Serial and parallel runs of the same grid must produce byte-identical
+    records; comparing this digest across ``--workers`` settings (or across
+    machines) verifies that.
+    """
+    import hashlib
+
+    payload = repr([(r.dataset, r.model, r.method, r.error_bound, r.seed,
+                     r.retrained, sorted(r.metrics.items()))
+                    for r in records])
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _command_grid(args: argparse.Namespace) -> int:
+    from repro.core import Evaluation, EvaluationConfig, tfe_table
+    from repro.core.results import RAW, mean_over_seeds
+
+    config = EvaluationConfig(
+        datasets=tuple(args.datasets),
+        models=tuple(args.models),
+        compressors=tuple(args.methods),
+        error_bounds=tuple(args.error_bounds),
+        dataset_length=args.length,
+        deep_seeds=args.seeds,
+        simple_seeds=args.seeds,
+        cache_dir=args.cache_dir or None,
+        max_workers=args.workers,
+    )
+    evaluation = Evaluation(config)
+    cells = (len(config.datasets) * len(config.models)
+             * len(config.compressors) * len(config.error_bounds))
+    print(f"grid: {len(config.datasets)} datasets x {len(config.models)} "
+          f"models x {len(config.compressors)} methods x "
+          f"{len(config.error_bounds)} bounds = {cells} cells "
+          f"(+ baselines), workers={args.workers}")
+    records = evaluation.grid_records(retrained=args.retrain)
+
+    print("\nrun manifest:")
+    for line in evaluation.last_manifest.lines():
+        print(f"  {line}")
+    print(f"\nrecords       : {len(records)}")
+    print(f"records digest: {_records_digest(records)}")
+
+    means = mean_over_seeds(records)
+    table = tfe_table(records)
+    print(f"\n{'dataset':<10s}{'model':<12s}{'baseline NRMSE':>15s}"
+          f"{'worst TFE':>11s}")
+    for dataset in config.datasets:
+        for model in config.models:
+            baseline = means[(dataset, model, RAW, 0.0, False)]["NRMSE"]
+            worst = max(table[(dataset, model, method, bound, args.retrain)]
+                        for method in config.compressors
+                        for bound in config.error_bounds)
+            print(f"{dataset:<10s}{model:<12s}{baseline:>15.4f}"
+                  f"{worst:>+11.2%}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
@@ -126,6 +211,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_sweep(args)
     if args.command == "evaluate":
         return _command_evaluate(args)
+    if args.command == "grid":
+        return _command_grid(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -4,15 +4,39 @@ Training seven models on six datasets dominates the cost of regenerating
 the paper's tables; caching trained models on disk makes each bench
 incremental.  Keys are human-readable strings hashed into file names;
 values must be picklable.
+
+Besides the original :meth:`DiskCache.get_or_compute`, the cache exposes
+the primitive ``contains`` / ``get`` / ``put`` operations the task-graph
+executor (:mod:`repro.runtime.executor`) needs to probe and populate
+entries without holding a ``compute`` closure.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
 from collections.abc import Callable
 from typing import Any
+
+#: sentinel distinguishing "no cached value" from a cached ``None``
+MISSING = object()
+
+#: exceptions a truncated or garbage pickle may raise on load.  Beyond the
+#: obvious ``UnpicklingError``/``EOFError``, corrupt payloads surface as
+#: ``ValueError``/``IndexError`` (mangled opcodes or frames), stale entries
+#: from older code as ``AttributeError``/``ImportError``/``KeyError``
+#: (renamed classes, removed modules, unknown extension codes).
+CORRUPT_ENTRY_ERRORS = (
+    pickle.UnpicklingError,
+    EOFError,
+    AttributeError,
+    ValueError,
+    IndexError,
+    ImportError,
+    KeyError,
+)
 
 
 class DiskCache:
@@ -28,8 +52,22 @@ class DiskCache:
         digest = hashlib.sha1(key.encode()).hexdigest()[:24]
         return os.path.join(self.directory, f"{digest}.pkl")
 
-    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
-        """Return the cached value for ``key``, computing it on a miss."""
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists in memory or on disk (no deserialization).
+
+        A positive answer is a fast existence probe, not a guarantee that
+        the disk entry is readable: :meth:`get` may still report a miss for
+        a corrupt file, so callers must be prepared to recompute.
+        """
+        if key in self._memory:
+            return True
+        return self.directory is not None and os.path.exists(self._path(key))
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """The cached value for ``key``, or ``default`` on a miss.
+
+        Corrupt disk entries are deleted and reported as misses.
+        """
         if key in self._memory:
             return self._memory[key]
         if self.directory is not None:
@@ -38,17 +76,33 @@ class DiskCache:
                 try:
                     with open(path, "rb") as handle:
                         value = pickle.load(handle)
+                except CORRUPT_ENTRY_ERRORS:
+                    # stale or corrupt entry: drop it and recompute; another
+                    # process may have removed the file first
+                    with contextlib.suppress(FileNotFoundError):
+                        os.remove(path)
+                except FileNotFoundError:
+                    pass  # removed between the existence check and the open
+                else:
                     self._memory[key] = value
                     return value
-                except (pickle.UnpicklingError, EOFError, AttributeError):
-                    os.remove(path)  # stale or corrupt entry: recompute
-        value = compute()
+        return default
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` in memory and (atomically) on disk."""
         self._memory[key] = value
         if self.directory is not None:
             temporary = self._path(key) + ".tmp"
             with open(temporary, "wb") as handle:
                 pickle.dump(value, handle)
             os.replace(temporary, self._path(key))
+
+    def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on a miss."""
+        value = self.get(key, MISSING)
+        if value is MISSING:
+            value = compute()
+            self.put(key, value)
         return value
 
     def clear_memory(self) -> None:

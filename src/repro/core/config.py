@@ -38,6 +38,9 @@ class EvaluationConfig:
     metric: str = "NRMSE"
     #: directory for trained-model/compression caches (None = no cache)
     cache_dir: str | None = ".cache"
+    #: process-pool size for the task-graph executor; 1 = serial execution
+    #: in-process (bit-identical to the historical orchestration)
+    max_workers: int = 1
     #: extra keyword arguments per model name
     model_kwargs: dict = field(default_factory=dict)
 

@@ -3,15 +3,17 @@
 A forecasting model is trained once on the raw training split; the test
 split is lossy-compressed and decompressed at each error bound; the model
 predicts from the transformed windows; and predictions are scored against
-the *raw* future values.  :class:`Evaluation` orchestrates this grid with
-disk caching of trained models and compression sweeps, and also implements
-the retraining variant of Section 4.4.1 (Figure 7), where models are
-trained on decompressed data.
+the *raw* future values.  :class:`Evaluation` is a thin façade over the
+task-graph runtime (:mod:`repro.runtime`): every public method translates
+its request into frozen job specs (compress / train / forecast / feature),
+builds the dependency DAG, and hands it to the executor, which runs ready
+jobs serially or on a process pool (``EvaluationConfig.max_workers``)
+through one content-addressed :class:`~repro.core.cache.DiskCache`.  The
+retraining variant of Section 4.4.1 (Figure 7), where models are trained
+on decompressed data, rides on the same graphs via ``train_on`` edges.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.compression.base import CompressionResult
 from repro.compression.registry import make as make_compressor
@@ -19,102 +21,107 @@ from repro.compression.serialize import compression_ratio, raw_gz_size
 from repro.core.cache import DiskCache
 from repro.core.config import EvaluationConfig
 from repro.core.results import RAW, CompressionRecord, ScenarioRecord
-from repro.datasets.registry import load
-from repro.datasets.splits import Split, split
+from repro.datasets.splits import Split
 from repro.datasets.timeseries import Dataset, TimeSeries
-from repro.features.registry import compute_all, relative_difference
 from repro.forecasting.base import Forecaster
-from repro.forecasting.registry import make as make_model
-from repro.forecasting.windows import paired_windows
 from repro.metrics.pointwise import METRICS
 from repro.metrics.errors import transformation_error
+from repro.runtime.executor import Executor, RunManifest
+from repro.runtime.graph import TaskGraph
+from repro.runtime.jobs import (CompressJob, FeatureJob, ForecastJob,
+                                JobSpec, TrainJob, freeze_kwargs)
 
 
 class Evaluation:
-    """Cached orchestration of the full experimental grid."""
+    """Façade building task graphs for the full experimental grid."""
 
     def __init__(self, config: EvaluationConfig | None = None) -> None:
         self.config = config or EvaluationConfig()
         self._cache = DiskCache(self.config.cache_dir)
-        self._datasets: dict[str, Dataset] = {}
-        self._splits: dict[str, Split] = {}
-        self._transformed: dict[tuple, TimeSeries] = {}
+        self._executor = Executor(self._cache,
+                                  max_workers=self.config.max_workers)
+        self._context = self._executor.context
+
+    @property
+    def cache(self) -> DiskCache:
+        """The content-addressed cache shared by every layer."""
+        return self._cache
+
+    @property
+    def last_manifest(self) -> RunManifest | None:
+        """Manifest of the most recent graph run (None before any run)."""
+        return self._executor.last_manifest
+
+    def _run(self, jobs: list[JobSpec]) -> dict[str, object]:
+        graph = TaskGraph()
+        for job in jobs:
+            graph.add(job)
+        return self._executor.run(graph)
 
     # -- data ------------------------------------------------------------------
 
     def dataset(self, name: str) -> Dataset:
         """The (cached) dataset instance at the configured length."""
-        if name not in self._datasets:
-            self._datasets[name] = load(name, length=self.config.dataset_length)
-        return self._datasets[name]
+        return self._context.dataset(name, self.config.dataset_length)
 
     def split(self, name: str) -> Split:
         """The (cached) 70/10/20 chronological split."""
-        if name not in self._splits:
-            self._splits[name] = split(self.dataset(name))
-        return self._splits[name]
+        return self._context.split(name, self.config.dataset_length)
 
     # -- compression -------------------------------------------------------------
 
     def compress_series(self, series: TimeSeries, method: str,
                         error_bound: float) -> CompressionResult:
-        """Compress one series (no caching: compressors are fast)."""
+        """Compress one free-standing series (no caching)."""
         return make_compressor(method).compress(series, error_bound)
+
+    def _compress_job(self, name: str, method: str, error_bound: float,
+                      part: str = "test") -> CompressJob:
+        return CompressJob(name, self.config.dataset_length, method,
+                           error_bound, part=part)
 
     def compression_sweep(self, name: str) -> list[CompressionRecord]:
         """TE/CR/segment records over the full target series (RQ1)."""
-        key = (f"sweep-{name}-{self.config.dataset_length}-"
-               f"{self.config.compressors}-{self.config.error_bounds}-v1")
-
-        def compute() -> list[CompressionRecord]:
-            series = self.dataset(name).target_series
-            raw_size = raw_gz_size(series)
-            records = []
-            for method in self.config.compressors:
-                compressor = make_compressor(method)
-                for error_bound in self.config.error_bounds:
-                    result = compressor.compress(series, error_bound)
-                    te = {}
-                    for metric in METRICS:
-                        try:
-                            te[metric] = transformation_error(
-                                series, result.decompressed, metric)
-                        except ZeroDivisionError:
-                            # e.g. R against a constant decompressed series
-                            te[metric] = float("nan")
-                    records.append(CompressionRecord(
-                        dataset=name,
-                        method=method,
-                        error_bound=error_bound,
-                        te=te,
-                        compression_ratio=compression_ratio(
-                            raw_size, result.compressed_size),
-                        num_segments=result.num_segments,
-                    ))
-            return records
-
-        return self._cache.get_or_compute(key, compute)
+        jobs = [self._compress_job(name, method, error_bound, part="full")
+                for method in self.config.compressors
+                for error_bound in self.config.error_bounds]
+        values = self._run(jobs)
+        series = self.dataset(name).target_series
+        raw_size = raw_gz_size(series)
+        records = []
+        for job in jobs:
+            result = values[job.key()]
+            te = {}
+            for metric in METRICS:
+                try:
+                    te[metric] = transformation_error(
+                        series, result.decompressed, metric)
+                except ZeroDivisionError:
+                    # e.g. R against a constant decompressed series
+                    te[metric] = float("nan")
+            records.append(CompressionRecord(
+                dataset=name,
+                method=job.method,
+                error_bound=job.error_bound,
+                te=te,
+                compression_ratio=compression_ratio(
+                    raw_size, result.compressed_size),
+                num_segments=result.num_segments,
+            ))
+        return records
 
     def gorilla_ratio(self, name: str) -> float:
         """Compression ratio of the lossless GORILLA baseline (Figure 2)."""
-        key = f"gorilla-{name}-{self.config.dataset_length}-v1"
-
-        def compute() -> float:
-            series = self.dataset(name).target_series
-            result = make_compressor("GORILLA").compress(series, 0.0)
-            return compression_ratio(raw_gz_size(series), result.compressed_size)
-
-        return self._cache.get_or_compute(key, compute)
+        job = self._compress_job(name, "GORILLA", 0.0, part="full")
+        result = self._run([job])[job.key()]
+        return compression_ratio(raw_gz_size(self.dataset(name).target_series),
+                                 result.compressed_size)
 
     def transformed_split(self, name: str, method: str, error_bound: float,
                           part: str = "test") -> TimeSeries:
         """Decompressed values of one split part (T(test | C, eps))."""
-        cache_key = (name, method, error_bound, part)
-        if cache_key not in self._transformed:
-            series = getattr(self.split(name), part).target_series
-            result = self.compress_series(series, method, error_bound)
-            self._transformed[cache_key] = result.decompressed
-        return self._transformed[cache_key]
+        job = self._compress_job(name, method, error_bound, part)
+        return self._run([job])[job.key()].decompressed
 
     # -- model training --------------------------------------------------------------
 
@@ -124,6 +131,13 @@ class Evaluation:
             kwargs.setdefault("seasonal_period", dataset.seasonal_period)
         return kwargs
 
+    def _train_job(self, model_name: str, dataset_name: str, seed: int,
+                   train_on: tuple[str, float] | None = None) -> TrainJob:
+        kwargs = self._model_kwargs(model_name, self.dataset(dataset_name))
+        return TrainJob(model_name, dataset_name, self.config.dataset_length,
+                        self.config.input_length, self.config.horizon, seed,
+                        model_kwargs=freeze_kwargs(kwargs), train_on=train_on)
+
     def trained_model(self, model_name: str, dataset_name: str, seed: int,
                       train_on: tuple[str, float] | None = None) -> Forecaster:
         """A trained forecaster, loaded from cache when available.
@@ -131,122 +145,91 @@ class Evaluation:
         ``train_on=(method, error_bound)`` trains on decompressed data
         (the Figure 7 retraining scenario); ``None`` trains on raw data.
         """
-        dataset = self.dataset(dataset_name)
-        kwargs = self._model_kwargs(model_name, dataset)
-        key = (f"model-{model_name}-{dataset_name}-{self.config.dataset_length}"
-               f"-{seed}-{self.config.input_length}x{self.config.horizon}"
-               f"-{sorted(kwargs.items())}-{train_on}-v1")
-
-        def compute() -> Forecaster:
-            parts = self.split(dataset_name)
-            if train_on is None:
-                train = parts.train.target_series.values
-                validation = parts.validation.target_series.values
-            else:
-                method, error_bound = train_on
-                train = self.transformed_split(
-                    dataset_name, method, error_bound, "train").values
-                validation = self.transformed_split(
-                    dataset_name, method, error_bound, "validation").values
-            model = make_model(model_name,
-                               input_length=self.config.input_length,
-                               horizon=self.config.horizon,
-                               seed=seed, **kwargs)
-            model.fit(train, validation)
-            return model
-
-        return self._cache.get_or_compute(key, compute)
+        job = self._train_job(model_name, dataset_name, seed, train_on)
+        return self._run([job])[job.key()]
 
     # -- evaluation ---------------------------------------------------------------------
 
-    def _evaluate_windows(self, model: Forecaster, inputs: np.ndarray,
-                          targets: np.ndarray, positions: np.ndarray
-                          ) -> dict[str, float]:
-        try:
-            predictions = model.predict(inputs, positions=positions)
-        except TypeError:
-            predictions = model.predict(inputs)
-        flat_targets = targets.ravel()
-        flat_predictions = predictions.ravel()
-        return {metric: fn(flat_targets, flat_predictions)
-                for metric, fn in METRICS.items()}
+    def _forecast_job(self, model_name: str, dataset_name: str, seed: int,
+                      method: str = RAW, error_bound: float = 0.0,
+                      retrained: bool = False) -> ForecastJob:
+        kwargs = self._model_kwargs(model_name, self.dataset(dataset_name))
+        return ForecastJob(model_name, dataset_name,
+                           self.config.dataset_length,
+                           self.config.input_length, self.config.horizon,
+                           self.config.eval_stride, seed, method=method,
+                           error_bound=error_bound, retrained=retrained,
+                           model_kwargs=freeze_kwargs(kwargs))
 
-    def _test_windows(self, dataset_name: str,
-                      input_values: np.ndarray | None = None
-                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        parts = self.split(dataset_name)
-        raw_test = parts.test.target_series.values
-        if input_values is None:
-            input_values = raw_test
-        inputs, targets = paired_windows(
-            input_values, raw_test, self.config.input_length,
-            self.config.horizon, self.config.eval_stride)
-        test_start = len(parts.train) + len(parts.validation)
-        offsets = np.arange(0, len(raw_test) - self.config.input_length
-                            - self.config.horizon + 1, self.config.eval_stride)
-        positions = test_start + offsets.astype(np.float64)
-        return inputs, targets, positions
+    def _forecast_grid(self, model_name: str, dataset_name: str,
+                       methods: tuple[str, ...],
+                       error_bounds: tuple[float, ...],
+                       retrained: bool = False) -> list[ForecastJob]:
+        """Jobs in record order: method, then bound, then seed."""
+        return [self._forecast_job(model_name, dataset_name, seed, method,
+                                   error_bound, retrained)
+                for method in methods
+                for error_bound in error_bounds
+                for seed in self.config.seeds_for(model_name)]
+
+    def _collect(self, jobs: list[ForecastJob]) -> list[ScenarioRecord]:
+        values = self._run(jobs)
+        return [values[job.key()] for job in jobs]
 
     def baseline_records(self, model_name: str, dataset_name: str
                          ) -> list[ScenarioRecord]:
         """RAW-input records (the Table 2 baseline), one per seed."""
-        inputs, targets, positions = self._test_windows(dataset_name)
-        records = []
-        for seed in self.config.seeds_for(model_name):
-            model = self.trained_model(model_name, dataset_name, seed)
-            metrics = self._evaluate_windows(model, inputs, targets, positions)
-            records.append(ScenarioRecord(dataset_name, model_name, RAW, 0.0,
-                                          seed, metrics))
-        return records
+        return self._collect([
+            self._forecast_job(model_name, dataset_name, seed)
+            for seed in self.config.seeds_for(model_name)])
 
     def scenario_records(self, model_name: str, dataset_name: str,
                          methods: tuple[str, ...] | None = None,
                          error_bounds: tuple[float, ...] | None = None
                          ) -> list[ScenarioRecord]:
         """Algorithm 1: transformed-input records across the lossy grid."""
-        methods = methods or self.config.compressors
-        error_bounds = error_bounds or self.config.error_bounds
-        records = []
-        models = [self.trained_model(model_name, dataset_name, seed)
-                  for seed in self.config.seeds_for(model_name)]
-        for method in methods:
-            for error_bound in error_bounds:
-                transformed = self.transformed_split(dataset_name, method,
-                                                     error_bound).values
-                inputs, targets, positions = self._test_windows(
-                    dataset_name, transformed)
-                for seed, model in zip(self.config.seeds_for(model_name),
-                                       models):
-                    metrics = self._evaluate_windows(model, inputs, targets,
-                                                     positions)
-                    records.append(ScenarioRecord(
-                        dataset_name, model_name, method, error_bound, seed,
-                        metrics))
-        return records
+        return self._collect(self._forecast_grid(
+            model_name, dataset_name,
+            methods or self.config.compressors,
+            error_bounds or self.config.error_bounds))
 
     def retrain_records(self, model_name: str, dataset_name: str,
                         methods: tuple[str, ...] | None = None,
                         error_bounds: tuple[float, ...] | None = None
                         ) -> list[ScenarioRecord]:
         """Figure 7: train AND infer on decompressed data, score vs raw."""
+        return self._collect(self._forecast_grid(
+            model_name, dataset_name,
+            methods or self.config.compressors,
+            error_bounds or self.config.error_bounds,
+            retrained=True))
+
+    def grid_records(self, datasets: tuple[str, ...] | None = None,
+                     models: tuple[str, ...] | None = None,
+                     methods: tuple[str, ...] | None = None,
+                     error_bounds: tuple[float, ...] | None = None,
+                     include_baseline: bool = True,
+                     retrained: bool = False) -> list[ScenarioRecord]:
+        """Baseline + scenario records for a whole sub-grid in ONE graph.
+
+        Building one graph lets the executor overlap compression, training,
+        and forecasting across every (dataset, model) pair — with
+        ``max_workers > 1`` the full grid saturates the pool instead of
+        synchronizing at each pair like per-method calls would.
+        """
+        datasets = datasets or self.config.datasets
+        models = models or self.config.models
         methods = methods or self.config.compressors
         error_bounds = error_bounds or self.config.error_bounds
-        records = []
-        for method in methods:
-            for error_bound in error_bounds:
-                transformed = self.transformed_split(dataset_name, method,
-                                                     error_bound).values
-                inputs, targets, positions = self._test_windows(
-                    dataset_name, transformed)
-                for seed in self.config.seeds_for(model_name):
-                    model = self.trained_model(model_name, dataset_name, seed,
-                                               train_on=(method, error_bound))
-                    metrics = self._evaluate_windows(model, inputs, targets,
-                                                     positions)
-                    records.append(ScenarioRecord(
-                        dataset_name, model_name, method, error_bound, seed,
-                        metrics, retrained=True))
-        return records
+        jobs: list[ForecastJob] = []
+        for dataset_name in datasets:
+            for model_name in models:
+                if include_baseline:
+                    jobs += [self._forecast_job(model_name, dataset_name, seed)
+                             for seed in self.config.seeds_for(model_name)]
+                jobs += self._forecast_grid(model_name, dataset_name, methods,
+                                            error_bounds, retrained)
+        return self._collect(jobs)
 
     # -- characteristics -------------------------------------------------------------------
 
@@ -257,22 +240,9 @@ class Evaluation:
         """Relative differences (%) of all 42 characteristics per grid cell."""
         methods = methods or self.config.compressors
         error_bounds = error_bounds or self.config.error_bounds
-        key = (f"chardeltas-{dataset_name}-{self.config.dataset_length}-"
-               f"{methods}-{error_bounds}-v1")
-
-        def compute() -> dict[tuple[str, float], dict[str, float]]:
-            dataset = self.dataset(dataset_name)
-            raw = self.split(dataset_name).test.target_series.values
-            period = dataset.seasonal_period
-            original = compute_all(raw, period)
-            out = {}
-            for method in methods:
-                for error_bound in error_bounds:
-                    transformed = self.transformed_split(
-                        dataset_name, method, error_bound).values
-                    features = compute_all(transformed, period)
-                    out[(method, error_bound)] = relative_difference(
-                        original, features)
-            return out
-
-        return self._cache.get_or_compute(key, compute)
+        jobs = {(method, error_bound): FeatureJob(
+                    dataset_name, self.config.dataset_length, method,
+                    error_bound)
+                for method in methods for error_bound in error_bounds}
+        values = self._run(list(jobs.values()))
+        return {cell: values[job.key()] for cell, job in jobs.items()}

@@ -111,6 +111,8 @@ class ArimaForecaster(Forecaster):
     """AIC-selected ARIMA(p, d, q) with Fourier seasonal regressors."""
 
     name = "Arima"
+    #: forecasts are phase-anchored by the absolute tick of each window
+    uses_positions = True
 
     def __init__(self, input_length: int = 96, horizon: int = 24,
                  seed: int = 0, seasonal_period: int = 0,

@@ -24,6 +24,13 @@ class Forecaster(ABC):
     #: registry name, e.g. "Arima"
     name: str = "?"
 
+    #: whether ``predict`` consumes the absolute tick index of each window
+    #: (the ``positions`` keyword).  Callers check this flag instead of
+    #: probing with ``try: predict(..., positions=...) except TypeError``,
+    #: which would silently swallow genuine ``TypeError``s raised inside
+    #: ``predict``.
+    uses_positions: bool = False
+
     def __init__(self, input_length: int = DEFAULT_INPUT_LENGTH,
                  horizon: int = DEFAULT_HORIZON, seed: int = 0) -> None:
         if input_length < 1:

@@ -32,6 +32,7 @@ class EnsembleForecaster(Forecaster):
             )
         super().__init__(lengths.pop(), horizons.pop(), seed)
         self.members = members
+        self.uses_positions = any(m.uses_positions for m in members)
         #: absolute tick index of the validation split's first value; lets
         #: seasonal members (Arima's Fourier terms) validate in phase
         self.validation_start = validation_start
@@ -50,10 +51,9 @@ class EnsembleForecaster(Forecaster):
                 positions = self.validation_start + offsets.astype(float)
             inverse_errors = []
             for member in self.members:
-                try:
-                    prediction = member.predict(x_val, positions=positions)
-                except TypeError:
-                    prediction = member.predict(x_val)
+                prediction = (member.predict(x_val, positions=positions)
+                              if member.uses_positions
+                              else member.predict(x_val))
                 mse = float(np.mean((prediction - y_val) ** 2))
                 inverse_errors.append(1.0 / max(mse, 1e-12))
             weights = np.array(inverse_errors)
@@ -68,10 +68,9 @@ class EnsembleForecaster(Forecaster):
         windows = self._check_windows(windows)
         total = None
         for weight, member in zip(self.weights, self.members):
-            try:
-                prediction = member.predict(windows, positions=positions)
-            except TypeError:
-                prediction = member.predict(windows)
+            prediction = (member.predict(windows, positions=positions)
+                          if member.uses_positions
+                          else member.predict(windows))
             total = (weight * prediction if total is None
                      else total + weight * prediction)
         return total

@@ -30,6 +30,7 @@ class ChannelIndependentTrainer(Forecaster):
         super().__init__(base.input_length, base.horizon, base.seed)
         self.base = base
         self.name = f"CI-{base.name}"
+        self.uses_positions = base.uses_positions
 
     def fit_dataset(self, train: Dataset, validation: Dataset) -> None:
         """Fit on windows pooled from every channel of the datasets.
@@ -72,7 +73,6 @@ class ChannelIndependentTrainer(Forecaster):
     def predict(self, windows: np.ndarray,
                 positions: np.ndarray | None = None) -> np.ndarray:
         self._check_fitted()
-        try:
+        if self.base.uses_positions:
             return self.base.predict(windows, positions=positions)
-        except TypeError:
-            return self.base.predict(windows)
+        return self.base.predict(windows)

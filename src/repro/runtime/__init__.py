@@ -1,0 +1,32 @@
+"""A small deterministic task-graph runtime for the evaluation grid.
+
+The paper's experimental grid is expressed as declarative, content-
+addressed job specs (:mod:`repro.runtime.jobs`), wired into a dependency
+DAG (:mod:`repro.runtime.graph`) and executed serially or on a process
+pool through one shared cache (:mod:`repro.runtime.executor`).  The
+:class:`repro.core.scenario.Evaluation` façade builds these graphs; the
+``repro-eval grid`` CLI command exposes them directly.
+"""
+
+from repro.runtime.executor import Executor, MemoryCache, RunManifest
+from repro.runtime.graph import TaskGraph
+from repro.runtime.jobs import (CompressJob, FeatureJob, ForecastJob,
+                                JobSpec, RuntimeContext, TrainJob,
+                                evaluate_windows, freeze_kwargs,
+                                test_windows)
+
+__all__ = [
+    "CompressJob",
+    "Executor",
+    "FeatureJob",
+    "ForecastJob",
+    "JobSpec",
+    "MemoryCache",
+    "RunManifest",
+    "RuntimeContext",
+    "TaskGraph",
+    "TrainJob",
+    "evaluate_windows",
+    "freeze_kwargs",
+    "test_windows",
+]

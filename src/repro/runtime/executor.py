@@ -1,0 +1,257 @@
+"""Serial / process-pool execution of task graphs over a shared cache.
+
+The executor materializes the *target* results of a
+:class:`~repro.runtime.graph.TaskGraph`:
+
+1. every job key is probed against the cache (a cheap existence check —
+   the cache is content-addressed by job key, so one entry serves every
+   layer that asks for the same work);
+2. cache misses that a target transitively needs are executed —
+   dependencies before dependents — either serially in-process or on a
+   ``concurrent.futures`` process pool;
+3. each executed result is written back to the cache, and each job key is
+   executed at most once per run (single-flight: two grid cells sharing a
+   trained model never fit it twice).
+
+``max_workers <= 1`` (the default) runs everything serially in-process so
+results stay bit-identical with historical behaviour; jobs are pure
+functions of their spec and dependency results, so a pool produces the
+same values in the same order, just faster.
+
+Every run produces a :class:`RunManifest` (total/cached/executed job
+counts, wall time, and per-kind compute seconds) available as
+``Executor.last_manifest``.
+
+The cache is duck-typed (``contains``/``get``/``put``), normally a
+:class:`repro.core.cache.DiskCache`; ``cache=None`` uses a private
+in-memory store.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.runtime.graph import TaskGraph
+from repro.runtime.jobs import JobSpec, RuntimeContext
+
+#: sentinel distinguishing "no cached value" from a cached ``None``
+_MISSING = object()
+
+
+class MemoryCache:
+    """Fallback dict-backed cache used when no DiskCache is supplied."""
+
+    def __init__(self) -> None:
+        self._store: dict[str, Any] = {}
+
+    def contains(self, key: str) -> bool:
+        return key in self._store
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._store.get(key, default)
+
+    def put(self, key: str, value: Any) -> None:
+        self._store[key] = value
+
+
+@dataclass
+class RunManifest:
+    """What one executor run did, for logs and the CLI ``grid`` command."""
+
+    total: int = 0
+    cached: int = 0
+    executed: int = 0
+    wall_seconds: float = 0.0
+    #: summed compute seconds per job kind (CPU-side, not wall when parallel)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    #: executed job count per kind
+    phase_executed: dict[str, int] = field(default_factory=dict)
+    #: total job count per kind in the graph
+    phase_total: dict[str, int] = field(default_factory=dict)
+    workers: int = 1
+
+    def record_execution(self, kind: str, seconds: float) -> None:
+        self.executed += 1
+        self.phase_seconds[kind] = self.phase_seconds.get(kind, 0.0) + seconds
+        self.phase_executed[kind] = self.phase_executed.get(kind, 0) + 1
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of graph jobs whose results were already cached."""
+        return self.cached / self.total if self.total else 0.0
+
+    def lines(self) -> list[str]:
+        out = [f"jobs      : {self.total} total, {self.cached} cached "
+               f"({self.cache_hit_rate:.0%}), {self.executed} executed",
+               f"wall time : {self.wall_seconds:.2f}s "
+               f"({self.workers} worker{'s' if self.workers != 1 else ''})"]
+        for kind in sorted(self.phase_total):
+            executed = self.phase_executed.get(kind, 0)
+            seconds = self.phase_seconds.get(kind, 0.0)
+            out.append(f"{kind:<10s}: {executed}/{self.phase_total[kind]} "
+                       f"executed, {seconds:.2f}s compute")
+        return out
+
+    def __str__(self) -> str:
+        return "\n".join(self.lines())
+
+
+def _timed_run(job: JobSpec, ctx: RuntimeContext,
+               deps: dict[str, Any]) -> tuple[Any, float]:
+    start = time.perf_counter()
+    value = job.run(ctx, deps)
+    return value, time.perf_counter() - start
+
+
+#: per-worker-process context, created lazily on the first job
+_WORKER_CONTEXT: RuntimeContext | None = None
+
+
+def _pool_run(job: JobSpec, deps: dict[str, Any]) -> tuple[Any, float]:
+    global _WORKER_CONTEXT
+    if _WORKER_CONTEXT is None:
+        _WORKER_CONTEXT = RuntimeContext()
+    return _timed_run(job, _WORKER_CONTEXT, deps)
+
+
+class Executor:
+    """Runs task graphs serially or on a process pool, through one cache."""
+
+    def __init__(self, cache: Any = None, max_workers: int = 1) -> None:
+        self.cache = cache if cache is not None else MemoryCache()
+        self.max_workers = max_workers
+        self.last_manifest: RunManifest | None = None
+        self.context = RuntimeContext()
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, graph: TaskGraph,
+            targets: tuple[str, ...] | None = None) -> dict[str, Any]:
+        """Materialize ``targets`` (default: the graph's targets).
+
+        Returns a mapping of job key to result for every target plus any
+        dependency that had to be loaded or computed along the way.
+        """
+        start = time.perf_counter()
+        order = graph.topological_order()
+        target_keys = graph.targets if targets is None else tuple(targets)
+        manifest = RunManifest(total=len(order),
+                               phase_total=graph.counts_by_kind(),
+                               workers=max(1, self.max_workers))
+        cached = {key: self.cache.contains(key) for key in order}
+        manifest.cached = sum(cached.values())
+
+        values: dict[str, Any] = {}
+        needed = self._plan(graph, target_keys, cached)
+        if self.max_workers <= 1 or len(needed) <= 1:
+            for key in target_keys:
+                self._materialize(graph, key, values, cached, manifest)
+        else:
+            self._run_pool(graph, order, target_keys, needed, values, cached,
+                           manifest)
+
+        manifest.wall_seconds = time.perf_counter() - start
+        self.last_manifest = manifest
+        return values
+
+    # -- planning --------------------------------------------------------------
+
+    def _plan(self, graph: TaskGraph, target_keys: tuple[str, ...],
+              cached: dict[str, bool]) -> list[str]:
+        """Cache misses that must execute to materialize every target.
+
+        A cached job stops the traversal: its dependencies are only needed
+        if some *other* uncached job consumes them (pruning).  The result
+        preserves the graph's insertion order.
+        """
+        needed: set[str] = set()
+        stack = list(target_keys)
+        while stack:
+            key = stack.pop()
+            if key in needed or cached[key]:
+                continue
+            needed.add(key)
+            stack.extend(graph.dependencies(key))
+        return [key for key in graph.keys() if key in needed]
+
+    # -- serial path -----------------------------------------------------------
+
+    def _materialize(self, graph: TaskGraph, key: str, values: dict[str, Any],
+                     cached: dict[str, bool], manifest: RunManifest) -> Any:
+        """Load ``key`` from cache or execute it (recursing into deps)."""
+        if key in values:
+            return values[key]
+        if cached.get(key):
+            value = self.cache.get(key, _MISSING)
+            if value is not _MISSING:
+                values[key] = value
+                return value
+            # corrupt disk entry discovered at load time: fall through and
+            # recompute (the probe counted it as a hit; undo that)
+            cached[key] = False
+            manifest.cached -= 1
+        job = graph.job(key)
+        deps = {dep: self._materialize(graph, dep, values, cached, manifest)
+                for dep in graph.dependencies(key)}
+        value, seconds = _timed_run(job, self.context, deps)
+        manifest.record_execution(job.kind, seconds)
+        self.cache.put(key, value)
+        values[key] = value
+        return value
+
+    # -- parallel path ---------------------------------------------------------
+
+    def _run_pool(self, graph: TaskGraph, order: list[str],
+                  target_keys: tuple[str, ...], needed: list[str],
+                  values: dict[str, Any], cached: dict[str, bool],
+                  manifest: RunManifest) -> None:
+        # Materialize every cached value the needed jobs (or targets) will
+        # read, in the parent.  A corrupt entry falls back to the serial
+        # recursive path, which may shrink the needed set.
+        needed_set = set(needed)
+        for key in order:
+            wanted = (key in target_keys and key not in needed_set) or any(
+                consumer in needed_set
+                for consumer in graph.dependents(key))
+            if wanted and key not in needed_set and key not in values:
+                self._materialize(graph, key, values, cached, manifest)
+        needed = [key for key in needed if key not in values]
+        needed_set = set(needed)
+
+        pending = {key: sum(1 for dep in graph.dependencies(key)
+                            if dep in needed_set and dep not in values)
+                   for key in needed}
+        consumers: dict[str, list[str]] = {key: [] for key in needed}
+        for key in needed:
+            for dep in graph.dependencies(key):
+                if dep in needed_set:
+                    consumers[dep].append(key)
+        ready = [key for key in needed if pending[key] == 0]
+
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures: dict[Any, str] = {}
+
+            def submit(key: str) -> None:
+                job = graph.job(key)
+                deps = {dep: values[dep]
+                        for dep in graph.dependencies(key)}
+                futures[pool.submit(_pool_run, job, deps)] = key
+
+            for key in ready:
+                submit(key)
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = futures.pop(future)
+                    value, seconds = future.result()
+                    job = graph.job(key)
+                    manifest.record_execution(job.kind, seconds)
+                    self.cache.put(key, value)
+                    values[key] = value
+                    for consumer in consumers[key]:
+                        pending[consumer] -= 1
+                        if pending[consumer] == 0:
+                            submit(consumer)

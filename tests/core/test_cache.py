@@ -1,8 +1,30 @@
 """Tests for the disk cache."""
 
+import os
+import pickle
+
 import numpy as np
 
 from repro.core import DiskCache
+from repro.core.cache import MISSING
+
+
+def _raise_value_error():
+    raise ValueError("corrupt payload")
+
+
+def _raise_index_error():
+    raise IndexError("corrupt payload")
+
+
+class _Exploding:
+    """Pickles fine, but raises the configured error when loaded."""
+
+    def __init__(self, raiser):
+        self.raiser = raiser
+
+    def __reduce__(self):
+        return (self.raiser, ())
 
 
 def test_memory_layer_avoids_recompute(tmp_path):
@@ -49,3 +71,76 @@ def test_distinct_keys_do_not_collide(tmp_path):
     cache = DiskCache(str(tmp_path))
     assert cache.get_or_compute("a", lambda: 1) == 1
     assert cache.get_or_compute("b", lambda: 2) == 2
+
+
+def test_get_put_contains_primitives(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    assert not cache.contains("k")
+    assert cache.get("k") is None
+    assert cache.get("k", MISSING) is MISSING
+    cache.put("k", {"x": 3})
+    assert cache.contains("k")
+    assert cache.get("k") == {"x": 3}
+    # a fresh instance sees the disk entry without deserializing on probe
+    assert DiskCache(str(tmp_path)).contains("k")
+
+
+def test_cached_none_is_distinguishable_from_miss(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    cache.put("k", None)
+    assert cache.contains("k")
+    assert cache.get("k", MISSING) is None
+
+
+def test_entry_raising_value_error_recomputed(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    with open(cache._path("k"), "wb") as handle:
+        pickle.dump(_Exploding(_raise_value_error), handle)
+    assert cache.get_or_compute("k", lambda: 41) == 41
+    # the corrupt file was removed and replaced by the recomputed value
+    assert DiskCache(str(tmp_path)).get("k") == 41
+
+
+def test_entry_raising_index_error_recomputed(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    with open(cache._path("k"), "wb") as handle:
+        pickle.dump(_Exploding(_raise_index_error), handle)
+    assert cache.get_or_compute("k", lambda: 42) == 42
+
+
+def test_entry_referencing_removed_module_recomputed(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    # a stale pickle whose global no longer exists raises ImportError
+    with open(cache._path("k"), "wb") as handle:
+        handle.write(b"cno_such_repro_module\nMissingClass\n.")
+    assert cache.get_or_compute("k", lambda: 43) == 43
+
+
+def test_truncated_pickle_recomputed(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    cache.put("k", list(range(100)))
+    path = cache._path("k")
+    with open(path, "rb") as handle:
+        payload = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(payload[:len(payload) // 2])
+    fresh = DiskCache(str(tmp_path))
+    assert fresh.get_or_compute("k", lambda: "recomputed") == "recomputed"
+
+
+def test_corrupt_removal_race_is_suppressed(tmp_path, monkeypatch):
+    """A concurrent process may delete the corrupt file first."""
+    import repro.core.cache as cache_module
+
+    cache = DiskCache(str(tmp_path))
+    with open(cache._path("k"), "wb") as handle:
+        handle.write(b"not a pickle")
+
+    real_remove = os.remove
+
+    def racing_remove(path):
+        real_remove(path)  # the other process wins the race ...
+        raise FileNotFoundError(path)  # ... and ours fails
+
+    monkeypatch.setattr(cache_module.os, "remove", racing_remove)
+    assert cache.get_or_compute("k", lambda: 7) == 7

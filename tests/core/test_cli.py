@@ -45,6 +45,31 @@ def test_command_required():
         build_parser().parse_args([])
 
 
+def test_grid_runs_and_reports_manifest(capsys, tmp_path):
+    argv = ["grid", "--datasets", "ETTm1", "--models", "Arima",
+            "--methods", "PMC", "--error-bounds", "0.1", "0.4",
+            "--length", "1500", "--workers", "1",
+            "--cache-dir", str(tmp_path)]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "run manifest" in out
+    assert "executed" in out and "cached" in out
+    assert "records digest" in out
+    digest = [line for line in out.splitlines()
+              if line.startswith("records digest")][0]
+
+    # warm rerun: everything served from cache, identical records
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "0 executed" in warm
+    assert digest in warm
+
+
+def test_grid_rejects_unknown_model():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["grid", "--models", "NotAModel"])
+
+
 def test_evaluate_fast_model(capsys):
     assert main(["evaluate", "--dataset", "ETTm1", "--model", "Arima",
                  "--length", "1500", "--error-bounds", "0.1", "0.4"]) == 0
