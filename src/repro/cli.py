@@ -10,8 +10,12 @@ Subcommands:
   one (model, dataset) pair: baseline NRMSE plus TFE per method and bound
 - ``repro-eval grid --datasets ETTm1 Weather --models Arima DLinear
   --workers 4`` — run an arbitrary sub-grid through the task-graph runtime
-  and print the run manifest (jobs total/cached/executed, wall time per
-  phase) plus a digest of the resulting records
+  and print the run manifest (jobs planned/cached/executed, wall time per
+  phase, failures) plus a digest of the resulting records.  ``--timeout``
+  bounds each job attempt, ``--retries`` re-runs transient failures, and
+  ``--keep-going`` completes every independent cell when one fails (exit
+  code 0, with the failure listed in the manifest) instead of aborting
+  with a ``JobError`` (exit code 1).
 
 All subcommands accept ``--length`` to control the synthetic series length.
 """
@@ -74,6 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="shared job cache ('' disables caching)")
     grid.add_argument("--retrain", action="store_true",
                       help="also train on decompressed data (Figure 7)")
+    grid.add_argument("--timeout", type=float, default=None,
+                      help="per-job attempt timeout in seconds")
+    grid.add_argument("--retries", type=int, default=0,
+                      help="extra attempts per failing job")
+    grid.add_argument("--keep-going", action="store_true",
+                      help="isolate failing cells (recorded in the "
+                           "manifest) instead of aborting the run")
     return parser
 
 
@@ -157,8 +168,11 @@ def _records_digest(records) -> str:
 
 
 def _command_grid(args: argparse.Namespace) -> int:
+    import math
+
     from repro.core import Evaluation, EvaluationConfig, tfe_table
     from repro.core.results import RAW, mean_over_seeds
+    from repro.runtime import JobError
 
     config = EvaluationConfig(
         datasets=tuple(args.datasets),
@@ -170,6 +184,9 @@ def _command_grid(args: argparse.Namespace) -> int:
         simple_seeds=args.seeds,
         cache_dir=args.cache_dir or None,
         max_workers=args.workers,
+        job_timeout=args.timeout,
+        job_retries=args.retries,
+        keep_going=args.keep_going,
     )
     evaluation = Evaluation(config)
     cells = (len(config.datasets) * len(config.models)
@@ -178,7 +195,17 @@ def _command_grid(args: argparse.Namespace) -> int:
           f"models x {len(config.compressors)} methods x "
           f"{len(config.error_bounds)} bounds = {cells} cells "
           f"(+ baselines), workers={args.workers}")
-    records = evaluation.grid_records(retrained=args.retrain)
+    try:
+        records = evaluation.grid_records(retrained=args.retrain)
+    except JobError as error:
+        if evaluation.last_manifest is not None:
+            print("\nrun manifest:")
+            for line in evaluation.last_manifest.lines():
+                print(f"  {line}")
+        print(f"\nerror: {error}", file=sys.stderr)
+        print("hint: re-run with --keep-going to isolate the failing cell",
+              file=sys.stderr)
+        return 1
 
     print("\nrun manifest:")
     for line in evaluation.last_manifest.lines():
@@ -187,17 +214,27 @@ def _command_grid(args: argparse.Namespace) -> int:
     print(f"records digest: {_records_digest(records)}")
 
     means = mean_over_seeds(records)
-    table = tfe_table(records)
+    # a failed baseline cell (keep-going) leaves a (dataset, model) pair
+    # without a RAW denominator; compute TFE only where one exists
+    have_baseline = {(dataset, model)
+                     for (dataset, model, method, _, retrained) in means
+                     if method == RAW and not retrained}
+    table = tfe_table([r for r in records
+                       if (r.dataset, r.model) in have_baseline])
     print(f"\n{'dataset':<10s}{'model':<12s}{'baseline NRMSE':>15s}"
           f"{'worst TFE':>11s}")
     for dataset in config.datasets:
         for model in config.models:
-            baseline = means[(dataset, model, RAW, 0.0, False)]["NRMSE"]
-            worst = max(table[(dataset, model, method, bound, args.retrain)]
-                        for method in config.compressors
-                        for bound in config.error_bounds)
-            print(f"{dataset:<10s}{model:<12s}{baseline:>15.4f}"
-                  f"{worst:>+11.2%}")
+            metrics = means.get((dataset, model, RAW, 0.0, False))
+            tfes = [cell for method in config.compressors
+                    for bound in config.error_bounds
+                    if (cell := table.get((dataset, model, method, bound,
+                                           args.retrain))) is not None
+                    and not math.isnan(cell)]
+            baseline = (f"{metrics['NRMSE']:>15.4f}" if metrics
+                        else f"{'failed':>15s}")
+            worst = f"{max(tfes):>+11.2%}" if tfes else f"{'n/a':>11s}"
+            print(f"{dataset:<10s}{model:<12s}{baseline}{worst}")
     return 0
 
 

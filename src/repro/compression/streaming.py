@@ -113,6 +113,10 @@ class OnlinePMC(OnlineCompressor):
         new_lo = max(self._lo, value - allowed)
         new_hi = min(self._hi, value + allowed)
         new_sum = self._sum + value
+        # prospective segment length if `value` joins the window; closing at
+        # `> max` caps emitted segments at exactly max_segment_length, the
+        # same predicate as OnlineSwing and the batch PMC (pinned by the
+        # boundary tests in tests/compression/test_streaming.py)
         count = self._count + 1
         mean = new_sum / count
         if count > self.max_segment_length or not new_lo <= mean <= new_hi:
@@ -160,7 +164,13 @@ class OnlineSwing(OnlineCompressor):
         run = self._run + 1
         new_lo = max(self._slope_lo, (value - allowed - self._anchor) / run)
         new_hi = min(self._slope_hi, (value + allowed - self._anchor) / run)
-        if run + 1 > self.max_segment_length or new_lo > new_hi:
+        # `run` counts points after the anchor, so `run + 1` is the
+        # prospective segment length if `value` joins — the same
+        # "prospective length > max" predicate as OnlinePMC (whose `count`
+        # already includes the anchor) and the batch Swing; segments are
+        # capped at exactly max_segment_length on all four paths
+        prospective_length = run + 1
+        if prospective_length > self.max_segment_length or new_lo > new_hi:
             self._close()
             self._anchor = value
             self._run = 0

@@ -89,13 +89,25 @@ class DiskCache:
         return default
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` in memory and (atomically) on disk."""
-        self._memory[key] = value
+        """Store ``value`` under ``key`` in memory and (atomically) on disk.
+
+        The temporary file is pid-suffixed so two processes sharing one
+        cache directory cannot clobber each other's half-written entry,
+        and it is removed if serialization fails partway — a failed ``put``
+        never leaves a stray ``.tmp``, a torn final file, or a phantom
+        in-memory entry behind.
+        """
         if self.directory is not None:
-            temporary = self._path(key) + ".tmp"
-            with open(temporary, "wb") as handle:
-                pickle.dump(value, handle)
+            temporary = f"{self._path(key)}.{os.getpid()}.tmp"
+            try:
+                with open(temporary, "wb") as handle:
+                    pickle.dump(value, handle)
+            except BaseException:
+                with contextlib.suppress(FileNotFoundError):
+                    os.remove(temporary)
+                raise
             os.replace(temporary, self._path(key))
+        self._memory[key] = value
 
     def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing it on a miss."""

@@ -41,6 +41,14 @@ class EvaluationConfig:
     #: process-pool size for the task-graph executor; 1 = serial execution
     #: in-process (bit-identical to the historical orchestration)
     max_workers: int = 1
+    #: per-job attempt timeout in seconds (None = unlimited); enforced via
+    #: SIGALRM in-process and inside each pool worker
+    job_timeout: float | None = None
+    #: extra attempts per failing job before it counts as failed
+    job_retries: int = 0
+    #: True isolates a failing job to its dependent subtree (recorded as a
+    #: ``FailureRecord`` in the run manifest) instead of raising ``JobError``
+    keep_going: bool = False
     #: extra keyword arguments per model name
     model_kwargs: dict = field(default_factory=dict)
 

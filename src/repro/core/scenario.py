@@ -26,7 +26,7 @@ from repro.datasets.timeseries import Dataset, TimeSeries
 from repro.forecasting.base import Forecaster
 from repro.metrics.pointwise import METRICS
 from repro.metrics.errors import transformation_error
-from repro.runtime.executor import Executor, RunManifest
+from repro.runtime.executor import Executor, FailureRecord, RunManifest
 from repro.runtime.graph import TaskGraph
 from repro.runtime.jobs import (CompressJob, FeatureJob, ForecastJob,
                                 JobSpec, TrainJob, freeze_kwargs)
@@ -39,7 +39,10 @@ class Evaluation:
         self.config = config or EvaluationConfig()
         self._cache = DiskCache(self.config.cache_dir)
         self._executor = Executor(self._cache,
-                                  max_workers=self.config.max_workers)
+                                  max_workers=self.config.max_workers,
+                                  job_timeout=self.config.job_timeout,
+                                  job_retries=self.config.job_retries,
+                                  keep_going=self.config.keep_going)
         self._context = self._executor.context
 
     @property
@@ -51,6 +54,12 @@ class Evaluation:
     def last_manifest(self) -> RunManifest | None:
         """Manifest of the most recent graph run (None before any run)."""
         return self._executor.last_manifest
+
+    @property
+    def last_failures(self) -> list[FailureRecord]:
+        """Per-cell failure records of the most recent run (keep-going)."""
+        manifest = self._executor.last_manifest
+        return list(manifest.failures) if manifest is not None else []
 
     def _run(self, jobs: list[JobSpec]) -> dict[str, object]:
         graph = TaskGraph()
@@ -173,8 +182,14 @@ class Evaluation:
                 for seed in self.config.seeds_for(model_name)]
 
     def _collect(self, jobs: list[ForecastJob]) -> list[ScenarioRecord]:
+        """Records for every completed cell, in job order.
+
+        With ``keep_going`` enabled, failed or skipped cells are absent
+        from the executor's result and therefore from the returned list —
+        their per-cell status is in :attr:`last_failures` / the manifest.
+        """
         values = self._run(jobs)
-        return [values[job.key()] for job in jobs]
+        return [values[job.key()] for job in jobs if job.key() in values]
 
     def baseline_records(self, model_name: str, dataset_name: str
                          ) -> list[ScenarioRecord]:
@@ -216,6 +231,12 @@ class Evaluation:
         and forecasting across every (dataset, model) pair — with
         ``max_workers > 1`` the full grid saturates the pool instead of
         synchronizing at each pair like per-method calls would.
+
+        With ``EvaluationConfig.keep_going`` a failing cell no longer
+        aborts the run: every independent cell still completes and is
+        returned, while the failed cell's status (kind, key, exception,
+        attempts) is reported in :attr:`last_failures` and the manifest's
+        failure section instead of raising.
         """
         datasets = datasets or self.config.datasets
         models = models or self.config.models
@@ -245,4 +266,5 @@ class Evaluation:
                     error_bound)
                 for method in methods for error_bound in error_bounds}
         values = self._run(list(jobs.values()))
-        return {cell: values[job.key()] for cell, job in jobs.items()}
+        return {cell: values[job.key()] for cell, job in jobs.items()
+                if job.key() in values}

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.datasets.timeseries import TimeSeries
@@ -30,9 +32,17 @@ def tfe(baseline_error: float, transformed_error: float) -> float:
     ``TFE = (D(F(T(X)), y) - D(F(X), y)) / D(F(X), y)``.  Negative values
     mean compression *improved* the forecast; positive values mean it
     degraded.
+
+    A zero baseline (a perfect forecast on a degenerate window, e.g. a
+    constant Solar night) leaves TFE undefined: the relative change has no
+    denominator.  Returns ``math.nan`` in that case so record-building can
+    carry the cell through instead of crashing the evaluation; only a
+    negative baseline — impossible for a distance metric — raises.
     """
-    if baseline_error <= 0.0:
+    if baseline_error < 0.0:
         raise ValueError(
-            f"baseline forecasting error must be positive, got {baseline_error}"
+            f"baseline forecasting error must be non-negative, got {baseline_error}"
         )
+    if baseline_error == 0.0:
+        return math.nan  # TFE undefined
     return (transformed_error - baseline_error) / baseline_error

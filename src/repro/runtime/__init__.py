@@ -8,7 +8,9 @@ pool through one shared cache (:mod:`repro.runtime.executor`).  The
 ``repro-eval grid`` CLI command exposes them directly.
 """
 
-from repro.runtime.executor import Executor, MemoryCache, RunManifest
+from repro.runtime.executor import (Executor, FailureRecord, InjectedFailure,
+                                    JobError, JobTimeoutError, MemoryCache,
+                                    RunManifest)
 from repro.runtime.graph import TaskGraph
 from repro.runtime.jobs import (CompressJob, FeatureJob, ForecastJob,
                                 JobSpec, RuntimeContext, TrainJob,
@@ -18,9 +20,13 @@ from repro.runtime.jobs import (CompressJob, FeatureJob, ForecastJob,
 __all__ = [
     "CompressJob",
     "Executor",
+    "FailureRecord",
     "FeatureJob",
     "ForecastJob",
+    "InjectedFailure",
+    "JobError",
     "JobSpec",
+    "JobTimeoutError",
     "MemoryCache",
     "RunManifest",
     "RuntimeContext",

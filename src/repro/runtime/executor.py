@@ -3,9 +3,11 @@
 The executor materializes the *target* results of a
 :class:`~repro.runtime.graph.TaskGraph`:
 
-1. every job key is probed against the cache (a cheap existence check —
-   the cache is content-addressed by job key, so one entry serves every
-   layer that asks for the same work);
+1. job keys are probed against the cache lazily while planning (a cheap
+   existence check — the cache is content-addressed by job key, so one
+   entry serves every layer that asks for the same work); probing and
+   manifest accounting are restricted to the subtree a run actually
+   plans, not the whole graph;
 2. cache misses that a target transitively needs are executed —
    dependencies before dependents — either serially in-process or on a
    ``concurrent.futures`` process pool;
@@ -18,9 +20,38 @@ results stay bit-identical with historical behaviour; jobs are pure
 functions of their spec and dependency results, so a pool produces the
 same values in the same order, just faster.
 
-Every run produces a :class:`RunManifest` (total/cached/executed job
-counts, wall time, and per-kind compute seconds) available as
-``Executor.last_manifest``.
+Fault tolerance
+---------------
+
+Any single grid cell can fail (an ill-conditioned ARIMA fit, a worker
+killed by the OOM killer), and hours of sibling work must survive it:
+
+- ``job_retries`` re-runs a failing job (transient errors, corrupt-cache
+  recomputes, ``BrokenProcessPool``) with linear backoff on the serial
+  path and immediate resubmission on the pool path;
+- ``job_timeout`` bounds each attempt's run time via ``SIGALRM`` (applied
+  in-process serially and inside each pool worker, so a hung job fails
+  without breaking the pool); platforms without ``SIGALRM`` skip
+  enforcement;
+- ``keep_going=False`` (the default) wraps the first exhausted failure in
+  a :class:`JobError` naming the job's kind and key, cancels outstanding
+  futures, and shuts pool workers down cleanly — no leaked processes;
+- ``keep_going=True`` records a structured :class:`FailureRecord` in the
+  manifest instead, skips the failing job's dependent subtree, and still
+  completes every independent cell.  Failed and skipped jobs are simply
+  absent from the returned mapping.
+
+Both paths produce identical failure semantics and byte-identical results
+for healthy cells.
+
+Setting the ``REPRO_INJECT_FAILURE`` environment variable to a
+colon-separated list of substrings makes every job whose ``kind + repr``
+contains all of them raise :class:`InjectedFailure` — the fault-injection
+hook used by tests and the CI smoke.
+
+Every run produces a :class:`RunManifest` (planned/cached/executed job
+counts, failures, wall time, and per-kind compute seconds) available as
+``Executor.last_manifest`` — even when the run raised.
 
 The cache is duck-typed (``contains``/``get``/``put``), normally a
 :class:`repro.core.cache.DiskCache`; ``cache=None`` uses a private
@@ -29,8 +60,13 @@ in-memory store.
 
 from __future__ import annotations
 
+import contextlib
+import os
+import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -39,6 +75,91 @@ from repro.runtime.jobs import JobSpec, RuntimeContext
 
 #: sentinel distinguishing "no cached value" from a cached ``None``
 _MISSING = object()
+
+#: sentinel returned by the serial path for failed or skipped jobs
+_FAILED = object()
+
+#: environment variable holding colon-separated substrings; a job whose
+#: ``f"{kind} {spec!r}"`` contains all of them raises :class:`InjectedFailure`
+INJECT_ENV = "REPRO_INJECT_FAILURE"
+
+
+class InjectedFailure(RuntimeError):
+    """Deterministic failure raised by the ``REPRO_INJECT_FAILURE`` hook."""
+
+
+class JobTimeoutError(Exception):
+    """A single job attempt exceeded the executor's ``job_timeout``."""
+
+
+def _maybe_inject_failure(job: JobSpec) -> None:
+    spec = os.environ.get(INJECT_ENV)
+    if not spec:
+        return
+    haystack = f"{job.kind} {job!r}"
+    if all(token in haystack for token in spec.split(":") if token):
+        raise InjectedFailure(
+            f"injected failure: {INJECT_ENV}={spec!r} matches {job.describe()}")
+
+
+@contextlib.contextmanager
+def _deadline(seconds: float | None):
+    """Raise :class:`JobTimeoutError` if the body runs longer than ``seconds``.
+
+    Uses ``SIGALRM``, so enforcement happens in-process — inside each pool
+    worker the job's own process raises, keeping the pool healthy instead
+    of requiring a worker kill.  No-op when ``seconds`` is falsy, on
+    platforms without ``SIGALRM``, or off the main thread (signals can only
+    be installed there).
+    """
+    if (not seconds or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise JobTimeoutError(f"job exceeded the {seconds}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One job that exhausted its attempts, as recorded in the manifest."""
+
+    kind: str
+    key: str
+    #: human-readable spec (``JobSpec.describe()``)
+    description: str
+    #: ``repr()`` of the final exception
+    error: str
+    #: total attempts made (1 = no retries configured or needed)
+    attempts: int
+
+
+class JobError(RuntimeError):
+    """A job failed in fail-fast mode; names the failing job's kind and key."""
+
+    def __init__(self, failure: FailureRecord) -> None:
+        super().__init__(
+            f"{failure.description} [{failure.key}] failed after "
+            f"{failure.attempts} attempt{'s' if failure.attempts != 1 else ''}"
+            f": {failure.error}")
+        self.failure = failure
+
+    @property
+    def kind(self) -> str:
+        return self.failure.kind
+
+    @property
+    def key(self) -> str:
+        return self.failure.key
 
 
 class MemoryCache:
@@ -59,7 +180,13 @@ class MemoryCache:
 
 @dataclass
 class RunManifest:
-    """What one executor run did, for logs and the CLI ``grid`` command."""
+    """What one executor run did, for logs and the CLI ``grid`` command.
+
+    Counts cover the *planned subtree* — the targets plus every dependency
+    that had to be probed to materialize them — not the whole graph, so
+    the cache hit rate reflects the requested work and large grids never
+    pay O(graph) disk stats for a one-cell run.
+    """
 
     total: int = 0
     cached: int = 0
@@ -69,9 +196,19 @@ class RunManifest:
     phase_seconds: dict[str, float] = field(default_factory=dict)
     #: executed job count per kind
     phase_executed: dict[str, int] = field(default_factory=dict)
-    #: total job count per kind in the graph
+    #: planned job count per kind
     phase_total: dict[str, int] = field(default_factory=dict)
     workers: int = 1
+    #: jobs that exhausted their attempts (keep-going and fail-fast alike)
+    failures: list[FailureRecord] = field(default_factory=list)
+    #: keys skipped because an upstream dependency failed (keep-going mode)
+    skipped: list[str] = field(default_factory=list)
+
+    def record_probe(self, kind: str, hit: bool) -> None:
+        self.total += 1
+        self.phase_total[kind] = self.phase_total.get(kind, 0) + 1
+        if hit:
+            self.cached += 1
 
     def record_execution(self, kind: str, seconds: float) -> None:
         self.executed += 1
@@ -80,11 +217,11 @@ class RunManifest:
 
     @property
     def cache_hit_rate(self) -> float:
-        """Fraction of graph jobs whose results were already cached."""
+        """Fraction of planned jobs whose results were already cached."""
         return self.cached / self.total if self.total else 0.0
 
     def lines(self) -> list[str]:
-        out = [f"jobs      : {self.total} total, {self.cached} cached "
+        out = [f"jobs      : {self.total} planned, {self.cached} cached "
                f"({self.cache_hit_rate:.0%}), {self.executed} executed",
                f"wall time : {self.wall_seconds:.2f}s "
                f"({self.workers} worker{'s' if self.workers != 1 else ''})"]
@@ -93,16 +230,25 @@ class RunManifest:
             seconds = self.phase_seconds.get(kind, 0.0)
             out.append(f"{kind:<10s}: {executed}/{self.phase_total[kind]} "
                        f"executed, {seconds:.2f}s compute")
+        if self.failures or self.skipped:
+            out.append(f"failures  : {len(self.failures)} failed, "
+                       f"{len(self.skipped)} skipped downstream")
+            for failure in self.failures:
+                plural = "s" if failure.attempts != 1 else ""
+                out.append(f"  {failure.description}: {failure.error} "
+                           f"({failure.attempts} attempt{plural})")
         return out
 
     def __str__(self) -> str:
         return "\n".join(self.lines())
 
 
-def _timed_run(job: JobSpec, ctx: RuntimeContext,
-               deps: dict[str, Any]) -> tuple[Any, float]:
+def _timed_run(job: JobSpec, ctx: RuntimeContext, deps: dict[str, Any],
+               timeout: float | None = None) -> tuple[Any, float]:
+    _maybe_inject_failure(job)
     start = time.perf_counter()
-    value = job.run(ctx, deps)
+    with _deadline(timeout):
+        value = job.run(ctx, deps)
     return value, time.perf_counter() - start
 
 
@@ -110,19 +256,27 @@ def _timed_run(job: JobSpec, ctx: RuntimeContext,
 _WORKER_CONTEXT: RuntimeContext | None = None
 
 
-def _pool_run(job: JobSpec, deps: dict[str, Any]) -> tuple[Any, float]:
+def _pool_run(job: JobSpec, deps: dict[str, Any],
+              timeout: float | None = None) -> tuple[Any, float]:
     global _WORKER_CONTEXT
     if _WORKER_CONTEXT is None:
         _WORKER_CONTEXT = RuntimeContext()
-    return _timed_run(job, _WORKER_CONTEXT, deps)
+    return _timed_run(job, _WORKER_CONTEXT, deps, timeout)
 
 
 class Executor:
     """Runs task graphs serially or on a process pool, through one cache."""
 
-    def __init__(self, cache: Any = None, max_workers: int = 1) -> None:
+    def __init__(self, cache: Any = None, max_workers: int = 1,
+                 job_timeout: float | None = None, job_retries: int = 0,
+                 keep_going: bool = False,
+                 retry_backoff: float = 0.1) -> None:
         self.cache = cache if cache is not None else MemoryCache()
         self.max_workers = max_workers
+        self.job_timeout = job_timeout
+        self.job_retries = max(0, job_retries)
+        self.keep_going = keep_going
+        self.retry_backoff = retry_backoff
         self.last_manifest: RunManifest | None = None
         self.context = RuntimeContext()
 
@@ -133,58 +287,107 @@ class Executor:
         """Materialize ``targets`` (default: the graph's targets).
 
         Returns a mapping of job key to result for every target plus any
-        dependency that had to be loaded or computed along the way.
+        dependency that had to be loaded or computed along the way.  In
+        keep-going mode, failed jobs and their skipped dependents are
+        absent from the mapping and described by ``last_manifest``; in
+        fail-fast mode (the default) the first exhausted failure raises
+        :class:`JobError`.
         """
         start = time.perf_counter()
-        order = graph.topological_order()
+        order = graph.topological_order()  # also rejects cyclic graphs
         target_keys = graph.targets if targets is None else tuple(targets)
-        manifest = RunManifest(total=len(order),
-                               phase_total=graph.counts_by_kind(),
-                               workers=max(1, self.max_workers))
-        cached = {key: self.cache.contains(key) for key in order}
-        manifest.cached = sum(cached.values())
+        manifest = RunManifest(workers=max(1, self.max_workers))
+        self.last_manifest = manifest
 
         values: dict[str, Any] = {}
-        needed = self._plan(graph, target_keys, cached)
-        if self.max_workers <= 1 or len(needed) <= 1:
-            for key in target_keys:
-                self._materialize(graph, key, values, cached, manifest)
-        else:
-            self._run_pool(graph, order, target_keys, needed, values, cached,
-                           manifest)
-
-        manifest.wall_seconds = time.perf_counter() - start
-        self.last_manifest = manifest
+        cached: dict[str, bool] = {}
+        poisoned: set[str] = set()
+        try:
+            needed = self._plan(graph, target_keys, cached, manifest)
+            if self.max_workers <= 1 or len(needed) <= 1:
+                for key in target_keys:
+                    self._materialize(graph, key, values, cached, manifest,
+                                      poisoned)
+            else:
+                self._run_pool(graph, order, target_keys, needed, values,
+                               cached, manifest, poisoned)
+        finally:
+            manifest.wall_seconds = time.perf_counter() - start
         return values
 
     # -- planning --------------------------------------------------------------
 
+    def _probe(self, graph: TaskGraph, key: str, cached: dict[str, bool],
+               manifest: RunManifest) -> bool:
+        """Memoized cache probe; the first probe of a key is accounted."""
+        if key not in cached:
+            hit = bool(self.cache.contains(key))
+            cached[key] = hit
+            manifest.record_probe(graph.job(key).kind, hit)
+        return cached[key]
+
     def _plan(self, graph: TaskGraph, target_keys: tuple[str, ...],
-              cached: dict[str, bool]) -> list[str]:
+              cached: dict[str, bool], manifest: RunManifest) -> list[str]:
         """Cache misses that must execute to materialize every target.
 
         A cached job stops the traversal: its dependencies are only needed
-        if some *other* uncached job consumes them (pruning).  The result
-        preserves the graph's insertion order.
+        if some *other* uncached job consumes them (pruning).  Only visited
+        jobs are probed and counted in the manifest.  The result preserves
+        the graph's insertion order.
         """
         needed: set[str] = set()
         stack = list(target_keys)
         while stack:
             key = stack.pop()
-            if key in needed or cached[key]:
+            if key in needed or self._probe(graph, key, cached, manifest):
                 continue
             needed.add(key)
             stack.extend(graph.dependencies(key))
         return [key for key in graph.keys() if key in needed]
 
+    # -- failure bookkeeping ---------------------------------------------------
+
+    def _fail(self, job: JobSpec, key: str, error: BaseException,
+              attempts: int, manifest: RunManifest,
+              poisoned: set[str]) -> None:
+        """Record an exhausted failure; raise :class:`JobError` unless
+        running in keep-going mode."""
+        failure = FailureRecord(kind=job.kind, key=key,
+                                description=job.describe(),
+                                error=repr(error), attempts=attempts)
+        manifest.failures.append(failure)
+        poisoned.add(key)
+        if not self.keep_going:
+            raise JobError(failure) from error
+
+    @staticmethod
+    def _skip_subtree(keys: list[str], consumers: dict[str, list[str]],
+                      poisoned: set[str], manifest: RunManifest) -> None:
+        """Mark ``keys`` and their transitive consumers as skipped."""
+        stack = list(keys)
+        while stack:
+            key = stack.pop()
+            if key in poisoned:
+                continue
+            poisoned.add(key)
+            manifest.skipped.append(key)
+            stack.extend(consumers.get(key, ()))
+
     # -- serial path -----------------------------------------------------------
 
     def _materialize(self, graph: TaskGraph, key: str, values: dict[str, Any],
-                     cached: dict[str, bool], manifest: RunManifest) -> Any:
-        """Load ``key`` from cache or execute it (recursing into deps)."""
+                     cached: dict[str, bool], manifest: RunManifest,
+                     poisoned: set[str]) -> Any:
+        """Load ``key`` from cache or execute it (recursing into deps).
+
+        Returns the ``_FAILED`` sentinel for failed or skipped jobs in
+        keep-going mode (fail-fast raises before the sentinel can spread).
+        """
         if key in values:
             return values[key]
-        if cached.get(key):
+        if key in poisoned:
+            return _FAILED
+        if self._probe(graph, key, cached, manifest):
             value = self.cache.get(key, _MISSING)
             if value is not _MISSING:
                 values[key] = value
@@ -194,31 +397,67 @@ class Executor:
             cached[key] = False
             manifest.cached -= 1
         job = graph.job(key)
-        deps = {dep: self._materialize(graph, dep, values, cached, manifest)
-                for dep in graph.dependencies(key)}
-        value, seconds = _timed_run(job, self.context, deps)
-        manifest.record_execution(job.kind, seconds)
+        deps: dict[str, Any] = {}
+        upstream_failed = False
+        for dep in graph.dependencies(key):
+            # materialize every dependency even after one fails so healthy
+            # siblings stay warm in the cache and the executed set matches
+            # the pool path's
+            result = self._materialize(graph, dep, values, cached, manifest,
+                                       poisoned)
+            if result is _FAILED:
+                upstream_failed = True
+            else:
+                deps[dep] = result
+        if upstream_failed:
+            poisoned.add(key)
+            manifest.skipped.append(key)
+            return _FAILED
+        value = self._execute_serial(job, key, deps, manifest, poisoned)
+        if value is _FAILED:
+            return _FAILED
         self.cache.put(key, value)
         values[key] = value
         return value
+
+    def _execute_serial(self, job: JobSpec, key: str, deps: dict[str, Any],
+                        manifest: RunManifest, poisoned: set[str]) -> Any:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                value, seconds = _timed_run(job, self.context, deps,
+                                            self.job_timeout)
+            except Exception as error:
+                if attempts <= self.job_retries:
+                    if self.retry_backoff:
+                        time.sleep(self.retry_backoff * attempts)
+                    continue
+                self._fail(job, key, error, attempts, manifest, poisoned)
+                return _FAILED
+            manifest.record_execution(job.kind, seconds)
+            return value
 
     # -- parallel path ---------------------------------------------------------
 
     def _run_pool(self, graph: TaskGraph, order: list[str],
                   target_keys: tuple[str, ...], needed: list[str],
                   values: dict[str, Any], cached: dict[str, bool],
-                  manifest: RunManifest) -> None:
+                  manifest: RunManifest, poisoned: set[str]) -> None:
         # Materialize every cached value the needed jobs (or targets) will
         # read, in the parent.  A corrupt entry falls back to the serial
-        # recursive path, which may shrink the needed set.
+        # recursive path, which may shrink the needed set — and, in
+        # keep-going mode, may poison consumers like any other failure.
         needed_set = set(needed)
         for key in order:
             wanted = (key in target_keys and key not in needed_set) or any(
                 consumer in needed_set
                 for consumer in graph.dependents(key))
             if wanted and key not in needed_set and key not in values:
-                self._materialize(graph, key, values, cached, manifest)
-        needed = [key for key in needed if key not in values]
+                self._materialize(graph, key, values, cached, manifest,
+                                  poisoned)
+        needed = [key for key in needed
+                  if key not in values and key not in poisoned]
         needed_set = set(needed)
 
         pending = {key: sum(1 for dep in graph.dependencies(key)
@@ -229,29 +468,76 @@ class Executor:
             for dep in graph.dependencies(key):
                 if dep in needed_set:
                     consumers[dep].append(key)
-        ready = [key for key in needed if pending[key] == 0]
+        # jobs whose upstream already failed during pre-materialization
+        for key in needed:
+            if key not in poisoned and any(
+                    dep in poisoned for dep in graph.dependencies(key)):
+                self._skip_subtree([key], consumers, poisoned, manifest)
+        ready = [key for key in needed
+                 if pending[key] == 0 and key not in poisoned]
 
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            futures: dict[Any, str] = {}
+        attempts = {key: 0 for key in needed}
+        pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        futures: dict[Any, str] = {}
 
-            def submit(key: str) -> None:
-                job = graph.job(key)
-                deps = {dep: values[dep]
-                        for dep in graph.dependencies(key)}
-                futures[pool.submit(_pool_run, job, deps)] = key
+        def submit(key: str) -> None:
+            job = graph.job(key)
+            deps = {dep: values[dep] for dep in graph.dependencies(key)}
+            attempts[key] += 1
+            futures[pool.submit(_pool_run, job, deps,
+                                self.job_timeout)] = key
 
+        try:
             for key in ready:
                 submit(key)
             while futures:
                 done, _ = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
-                    key = futures.pop(future)
-                    value, seconds = future.result()
+                    key = futures.pop(future, None)
+                    if key is None:
+                        continue  # cleared by a pool restart below
                     job = graph.job(key)
+                    try:
+                        value, seconds = future.result()
+                    except BrokenProcessPool as error:
+                        # the pool is dead and every in-flight future died
+                        # with it: restart it, resubmit survivors, and fail
+                        # the jobs that exhausted their attempts
+                        in_flight = [key] + list(futures.values())
+                        futures.clear()
+                        pool.shutdown(wait=True)
+                        pool = ProcessPoolExecutor(
+                            max_workers=self.max_workers)
+                        for flown in in_flight:
+                            if attempts[flown] <= self.job_retries:
+                                submit(flown)
+                            else:
+                                self._fail(graph.job(flown), flown, error,
+                                           attempts[flown], manifest,
+                                           poisoned)
+                                self._skip_subtree(consumers.get(flown, []),
+                                                   consumers, poisoned,
+                                                   manifest)
+                        break  # the futures map changed: wait again
+                    except Exception as error:
+                        if attempts[key] <= self.job_retries:
+                            submit(key)
+                            continue
+                        self._fail(job, key, error, attempts[key], manifest,
+                                   poisoned)
+                        self._skip_subtree(consumers.get(key, []), consumers,
+                                           poisoned, manifest)
+                        continue
                     manifest.record_execution(job.kind, seconds)
                     self.cache.put(key, value)
                     values[key] = value
                     for consumer in consumers[key]:
                         pending[consumer] -= 1
-                        if pending[consumer] == 0:
+                        if pending[consumer] == 0 and consumer not in poisoned:
                             submit(consumer)
+        finally:
+            # fail-fast exit (or any error): cancel what never started and
+            # join the workers so no process outlives the run
+            for future in futures:
+                future.cancel()
+            pool.shutdown(wait=True, cancel_futures=True)

@@ -128,6 +128,17 @@ class JobSpec:
         digest = hashlib.sha1(payload.encode()).hexdigest()[:24]
         return f"{self.kind}-{digest}"
 
+    def describe(self) -> str:
+        """One human-readable line naming the job, for failure reports.
+
+        ``JobError`` messages and manifest ``FailureRecord`` lines use this
+        instead of the opaque content-hash key so a failing grid cell can
+        be identified at a glance.
+        """
+        parts = ", ".join(f"{f.name}={getattr(self, f.name)!r}"
+                          for f in fields(self))
+        return f"{self.kind}({parts})"
+
     def dependencies(self) -> tuple[JobSpec, ...]:
         """Jobs whose results :meth:`run` consumes (empty by default)."""
         return ()

@@ -89,6 +89,41 @@ def test_max_segment_length_enforced():
     assert [s.length for s in encoder.segments] == [10, 10, 5]
 
 
+def test_pmc_and_swing_close_identically_at_max_length():
+    # Audit of the max-segment predicate: OnlinePMC's `count` includes the
+    # incoming point while OnlineSwing's `run` counts steps after the
+    # anchor, so `count > max` and `run + 1 > max` are the SAME
+    # "prospective length > max" rule — on a constant stream both close at
+    # exactly max_segment_length, never one point apart.
+    for encoder in (OnlinePMC(0.5, max_segment_length=10),
+                    OnlineSwing(0.5, max_segment_length=10)):
+        encoder.extend(np.ones(25))
+        encoder.flush()
+        assert [s.length for s in encoder.segments] == [10, 10, 5], encoder
+
+
+@pytest.mark.parametrize("boundary", [1, 2, 9, 10, 11])
+def test_streaming_matches_batch_at_boundary_lengths(monkeypatch, boundary):
+    # pin the streaming-vs-batch segmentation equality AT the cap: with the
+    # batch cap shrunk to the same small value, segment counts, lengths,
+    # and reconstructions must agree for both algorithms
+    from repro.compression import timestamps
+
+    monkeypatch.setattr(timestamps, "MAX_SEGMENT_LENGTH", boundary)
+    rng = np.random.default_rng(7)
+    values = 20 + rng.normal(0, 1, 200).cumsum() * 0.01
+    series = TimeSeries(values, interval=60)
+    for online_cls, batch_cls in ((OnlinePMC, PMC), (OnlineSwing, Swing)):
+        encoder = online_cls(0.05, max_segment_length=boundary)
+        encoder.extend(values)
+        encoder.flush()
+        batch = batch_cls().compress(series, 0.05)
+        assert max(s.length for s in encoder.segments) <= boundary
+        assert len(encoder.segments) == batch.num_segments, online_cls
+        assert np.allclose(reconstruct(encoder.segments),
+                           batch.decompressed.values, atol=1e-5), online_cls
+
+
 def test_negative_error_bound_rejected():
     with pytest.raises(ValueError):
         OnlinePMC(-0.1)

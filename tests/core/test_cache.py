@@ -4,6 +4,7 @@ import os
 import pickle
 
 import numpy as np
+import pytest
 
 from repro.core import DiskCache
 from repro.core.cache import MISSING
@@ -144,3 +145,15 @@ def test_corrupt_removal_race_is_suppressed(tmp_path, monkeypatch):
 
     monkeypatch.setattr(cache_module.os, "remove", racing_remove)
     assert cache.get_or_compute("k", lambda: 7) == 7
+
+
+def test_failed_put_leaves_no_temporary_file(tmp_path):
+    """An unpicklable value must not leave a stray .tmp behind."""
+    cache = DiskCache(str(tmp_path))
+    cache.put("good", 1)
+    with pytest.raises(Exception):
+        cache.put("bad", lambda: None)  # lambdas cannot be pickled
+    assert not [name for name in os.listdir(tmp_path)
+                if name.endswith(".tmp")]
+    # the existing entry is untouched
+    assert DiskCache(str(tmp_path)).get("good") == 1

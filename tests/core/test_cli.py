@@ -65,6 +65,39 @@ def test_grid_runs_and_reports_manifest(capsys, tmp_path):
     assert digest in warm
 
 
+def test_grid_keep_going_isolates_injected_failure(capsys, tmp_path,
+                                                   monkeypatch):
+    monkeypatch.setenv("REPRO_INJECT_FAILURE", "forecast:SWING")
+    argv = ["grid", "--datasets", "ETTm1", "--models", "Arima",
+            "--methods", "PMC", "SWING", "--error-bounds", "0.1",
+            "--length", "1500", "--workers", "1",
+            "--cache-dir", str(tmp_path)]
+
+    # keep-going: exit 0, the failing cell listed in the manifest, the
+    # healthy cells still summarized
+    assert main(argv + ["--keep-going"]) == 0
+    out = capsys.readouterr().out
+    assert "failures  : 1 failed" in out
+    assert "InjectedFailure" in out
+    assert "records digest" in out
+
+    # fail-fast (healthy cells warm from the shared cache): exit 1 with
+    # the failing job named
+    assert main(argv) == 1
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert "forecast" in captured.err
+    assert "--keep-going" in captured.err
+
+
+def test_grid_retry_and_timeout_flags_parse():
+    args = build_parser().parse_args(
+        ["grid", "--timeout", "2.5", "--retries", "3", "--keep-going"])
+    assert args.timeout == 2.5
+    assert args.retries == 3
+    assert args.keep_going is True
+
+
 def test_grid_rejects_unknown_model():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["grid", "--models", "NotAModel"])

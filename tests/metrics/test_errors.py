@@ -42,6 +42,13 @@ def test_tfe_zero_when_unchanged():
     assert tfe(0.42, 0.42) == 0.0
 
 
-def test_tfe_rejects_nonpositive_baseline():
+def test_tfe_undefined_for_zero_baseline():
+    # a perfect baseline forecast (constant window) leaves TFE without a
+    # denominator; the cell carries NaN instead of crashing the evaluation
+    assert np.isnan(tfe(0.0, 1.0))
+    assert np.isnan(tfe(0.0, 0.0))
+
+
+def test_tfe_rejects_negative_baseline():
     with pytest.raises(ValueError):
-        tfe(0.0, 1.0)
+        tfe(-0.1, 1.0)

@@ -86,9 +86,32 @@ def test_warm_run_serves_everything_from_cache(tmp_path):
     assert values[top.key()] == 1112
     assert CALLS == []
     manifest = fresh.last_manifest
-    assert manifest.cached == manifest.total == 4
+    # accounting covers the planned subtree only: the cached target stops
+    # the traversal, so its three dependencies are never even probed
+    assert manifest.cached == manifest.total == 1
     assert manifest.executed == 0
     assert manifest.cache_hit_rate == 1.0
+
+
+def test_manifest_restricted_to_requested_targets(tmp_path):
+    # a subset target must not probe (or count) the rest of the graph
+    base, left, right, top = diamond()
+    graph = TaskGraph()
+    for job in (base, left, right, top):
+        graph.add(job)
+    executor = Executor(DiskCache(str(tmp_path)))
+    executor.run(graph, targets=(left.key(),))
+    manifest = executor.last_manifest
+    assert manifest.total == 2  # left + base, not right/top
+    assert manifest.cached == 0
+    assert manifest.executed == 2
+    assert manifest.phase_total == {"add": 2}
+
+    # warm subset rerun: only the (cached) target itself is probed
+    fresh = Executor(DiskCache(str(tmp_path)))
+    fresh.run(graph, targets=(left.key(),))
+    assert fresh.last_manifest.total == 1
+    assert fresh.last_manifest.cached == 1
 
 
 def test_cached_targets_prune_their_dependencies(tmp_path):
@@ -119,7 +142,10 @@ def test_corrupt_cache_entry_recovers(tmp_path):
     assert CALLS == ["top"]  # dependencies still came from cache
     manifest = fresh.last_manifest
     assert manifest.executed == 1
-    assert manifest.cached == 3
+    # probed: top (revoked when found corrupt) + left + right; base stays
+    # pruned behind its cached consumers and is never touched
+    assert manifest.total == 3
+    assert manifest.cached == 2
 
 
 def test_memory_cache_fallback_single_flights_across_runs():
@@ -175,5 +201,6 @@ def test_evaluation_reports_manifest(tmp_path):
     assert manifest.executed == 2
 
     evaluation.baseline_records("Arima", "ETTm1")
-    assert evaluation.last_manifest.cached == 2
+    # warm rerun plans only the cached forecast target (train stays pruned)
+    assert evaluation.last_manifest.cached == evaluation.last_manifest.total == 1
     assert evaluation.last_manifest.executed == 0
