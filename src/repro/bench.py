@@ -1,0 +1,207 @@
+"""Micro-benchmark engine for the compression kernels.
+
+The vectorized kernels in ``repro.compression.kernels`` (and the
+table-driven Huffman paths in ``repro.encoding.huffman``) are only worth
+their complexity while they stay measurably faster than the scalar
+reference implementations they shadow.  This module measures that margin
+and freezes it into a machine-readable baseline:
+
+- :func:`run_bench` times kernel vs scalar ``compress`` (and ``decompress``)
+  for PMC, Swing, and SZ on an ETTm1-like synthetic series across a sweep
+  of error bounds, best-of-N wall-clock per measurement, and checks on the
+  fly that both paths produced byte-identical payloads.
+- The report also times one small end-to-end grid cell (a compression
+  sweep through :class:`repro.core.Evaluation`) so kernel-level speedups
+  can be related to whole-pipeline wall time.
+- :func:`check_report` turns a report into a list of regression strings —
+  empty when every kernel beats its scalar reference by the configured
+  margin — which the ``repro-eval bench --check`` CLI (and the CI
+  ``bench-smoke`` job) use as an exit-code gate.
+
+Timings use ``time.perf_counter`` and keep the *minimum* over ``repeats``
+runs: minima are far more stable than means on shared machines, where
+scheduler noise only ever adds time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+DEFAULT_ERROR_BOUNDS = (0.01, 0.05, 0.1)
+DEFAULT_OUTPUT = "BENCH_compression.json"
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs for one benchmark run.
+
+    ``length``/``repeats`` trade precision for wall time: the defaults suit
+    a committed baseline, while CI smoke runs shrink both (see the
+    ``bench-smoke`` job) and only gate on ``min_speedup``.
+    """
+
+    length: int = 20_000
+    repeats: int = 5
+    error_bounds: tuple[float, ...] = DEFAULT_ERROR_BOUNDS
+    grid_length: int = 2_000
+    min_speedup: float = 1.0
+    methods: tuple[str, ...] = ("PMC", "SWING", "SZ")
+
+    def to_dict(self) -> dict:
+        return {
+            "length": self.length,
+            "repeats": self.repeats,
+            "error_bounds": list(self.error_bounds),
+            "grid_length": self.grid_length,
+            "min_speedup": self.min_speedup,
+            "methods": list(self.methods),
+        }
+
+
+def machine_metadata() -> dict:
+    """Context needed to interpret (not replay-compare) absolute timings."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def best_of(function: Callable[[], object], repeats: int) -> float:
+    """Minimum wall-clock seconds of ``function`` over ``repeats`` calls."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _compressor_pair(method: str):
+    from repro.compression.pmc import PMC
+    from repro.compression.swing import Swing
+    from repro.compression.sz import SZ
+
+    classes = {"PMC": PMC, "SWING": Swing, "SZ": SZ}
+    cls = classes[method]
+    return cls(use_kernel=True), cls(use_kernel=False)
+
+
+def bench_method(method: str, series, error_bound: float,
+                 repeats: int) -> dict:
+    """Time kernel vs scalar compress (and decompress) for one cell.
+
+    Raises ``RuntimeError`` if the two paths disagree on the payload —
+    a speedup over a wrong answer is not a speedup.
+    """
+    kernel, scalar = _compressor_pair(method)
+    kernel_result = kernel.compress(series, error_bound)
+    scalar_result = scalar.compress(series, error_bound)
+    if kernel_result.payload != scalar_result.payload:
+        raise RuntimeError(
+            f"{method} kernel/scalar payload mismatch at eps={error_bound}")
+    compressed = kernel_result.compressed
+    kernel_s = best_of(lambda: kernel.compress(series, error_bound), repeats)
+    scalar_s = best_of(lambda: scalar.compress(series, error_bound), repeats)
+    decompress_s = best_of(lambda: kernel.decompress(compressed), repeats)
+    return {
+        "error_bound": error_bound,
+        "kernel_compress_ms": round(kernel_s * 1e3, 3),
+        "scalar_compress_ms": round(scalar_s * 1e3, 3),
+        "compress_speedup": round(scalar_s / kernel_s, 2),
+        "decompress_ms": round(decompress_s * 1e3, 3),
+        "payload_bytes": len(kernel_result.payload),
+        "compressed_bytes": kernel_result.compressed_size,
+        "num_segments": kernel_result.num_segments,
+        "payloads_identical": True,
+    }
+
+
+def bench_grid_cell(config: BenchConfig) -> dict:
+    """Wall time of one small end-to-end compression sweep (one grid cell)."""
+    from repro.core import Evaluation, EvaluationConfig
+
+    evaluation = Evaluation(EvaluationConfig(
+        dataset_length=config.grid_length, cache_dir=None))
+    start = time.perf_counter()
+    records = evaluation.compression_sweep("ETTm1")
+    elapsed = time.perf_counter() - start
+    return {
+        "dataset": "ETTm1",
+        "length": config.grid_length,
+        "records": len(records),
+        "wall_ms": round(elapsed * 1e3, 3),
+    }
+
+
+def run_bench(config: BenchConfig | None = None,
+              progress: Callable[[str], None] | None = None) -> dict:
+    """Run the full benchmark and return the report dictionary."""
+    from repro.datasets import synthetic
+
+    config = config or BenchConfig()
+    series = synthetic.ettm1(length=config.length).target_series
+    say = progress or (lambda message: None)
+    methods: dict[str, list[dict]] = {}
+    for method in config.methods:
+        cells: list[dict] = []
+        for error_bound in config.error_bounds:
+            cell = bench_method(method, series, error_bound, config.repeats)
+            say(f"{method:6s} eps={error_bound:<5g} "
+                f"kernel {cell['kernel_compress_ms']:8.2f}ms  "
+                f"scalar {cell['scalar_compress_ms']:8.2f}ms  "
+                f"speedup {cell['compress_speedup']:5.2f}x")
+            cells.append(cell)
+        methods[method] = cells
+    say("grid cell ...")
+    grid_cell = bench_grid_cell(config)
+    say(f"grid cell: {grid_cell['records']} records in "
+        f"{grid_cell['wall_ms']:.0f}ms")
+    return {
+        "schema": SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": machine_metadata(),
+        "config": config.to_dict(),
+        "methods": methods,
+        "grid_cell": grid_cell,
+    }
+
+
+def check_report(report: dict, min_speedup: float | None = None) -> list[str]:
+    """Regression messages; empty when every kernel clears ``min_speedup``."""
+    if min_speedup is None:
+        min_speedup = float(report.get("config", {}).get("min_speedup", 1.0))
+    failures: list[str] = []
+    for method, cells in report.get("methods", {}).items():
+        for cell in cells:
+            speedup = cell["compress_speedup"]
+            if speedup < min_speedup:
+                failures.append(
+                    f"{method} at eps={cell['error_bound']}: kernel compress "
+                    f"speedup {speedup:.2f}x below floor {min_speedup:.2f}x")
+            if not cell.get("payloads_identical", False):
+                failures.append(
+                    f"{method} at eps={cell['error_bound']}: kernel/scalar "
+                    f"payloads differ")
+    return failures
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(report, stream, indent=2, sort_keys=False)
+        stream.write("\n")
+
+
+def load_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as stream:
+        return json.load(stream)

@@ -16,6 +16,11 @@ Subcommands:
   ``--keep-going`` completes every independent cell when one fails (exit
   code 0, with the failure listed in the manifest) instead of aborting
   with a ``JobError`` (exit code 1).
+- ``repro-eval bench`` — time the vectorized compression kernels against
+  their scalar references (best-of-N, ETTm1-like synthetic) and write the
+  ``BENCH_compression.json`` baseline; ``--check`` turns the report into a
+  regression gate that exits 1 when a kernel drops below ``--min-speedup``
+  or the kernel/scalar payloads diverge.
 
 All subcommands accept ``--length`` to control the synthetic series length.
 """
@@ -85,6 +90,24 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--keep-going", action="store_true",
                       help="isolate failing cells (recorded in the "
                            "manifest) instead of aborting the run")
+
+    bench = commands.add_parser(
+        "bench", help="benchmark compression kernels vs scalar references")
+    bench.add_argument("--length", type=int, default=20_000,
+                       help="synthetic series length to compress")
+    bench.add_argument("--repeats", type=int, default=5,
+                       help="best-of-N repetitions per timing")
+    bench.add_argument("--error-bounds", type=float, nargs="+",
+                       default=[0.01, 0.05, 0.1])
+    bench.add_argument("--grid-length", type=int, default=2_000,
+                       help="series length for the end-to-end grid cell")
+    bench.add_argument("--output", default="BENCH_compression.json",
+                       help="path for the JSON report ('' skips writing)")
+    bench.add_argument("--check", action="store_true",
+                       help="exit 1 if any kernel misses --min-speedup or "
+                            "a kernel/scalar payload mismatch is detected")
+    bench.add_argument("--min-speedup", type=float, default=1.0,
+                       help="compress speedup floor enforced by --check")
     return parser
 
 
@@ -238,6 +261,30 @@ def _command_grid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.bench import BenchConfig, check_report, run_bench, write_report
+
+    config = BenchConfig(length=args.length, repeats=args.repeats,
+                         error_bounds=tuple(args.error_bounds),
+                         grid_length=args.grid_length,
+                         min_speedup=args.min_speedup)
+    report = run_bench(config, progress=print)
+    if args.output:
+        write_report(report, args.output)
+        print(f"report written to {args.output}")
+    failures = check_report(report, args.min_speedup)
+    if failures:
+        for failure in failures:
+            print(f"regression: {failure}",
+                  file=sys.stderr if args.check else sys.stdout)
+        if args.check:
+            return 1
+    elif args.check:
+        print(f"check passed: all kernels >= {args.min_speedup:.2f}x "
+              f"over scalar, payloads identical")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
@@ -250,6 +297,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_evaluate(args)
     if args.command == "grid":
         return _command_grid(args)
+    if args.command == "bench":
+        return _command_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

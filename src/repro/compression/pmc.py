@@ -9,6 +9,14 @@ segment represented by its mean, and the point starts a new window
 Each segment is stored as a 16-bit length plus one 32-bit float, which is
 why PMC benefits so strongly from the shared gzip stage: long runs of
 similar constants compress extremely well.
+
+Window means are anchored to one global prefix-sum fold (``mean = (S[end] -
+S[start]) / length``), so the batch scalar loop, the dense-sweep kernel,
+and the streaming encoder all compute bit-identical means.  The
+segmentation runs on the dense first-violation sweep in
+``repro.compression.kernels`` by default; ``PMC(use_kernel=False)`` selects
+the scalar per-point reference loop, which the equivalence suite pins to
+the kernel (identical segments, byte-identical payloads).
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ import struct
 
 import numpy as np
 
-from repro.compression import timestamps
+from repro.compression import kernels, timestamps
 from repro.compression.base import (CompressionResult, Compressor, gunzip_bytes,
                                     gzip_bytes)
 from repro.datasets.timeseries import TimeSeries
@@ -44,61 +52,111 @@ class PMC(Compressor):
     name = "PMC"
     is_lossy = True
 
+    def __init__(self, use_kernel: bool = True) -> None:
+        self.use_kernel = use_kernel
+
     def compress(self, series: TimeSeries, error_bound: float) -> CompressionResult:
         self._check_inputs(series, error_bound)
         values = series.values
-        segments: list[tuple[int, float]] = []
+        if self.use_kernel:
+            lengths, means = self._segments_kernel(values, error_bound)
+        else:
+            lengths, means = self._segments_scalar(values, error_bound)
+
+        payload = self._serialize(series, lengths, means)
+        compressed = gzip_bytes(payload)
+        return CompressionResult(
+            method=self.name,
+            error_bound=error_bound,
+            original=series,
+            decompressed=self._reconstruct_series(series, lengths, means),
+            payload=payload,
+            compressed=compressed,
+            num_segments=len(lengths),
+        )
+
+    @staticmethod
+    def _segments_kernel(values: np.ndarray, error_bound: float
+                         ) -> tuple[np.ndarray, np.ndarray]:
+        """Dense-sweep segmentation (see ``repro.compression.kernels``)."""
+        lengths, means, lo, hi = kernels.pmc_chase(
+            values, error_bound, timestamps.MAX_SEGMENT_LENGTH)
+        stored = means.astype(np.float32).astype(np.float64)
+        inside = (lo <= stored) & (stored <= hi)
+        if not inside.all():
+            # float32 rounding pushed a few coefficients outside their
+            # admissible interval; nudge those through the scalar helper.
+            for i in np.flatnonzero(~inside):
+                stored[i] = _store_float32(float(means[i]),
+                                           float(lo[i]), float(hi[i]))
+        return lengths, stored
+
+    @staticmethod
+    def _segments_scalar(values: np.ndarray, error_bound: float
+                         ) -> tuple[list[int], list[float]]:
+        """Per-point reference loop, kept to pin the kernel's semantics."""
+        lengths: list[int] = []
+        means: list[float] = []
 
         window_start = 0
-        window_sum = 0.0
+        base = 0.0  # prefix sum at the window start
+        total = 0.0  # running prefix sum over the whole array (never reset)
         lo = -math.inf  # greatest lower bound imposed by any window point
         hi = math.inf  # least upper bound
 
         def close(end: int) -> None:
             """Emit the window [window_start, end) as one mean segment."""
             length = end - window_start
-            mean = window_sum / length
-            segments.append((length, _store_float32(mean, lo, hi)))
+            mean = (total - base) / length
+            lengths.append(length)
+            means.append(_store_float32(mean, lo, hi))
 
         for i, value in enumerate(values):
             allowed = error_bound * abs(value)
             new_lo = max(lo, value - allowed)
             new_hi = min(hi, value + allowed)
-            new_sum = window_sum + value
+            new_total = total + value
             count = i - window_start + 1
-            mean = new_sum / count
+            # The close predicate compares the window *sum* against the
+            # count-scaled bounds (one multiply instead of a divide) —
+            # the exact form the kernels and the streaming encoder use.
+            diff = new_total - base
             window_full = count > timestamps.MAX_SEGMENT_LENGTH
-            if window_full or not new_lo <= mean <= new_hi:
+            if window_full or diff < new_lo * count or diff > new_hi * count:
                 close(i)
                 window_start = i
-                window_sum = value
+                base = total
                 lo = value - allowed
                 hi = value + allowed
             else:
-                window_sum = new_sum
                 lo, hi = new_lo, new_hi
+            total = new_total
         close(len(values))
-
-        payload = self._serialize(series, segments)
-        compressed = gzip_bytes(payload)
-        return CompressionResult(
-            method=self.name,
-            error_bound=error_bound,
-            original=series,
-            decompressed=self.decompress(compressed),
-            payload=payload,
-            compressed=compressed,
-            num_segments=len(segments),
-        )
+        return lengths, means
 
     @staticmethod
-    def _serialize(series: TimeSeries, segments: list[tuple[int, float]]) -> bytes:
+    def _reconstruct_series(series: TimeSeries, lengths, means) -> TimeSeries:
+        """Reconstruction from in-memory segments, identical to a decode.
+
+        The means round-trip through float32 exactly as the serialized
+        payload does, so ``CompressionResult.decompressed`` costs nothing
+        extra yet matches ``decompress(compressed)`` bit for bit (asserted
+        by the equivalence suite).
+        """
+        lengths = np.asarray(lengths, dtype=np.int64)
+        stored = np.asarray(means, dtype="<f4")
+        values = np.repeat(stored.astype(np.float64), lengths)
+        return TimeSeries(values, start=series.start, interval=series.interval,
+                          name="decompressed")
+
+    @staticmethod
+    def _serialize(series: TimeSeries, lengths, means) -> bytes:
         """Columnar layout (lengths, then values) so gzip sees each stream."""
-        lengths = np.array([length for length, _ in segments], dtype="<u2")
-        values = np.array([value for _, value in segments], dtype="<f4")
+        lengths = np.asarray(lengths, dtype="<u2")
+        stored = np.asarray(means, dtype="<f4")
         return (timestamps.encode_header(series.start, series.interval)
-                + _COUNT.pack(len(segments))
-                + lengths.tobytes() + values.tobytes())
+                + _COUNT.pack(len(lengths))
+                + lengths.tobytes() + stored.tobytes())
 
     def decompress(self, compressed: bytes) -> TimeSeries:
         payload = gunzip_bytes(compressed)

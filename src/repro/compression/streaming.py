@@ -7,6 +7,12 @@ incremental encoders: ``push`` one value at a time, collect finished
 segments as they close, and ``flush`` at the end.  The batch compressors
 are thin wrappers over the same logic, and tests verify that streaming and
 batch outputs decode identically.
+
+``extend`` runs on the chunked-scan kernels shared with the batch
+compressors (``repro.compression.kernels``), so feeding an array is
+vectorized while producing exactly the segments that per-value ``push``
+calls would; the window state carried across ``extend``/``push``/``flush``
+boundaries is identical on both paths.
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.compression import kernels
 
 
 @dataclass(frozen=True)
@@ -90,21 +98,38 @@ class OnlineCompressor(ABC):
     @abstractmethod
     def _flush(self) -> None: ...
 
+    def _extend_array(self, values) -> np.ndarray:
+        """Coerce ``extend`` input to float64, enforcing push's lifecycle."""
+        if not isinstance(values, np.ndarray):
+            values = list(values)
+        array = np.asarray(values, dtype=np.float64)
+        if array.size and self._finished:
+            raise RuntimeError("push() after flush(); create a new encoder")
+        return array
+
 
 class OnlinePMC(OnlineCompressor):
-    """Streaming PMC-Mean (identical segmentation to the batch PMC)."""
+    """Streaming PMC-Mean (identical segmentation to the batch PMC).
+
+    Window means are prefix-sum anchored, exactly as in the batch PMC: the
+    running total is one left fold over the whole stream (never reset), and
+    a window's mean is ``(total - base) / count`` with ``base`` the fold at
+    the window start.  Feeding the same values therefore reproduces the
+    batch segmentation bit for bit, on both ``push`` and ``extend``.
+    """
 
     def __init__(self, error_bound: float, max_segment_length: int = 0xFFFF
                  ) -> None:
         super().__init__(error_bound, max_segment_length)
         self._count = 0
-        self._sum = 0.0
+        self._base = 0.0  # prefix sum at the open window's start
+        self._total = 0.0  # running prefix sum over the whole stream
         self._lo = -math.inf
         self._hi = math.inf
 
     def _close(self) -> None:
         if self._count:
-            mean = self._sum / self._count
+            mean = (self._total - self._base) / self._count
             value = float(np.float32(min(max(mean, self._lo), self._hi)))
             self._closed_segments.append(ConstantSegment(self._count, value))
 
@@ -112,26 +137,42 @@ class OnlinePMC(OnlineCompressor):
         allowed = self.error_bound * abs(value)
         new_lo = max(self._lo, value - allowed)
         new_hi = min(self._hi, value + allowed)
-        new_sum = self._sum + value
+        new_total = self._total + value
         # prospective segment length if `value` joins the window; closing at
         # `> max` caps emitted segments at exactly max_segment_length, the
         # same predicate as OnlineSwing and the batch PMC (pinned by the
         # boundary tests in tests/compression/test_streaming.py)
         count = self._count + 1
-        mean = new_sum / count
-        if count > self.max_segment_length or not new_lo <= mean <= new_hi:
+        diff = new_total - self._base
+        if (count > self.max_segment_length
+                or diff < new_lo * count or diff > new_hi * count):
             self._close()
             self._count = 1
-            self._sum = value
+            self._base = self._total
             self._lo = value - allowed
             self._hi = value + allowed
         else:
             self._count = count
-            self._sum = new_sum
             self._lo, self._hi = new_lo, new_hi
+        self._total = new_total
 
     def _flush(self) -> None:
         self._close()
+
+    def extend(self, values) -> list:
+        """Vectorized bulk feed via the chunked PMC scan kernel."""
+        array = self._extend_array(values)
+        before = len(self._closed_segments)
+        if array.size == 0:
+            return []
+        state = (self._count, self._base, self._total, self._lo, self._hi)
+        closes, state = kernels.pmc_scan(array, self.error_bound, state,
+                                         self.max_segment_length)
+        for length, mean, lo, hi in closes:
+            value = float(np.float32(min(max(mean, lo), hi)))
+            self._closed_segments.append(ConstantSegment(length, value))
+        self._count, self._base, self._total, self._lo, self._hi = state
+        return self._closed_segments[before:]
 
 
 class OnlineSwing(OnlineCompressor):
@@ -182,6 +223,30 @@ class OnlineSwing(OnlineCompressor):
 
     def _flush(self) -> None:
         self._close()
+
+    def extend(self, values) -> list:
+        """Vectorized bulk feed via the chunked Swing cone kernel."""
+        array = self._extend_array(values)
+        before = len(self._closed_segments)
+        if array.size == 0:
+            return []
+        offset = 0
+        if self._anchor is None:
+            self._anchor = float(array[0])
+            self._run = 0
+            offset = 1
+        state = (self._anchor, self._run, self._slope_lo, self._slope_hi)
+        closes, state = kernels.swing_scan(array[offset:], self.error_bound,
+                                           state, self.max_segment_length)
+        for length, slope_lo, slope_hi, anchor in closes:
+            if length == 1 or not math.isfinite(slope_lo):
+                slope = 0.0
+            else:
+                slope = (slope_lo + slope_hi) / 2.0
+            self._closed_segments.append(
+                LinearSegment(length, float(slope), float(anchor)))
+        self._anchor, self._run, self._slope_lo, self._slope_hi = state
+        return self._closed_segments[before:]
 
 
 def reconstruct(segments: list) -> np.ndarray:

@@ -12,7 +12,14 @@ ModelarDB, the linear coefficients are kept in double precision (PMC's
 single constant is a 32-bit float), which is the storage overhead the paper
 identifies as the reason SWING's compression ratio trails PMC's after gzip.
 A fitted segment is still re-verified after storage rounding and split in
-two if drift ever pushes a point outside its bound.
+two if drift ever pushes a point outside its bound; on the kernel path the
+verification runs once, vectorized over the whole series, and only the
+rare drifting windows fall back to the per-window split.
+
+The cone scan runs on the dense first-violation sweep in
+``repro.compression.kernels`` by default; ``Swing(use_kernel=False)``
+selects the scalar per-point reference loop, pinned to the kernel by the
+equivalence suite.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ import struct
 
 import numpy as np
 
-from repro.compression import timestamps
+from repro.compression import kernels, timestamps
 from repro.compression.base import (CompressionResult, Compressor, gunzip_bytes,
                                     gzip_bytes)
 from repro.datasets.timeseries import TimeSeries
@@ -53,9 +60,67 @@ class Swing(Compressor):
     name = "SWING"
     is_lossy = True
 
+    def __init__(self, use_kernel: bool = True) -> None:
+        self.use_kernel = use_kernel
+
     def compress(self, series: TimeSeries, error_bound: float) -> CompressionResult:
         self._check_inputs(series, error_bound)
         values = series.values
+        if self.use_kernel:
+            lengths, slopes, intercepts = self._segments_kernel(values,
+                                                                error_bound)
+        else:
+            lengths, slopes, intercepts = self._segments_scalar(values,
+                                                                error_bound)
+
+        payload = self._serialize(series, lengths, slopes, intercepts)
+        compressed = gzip_bytes(payload)
+        return CompressionResult(
+            method=self.name,
+            error_bound=error_bound,
+            original=series,
+            decompressed=self._reconstruct_series(series, lengths, slopes,
+                                                  intercepts),
+            payload=payload,
+            compressed=compressed,
+            num_segments=len(lengths),
+        )
+
+    def _segments_kernel(self, values: np.ndarray, error_bound: float
+                         ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Dense cone sweep plus one vectorized fit/verify pass."""
+        lengths, cone_lo, cone_hi = kernels.swing_chase(
+            values, error_bound, timestamps.MAX_SEGMENT_LENGTH)
+        starts = np.cumsum(lengths) - lengths
+        with np.errstate(invalid="ignore"):
+            slopes = np.where((lengths == 1) | ~np.isfinite(cone_lo),
+                              0.0, (cone_lo + cone_hi) / 2.0)
+        intercepts = values[starts]
+        fitted = self._reconstruct(lengths, slopes, intercepts)
+        allowed = (error_bound * np.abs(values)
+                   + _F32_SLACK * np.maximum(1.0, np.abs(values)))
+        drifted = np.abs(fitted - values) > allowed
+        bad = np.logical_or.reduceat(drifted, starts) & (lengths > 1)
+        if not bad.any():
+            return lengths, slopes, intercepts
+        # Rounding drifted a few windows past the bound: those (and only
+        # those) go through the per-window split path.
+        out: list[tuple[int, float, float]] = []
+        for i, start in enumerate(starts):
+            if bad[i]:
+                self._fit(values, error_bound, int(start),
+                          int(start + lengths[i]),
+                          float(cone_lo[i]), float(cone_hi[i]), out)
+            else:
+                out.append((int(lengths[i]), float(slopes[i]),
+                            float(intercepts[i])))
+        return (np.array([s[0] for s in out], dtype=np.int64),
+                np.array([s[1] for s in out]),
+                np.array([s[2] for s in out]))
+
+    def _segments_scalar(self, values: np.ndarray, error_bound: float
+                         ) -> tuple[list[int], list[float], list[float]]:
+        """Per-point reference loop, kept to pin the kernel's semantics."""
         segments: list[tuple[int, float, float]] = []
 
         anchor_index = 0
@@ -81,18 +146,8 @@ class Swing(Compressor):
                 slope_lo, slope_hi = new_lo, new_hi
         self._fit(values, error_bound, anchor_index, len(values),
                   slope_lo, slope_hi, segments)
-
-        payload = self._serialize(series, segments)
-        compressed = gzip_bytes(payload)
-        return CompressionResult(
-            method=self.name,
-            error_bound=error_bound,
-            original=series,
-            decompressed=self.decompress(compressed),
-            payload=payload,
-            compressed=compressed,
-            num_segments=len(segments),
-        )
+        return ([s[0] for s in segments], [s[1] for s in segments],
+                [s[2] for s in segments])
 
     def _fit(self, values: np.ndarray, error_bound: float, i0: int, i1: int,
              slope_lo: float, slope_hi: float,
@@ -122,14 +177,45 @@ class Swing(Compressor):
         self._fit(values, error_bound, mid, i1, lo_b, hi_b, out)
 
     @staticmethod
-    def _serialize(series: TimeSeries,
-                   segments: list[tuple[int, float, float]]) -> bytes:
+    def _reconstruct(lengths: np.ndarray, slopes: np.ndarray,
+                     intercepts: np.ndarray) -> np.ndarray:
+        """Single ``np.repeat``-based ramp over all segments at once.
+
+        Each output element is ``intercept[s] + slope[s] * t`` with ``t``
+        the offset inside its segment — elementwise the same float64
+        operations as a per-segment ``intercept + slope * arange``.
+        """
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if len(lengths) == 0:
+            return np.empty(0)
+        total = int(lengths.sum())
+        starts = np.repeat(np.cumsum(lengths) - lengths, lengths)
+        t = (np.arange(total, dtype=np.int64) - starts).astype(np.float64)
+        return np.repeat(intercepts, lengths) + np.repeat(slopes, lengths) * t
+
+    @classmethod
+    def _reconstruct_series(cls, series: TimeSeries, lengths, slopes,
+                            intercepts) -> TimeSeries:
+        """Reconstruction from in-memory segments, identical to a decode.
+
+        Slopes and intercepts are stored as float64, so the serialized
+        round trip is exact and ``CompressionResult.decompressed`` matches
+        ``decompress(compressed)`` bit for bit at zero extra cost.
+        """
+        values = cls._reconstruct(np.asarray(lengths, dtype=np.int64),
+                                  np.asarray(slopes, dtype=np.float64),
+                                  np.asarray(intercepts, dtype=np.float64))
+        return TimeSeries(values, start=series.start, interval=series.interval,
+                          name="decompressed")
+
+    @staticmethod
+    def _serialize(series: TimeSeries, lengths, slopes, intercepts) -> bytes:
         """Columnar layout (lengths, slopes, intercepts) to help gzip."""
-        lengths = np.array([s[0] for s in segments], dtype="<u2")
-        slopes = np.array([s[1] for s in segments], dtype="<f8")
-        intercepts = np.array([s[2] for s in segments], dtype="<f8")
+        lengths = np.asarray(lengths, dtype="<u2")
+        slopes = np.asarray(slopes, dtype="<f8")
+        intercepts = np.asarray(intercepts, dtype="<f8")
         return (timestamps.encode_header(series.start, series.interval)
-                + _COUNT.pack(len(segments))
+                + _COUNT.pack(len(lengths))
                 + lengths.tobytes() + slopes.tobytes() + intercepts.tobytes())
 
     def decompress(self, compressed: bytes) -> TimeSeries:
@@ -142,9 +228,5 @@ class Swing(Compressor):
         slopes = np.frombuffer(payload, dtype="<f8", count=count, offset=offset)
         offset += 8 * count
         intercepts = np.frombuffer(payload, dtype="<f8", count=count, offset=offset)
-        chunks = [
-            intercepts[i] + slopes[i] * np.arange(lengths[i], dtype=np.float64)
-            for i in range(count)
-        ]
-        values = np.concatenate(chunks) if chunks else np.empty(0)
+        values = self._reconstruct(lengths, slopes, intercepts)
         return TimeSeries(values, start=start, interval=interval, name="decompressed")

@@ -5,6 +5,16 @@ integer codes and entropy-codes them with Huffman before the final gzip
 stage, exactly as described in the paper's Section 3.2.  The encoded stream
 is self-describing: the code-length table is stored in the header so the
 decoder can rebuild the canonical code.
+
+Both directions have a table-driven array kernel and a per-symbol scalar
+reference producing byte-identical streams (pinned by the equivalence
+tests).  The encode kernel looks every symbol's ``(code, length)`` up in a
+dense table, expands the codes into an MSB-first bit matrix, and packs the
+valid bits with ``np.packbits``; the decode kernel unpacks the payload with
+``np.unpackbits`` and walks it through a dense ``2**max_length`` prefix
+table, one table lookup per symbol instead of one dict probe per bit.
+Degenerate shapes (huge symbols, very long codes) fall back to the scalar
+``BitWriter``/``BitReader`` paths automatically.
 """
 
 from __future__ import annotations
@@ -13,8 +23,18 @@ import heapq
 from collections import Counter
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from repro.encoding.bits import BitReader, BitWriter
 from repro.encoding import varint
+
+# The encode kernel's symbol -> (code, length) lookup is a dense array, so
+# absurdly large symbol values fall back to the scalar path.
+_MAX_DENSE_SYMBOL = 1 << 22
+# The decode kernel's prefix table has 2**max_length entries.
+_MAX_DENSE_BITS = 18
+# Codes longer than this cannot be expanded into the int64 bit matrix.
+_MAX_KERNEL_CODE_LENGTH = 63
 
 
 def code_lengths(symbols: Iterable[int]) -> dict[int, int]:
@@ -23,7 +43,11 @@ def code_lengths(symbols: Iterable[int]) -> dict[int, int]:
     Returns a mapping ``symbol -> bit length``.  A stream with a single
     distinct symbol gets a 1-bit code so the output remains decodable.
     """
-    frequencies = Counter(symbols)
+    if isinstance(symbols, np.ndarray):
+        uniques, counts = np.unique(symbols, return_counts=True)
+        frequencies = Counter(dict(zip(uniques.tolist(), counts.tolist())))
+    else:
+        frequencies = Counter(symbols)
     if not frequencies:
         return {}
     if len(frequencies) == 1:
@@ -65,7 +89,30 @@ def canonical_codes(lengths: dict[int, int]) -> dict[int, tuple[int, int]]:
     return codes
 
 
-def encode(symbols: Sequence[int]) -> bytes:
+def _pack_kernel(symbols: np.ndarray,
+                 codes: dict[int, tuple[int, int]]) -> bytes | None:
+    """Array-packed payload bits; ``None`` when the shape needs the scalar."""
+    max_symbol = int(symbols.max())
+    max_length = max(length for _, length in codes.values())
+    if max_symbol > _MAX_DENSE_SYMBOL or max_length > _MAX_KERNEL_CODE_LENGTH:
+        return None
+    code_table = np.zeros(max_symbol + 1, dtype=np.int64)
+    length_table = np.zeros(max_symbol + 1, dtype=np.int64)
+    for symbol, (code, length) in codes.items():
+        code_table[symbol] = code
+        length_table[symbol] = length
+    sym_codes = code_table[symbols]
+    sym_lengths = length_table[symbols]
+    # Bit j of row i is bit (length_i - 1 - j) of code_i; rows shorter than
+    # max_length mask their tail out, and the C-order boolean selection
+    # yields exactly the MSB-first concatenation BitWriter produces.
+    shifts = sym_lengths[:, None] - 1 - np.arange(max_length, dtype=np.int64)
+    valid = shifts >= 0
+    bits = (sym_codes[:, None] >> np.maximum(shifts, 0)) & 1
+    return np.packbits(bits[valid].astype(np.uint8)).tobytes()
+
+
+def encode(symbols: Sequence[int], use_kernel: bool = True) -> bytes:
     """Encode a sequence of non-negative integers.
 
     Layout: ``varint(n_symbols) varint(n_distinct)
@@ -77,8 +124,13 @@ def encode(symbols: Sequence[int]) -> bytes:
     header += varint.encode_unsigned(len(symbols))
     header += varint.encode_unsigned(len(lengths))
     for symbol in sorted(lengths):
-        header += varint.encode_unsigned(symbol)
+        header += varint.encode_unsigned(int(symbol))
         header += varint.encode_unsigned(lengths[symbol])
+    if use_kernel and len(symbols):
+        array = np.ascontiguousarray(symbols, dtype=np.int64)
+        packed = _pack_kernel(array, codes)
+        if packed is not None:
+            return bytes(header) + packed
     writer = BitWriter()
     for symbol in symbols:
         code, length = codes[symbol]
@@ -86,7 +138,39 @@ def encode(symbols: Sequence[int]) -> bytes:
     return bytes(header) + writer.to_bytes()
 
 
-def decode(data: bytes) -> list[int]:
+def _unpack_kernel(payload: bytes, codes: dict[int, tuple[int, int]],
+                   count: int) -> list[int] | None:
+    """Dense-table array decode; ``None`` when the code is too long."""
+    max_length = max(length for _, length in codes.values())
+    if max_length > _MAX_DENSE_BITS:
+        return None
+    table_symbol = np.zeros(1 << max_length, dtype=np.int64)
+    table_length = np.zeros(1 << max_length, dtype=np.int64)
+    for symbol, (code, length) in codes.items():
+        start = code << (max_length - length)
+        span = 1 << (max_length - length)
+        table_symbol[start:start + span] = symbol
+        table_length[start:start + span] = length
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))
+    padded = np.concatenate([bits, np.zeros(max_length, dtype=np.uint8)])
+    windows = np.lib.stride_tricks.sliding_window_view(padded, max_length)
+    powers = 1 << np.arange(max_length - 1, -1, -1, dtype=np.int64)
+    prefixes = (windows @ powers).tolist()
+    symbol_at = table_symbol.tolist()
+    advance = table_length.tolist()
+    total_bits = len(bits)
+    symbols = [0] * count
+    position = 0
+    for i in range(count):
+        if position >= total_bits:
+            raise EOFError("attempted to read past the end of the bit stream")
+        window = prefixes[position]
+        symbols[i] = symbol_at[window]
+        position += advance[window]
+    return symbols
+
+
+def decode(data: bytes, use_kernel: bool = True) -> list[int]:
     """Decode a stream produced by :func:`encode`."""
     count, offset = varint.decode_unsigned(data, 0)
     distinct, offset = varint.decode_unsigned(data, offset)
@@ -97,9 +181,14 @@ def decode(data: bytes) -> list[int]:
         lengths[symbol] = length
     if count and not lengths:
         raise ValueError("huffman stream announces symbols but carries no table")
+    codes = canonical_codes(lengths)
+    if use_kernel and count:
+        unpacked = _unpack_kernel(data[offset:], codes, count)
+        if unpacked is not None:
+            return unpacked
     decoding = {
         (code, length): symbol
-        for symbol, (code, length) in canonical_codes(lengths).items()
+        for symbol, (code, length) in codes.items()
     }
     reader = BitReader(data[offset:])
     symbols: list[int] = []

@@ -1,0 +1,103 @@
+"""Tests for the kernel benchmark engine and the ``bench`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.bench import (BenchConfig, best_of, check_report, load_report,
+                         machine_metadata, run_bench, write_report)
+from repro.cli import main
+
+TINY = BenchConfig(length=400, repeats=1, error_bounds=(0.1,),
+                   grid_length=300)
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    return run_bench(TINY)
+
+
+def test_report_carries_schema_and_machine_metadata(tiny_report):
+    assert tiny_report["schema"] == 1
+    assert tiny_report["config"]["length"] == 400
+    metadata = tiny_report["machine"]
+    assert metadata["numpy"] and metadata["python"] and metadata["platform"]
+
+
+def test_report_covers_all_methods_and_bounds(tiny_report):
+    assert set(tiny_report["methods"]) == {"PMC", "SWING", "SZ"}
+    for cells in tiny_report["methods"].values():
+        assert [cell["error_bound"] for cell in cells] == [0.1]
+        for cell in cells:
+            assert cell["kernel_compress_ms"] > 0
+            assert cell["scalar_compress_ms"] > 0
+            assert cell["decompress_ms"] > 0
+            assert cell["payloads_identical"] is True
+
+
+def test_report_times_a_grid_cell(tiny_report):
+    cell = tiny_report["grid_cell"]
+    assert cell["records"] > 0
+    assert cell["wall_ms"] > 0
+
+
+def test_report_round_trips_through_json(tiny_report, tmp_path):
+    path = tmp_path / "bench.json"
+    write_report(tiny_report, str(path))
+    assert load_report(str(path)) == tiny_report
+    # the file is line-oriented JSON meant to live in git
+    assert path.read_text().endswith("\n")
+
+
+def test_check_report_passes_and_fails_on_speedup_floor(tiny_report):
+    assert check_report(tiny_report, min_speedup=0.0) == []
+    failures = check_report(tiny_report, min_speedup=1e9)
+    assert len(failures) == 3  # one per method at the single bound
+    assert all("below floor" in failure for failure in failures)
+
+
+def test_check_report_flags_payload_mismatch(tiny_report):
+    doctored = json.loads(json.dumps(tiny_report))
+    doctored["methods"]["PMC"][0]["payloads_identical"] = False
+    failures = check_report(doctored, min_speedup=0.0)
+    assert failures and "payloads differ" in failures[0]
+
+
+def test_check_report_reads_floor_from_config():
+    report = {"config": {"min_speedup": 2.0},
+              "methods": {"PMC": [{"error_bound": 0.1,
+                                   "compress_speedup": 1.5,
+                                   "payloads_identical": True}]}}
+    assert check_report(report)  # 1.5 < configured 2.0
+    assert check_report(report, min_speedup=1.0) == []
+
+
+def test_best_of_returns_minimum():
+    calls = iter([0, 0, 0])
+    assert best_of(lambda: next(calls), repeats=3) >= 0.0
+
+
+def test_machine_metadata_is_json_serializable():
+    json.dumps(machine_metadata())
+
+
+def test_cli_bench_writes_report_and_checks(tmp_path, capsys):
+    output = tmp_path / "BENCH_compression.json"
+    argv = ["bench", "--length", "400", "--repeats", "1",
+            "--error-bounds", "0.1", "--grid-length", "300",
+            "--output", str(output), "--check", "--min-speedup", "0.0"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    assert "check passed" in out
+    report = json.loads(output.read_text())
+    assert set(report["methods"]) == {"PMC", "SWING", "SZ"}
+
+
+def test_cli_bench_check_fails_on_unreachable_floor(tmp_path, capsys):
+    argv = ["bench", "--length", "400", "--repeats", "1",
+            "--error-bounds", "0.1", "--grid-length", "300",
+            "--output", "", "--check", "--min-speedup", "1e9"]
+    assert main(argv) == 1
+    captured = capsys.readouterr()
+    assert "regression" in captured.err

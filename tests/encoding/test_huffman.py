@@ -78,3 +78,69 @@ def test_decode_rejects_missing_table():
     bogus = varint.encode_unsigned(5) + varint.encode_unsigned(0)
     with pytest.raises(ValueError):
         huffman.decode(bogus)
+
+
+# --- table-driven kernel vs scalar BitWriter/BitReader equivalence
+
+
+KERNEL_CASES = [
+    [0],
+    [5] * 64,
+    [0, 1] * 40,
+    list(range(64)) * 3,
+    [0] * 1000 + list(range(1, 17)) * 4,
+    [2**20, 0, 0, 2**20, 7],
+]
+
+
+@pytest.mark.parametrize("symbols", KERNEL_CASES,
+                         ids=lambda s: f"n{len(s)}-max{max(s)}")
+def test_kernel_and_scalar_encode_are_byte_identical(symbols):
+    assert (huffman.encode(symbols, use_kernel=True)
+            == huffman.encode(symbols, use_kernel=False))
+
+
+@pytest.mark.parametrize("symbols", KERNEL_CASES,
+                         ids=lambda s: f"n{len(s)}-max{max(s)}")
+def test_kernel_and_scalar_decode_agree(symbols):
+    encoded = huffman.encode(symbols)
+    assert huffman.decode(encoded, use_kernel=True) == symbols
+    assert huffman.decode(encoded, use_kernel=False) == symbols
+
+
+def test_ndarray_input_encodes_identically():
+    import numpy as np
+
+    symbols = [0] * 50 + [1] * 20 + [9] * 3
+    array = np.asarray(symbols, dtype=np.int64)
+    assert huffman.encode(array) == huffman.encode(symbols, use_kernel=False)
+
+
+def test_huge_symbols_fall_back_to_scalar_writer():
+    symbols = [huffman._MAX_DENSE_SYMBOL + 10, 0, 0, 1]
+    encoded = huffman.encode(symbols, use_kernel=True)
+    assert encoded == huffman.encode(symbols, use_kernel=False)
+    assert huffman.decode(encoded) == symbols
+
+
+def test_long_codes_fall_back_to_scalar_reader():
+    # Fibonacci-ish frequencies force a deep, skewed tree whose longest
+    # code exceeds the dense prefix table's _MAX_DENSE_BITS limit.
+    symbols = []
+    a, b = 1, 2
+    for value in range(25):
+        symbols += [value] * a
+        a, b = b, a + b
+    lengths = huffman.code_lengths(symbols)
+    assert max(lengths.values()) > huffman._MAX_DENSE_BITS
+    encoded = huffman.encode(symbols)
+    assert huffman.decode(encoded, use_kernel=True) == symbols
+    assert huffman.decode(encoded, use_kernel=False) == symbols
+
+
+@given(st.lists(st.integers(min_value=0, max_value=600), min_size=1,
+                max_size=400))
+def test_property_kernel_scalar_byte_identical(symbols):
+    kernel = huffman.encode(symbols, use_kernel=True)
+    assert kernel == huffman.encode(symbols, use_kernel=False)
+    assert huffman.decode(kernel, use_kernel=True) == symbols
