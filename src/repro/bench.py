@@ -18,9 +18,17 @@ and freezes it into a machine-readable baseline:
   margin — which the ``repro-eval bench --check`` CLI (and the CI
   ``bench-smoke`` job) use as an exit-code gate.
 
-Timings use ``time.perf_counter`` and keep the *minimum* over ``repeats``
-runs: minima are far more stable than means on shared machines, where
-scheduler noise only ever adds time.
+Timings use the observability span clock (``repro.obs.trace.WALL``, i.e.
+``time.perf_counter``) and keep the *minimum* over ``repeats`` runs:
+minima are far more stable than means on shared machines, where scheduler
+noise only ever adds time.
+
+The report also carries an ``obs_overhead`` section: it counts how many
+instrumentation events one kernel compress fires, times the disabled-mode
+fast path of those call sites, and gates the product at
+``max_obs_overhead_percent`` of the fastest measured kernel compress —
+the bench-enforced form of the "disabled observability is a no-op
+attribute lookup" guarantee (DESIGN.md §11).
 """
 
 from __future__ import annotations
@@ -34,8 +42,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.trace import WALL
+
 DEFAULT_ERROR_BOUNDS = (0.01, 0.05, 0.1)
 DEFAULT_OUTPUT = "BENCH_compression.json"
+DEFAULT_MAX_OBS_OVERHEAD_PERCENT = 2.0
 SCHEMA_VERSION = 1
 
 
@@ -54,6 +67,7 @@ class BenchConfig:
     grid_length: int = 2_000
     min_speedup: float = 1.0
     methods: tuple[str, ...] = ("PMC", "SWING", "SZ")
+    max_obs_overhead_percent: float = DEFAULT_MAX_OBS_OVERHEAD_PERCENT
 
     def to_dict(self) -> dict:
         return {
@@ -63,6 +77,7 @@ class BenchConfig:
             "grid_length": self.grid_length,
             "min_speedup": self.min_speedup,
             "methods": list(self.methods),
+            "max_obs_overhead_percent": self.max_obs_overhead_percent,
         }
 
 
@@ -81,9 +96,9 @@ def best_of(function: Callable[[], object], repeats: int) -> float:
     """Minimum wall-clock seconds of ``function`` over ``repeats`` calls."""
     best = float("inf")
     for _ in range(max(1, repeats)):
-        start = time.perf_counter()
+        start = WALL()
         function()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, WALL() - start)
     return best
 
 
@@ -133,14 +148,82 @@ def bench_grid_cell(config: BenchConfig) -> dict:
 
     evaluation = Evaluation(EvaluationConfig(
         dataset_length=config.grid_length, cache_dir=None))
-    start = time.perf_counter()
+    start = WALL()
     records = evaluation.compression_sweep("ETTm1")
-    elapsed = time.perf_counter() - start
+    elapsed = WALL() - start
     return {
         "dataset": "ETTm1",
         "length": config.grid_length,
         "records": len(records),
         "wall_ms": round(elapsed * 1e3, 3),
+    }
+
+
+def bench_obs_overhead(config: BenchConfig, series,
+                       methods: dict[str, list[dict]]) -> dict:
+    """Estimate the disabled-mode observability tax on a kernel compress.
+
+    Three measurements combine into one conservative percentage:
+
+    1. *events per compress* — run one compress per method with a metered
+       registry and an in-memory span sink; the registry's total API-call
+       count plus emitted span records bounds how many instrumentation
+       call sites the operation crosses (an over-count for disabled mode,
+       where ``record_result`` collapses five increments into one
+       ``enabled()`` check).
+    2. *disabled cost per event* — time the module-level ``inc``/``span``
+       fast paths over a tight loop with observability off, keeping the
+       slower of the two.
+    3. the fastest measured kernel compress from the main benchmark —
+       worst case for a *relative* overhead.
+
+    ``overhead_percent = events * cost_per_event / fastest_compress``.
+    """
+    previous_registry = obs_metrics.active()
+    previous_tracer = obs_trace.active()
+    events = 0
+    try:
+        for method in config.methods:
+            kernel, _ = _compressor_pair(method)
+            registry = obs_metrics.enable(obs_metrics.MetricsRegistry())
+            sink = obs_trace.ListSink()
+            obs_trace.enable(sink, run_id="bench-overhead")
+            kernel.compress(series, config.error_bounds[0])
+            events = max(events, registry.events + len(sink.records))
+    finally:
+        obs_trace.install(previous_tracer)
+        if previous_registry is None:
+            obs_metrics.disable()
+        else:
+            obs_metrics.enable(previous_registry)
+    # disabled fast path must really be disabled while timed
+    obs_metrics.disable()
+    obs_trace.disable()
+    try:
+        loops = 100_000
+        start = WALL()
+        for _ in range(loops):
+            obs_metrics.inc("bench.noop")
+        inc_ns = (WALL() - start) / loops * 1e9
+        start = WALL()
+        for _ in range(loops):
+            obs_trace.span("bench.noop")
+        span_ns = (WALL() - start) / loops * 1e9
+    finally:
+        obs_trace.install(previous_tracer)
+        if previous_registry is not None:
+            obs_metrics.enable(previous_registry)
+    per_event_ns = max(inc_ns, span_ns)
+    fastest_ms = min(cell["kernel_compress_ms"]
+                     for cells in methods.values() for cell in cells)
+    overhead_percent = (events * per_event_ns) / (fastest_ms * 1e6) * 100.0
+    return {
+        "events_per_compress": events,
+        "disabled_inc_ns": round(inc_ns, 1),
+        "disabled_span_ns": round(span_ns, 1),
+        "fastest_kernel_compress_ms": fastest_ms,
+        "overhead_percent": round(overhead_percent, 4),
+        "max_percent": config.max_obs_overhead_percent,
     }
 
 
@@ -156,7 +239,10 @@ def run_bench(config: BenchConfig | None = None,
     for method in config.methods:
         cells: list[dict] = []
         for error_bound in config.error_bounds:
-            cell = bench_method(method, series, error_bound, config.repeats)
+            with obs_trace.span("bench.method", method=method,
+                                error_bound=error_bound):
+                cell = bench_method(method, series, error_bound,
+                                    config.repeats)
             say(f"{method:6s} eps={error_bound:<5g} "
                 f"kernel {cell['kernel_compress_ms']:8.2f}ms  "
                 f"scalar {cell['scalar_compress_ms']:8.2f}ms  "
@@ -164,9 +250,15 @@ def run_bench(config: BenchConfig | None = None,
             cells.append(cell)
         methods[method] = cells
     say("grid cell ...")
-    grid_cell = bench_grid_cell(config)
+    with obs_trace.span("bench.grid_cell", length=config.grid_length):
+        grid_cell = bench_grid_cell(config)
     say(f"grid cell: {grid_cell['records']} records in "
         f"{grid_cell['wall_ms']:.0f}ms")
+    say("obs overhead ...")
+    obs_overhead = bench_obs_overhead(config, series, methods)
+    say(f"obs overhead: {obs_overhead['events_per_compress']} events/"
+        f"compress, {obs_overhead['overhead_percent']:.4f}% of fastest "
+        f"kernel compress (gate {obs_overhead['max_percent']:.1f}%)")
     return {
         "schema": SCHEMA_VERSION,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -174,6 +266,7 @@ def run_bench(config: BenchConfig | None = None,
         "config": config.to_dict(),
         "methods": methods,
         "grid_cell": grid_cell,
+        "obs_overhead": obs_overhead,
     }
 
 
@@ -193,6 +286,17 @@ def check_report(report: dict, min_speedup: float | None = None) -> list[str]:
                 failures.append(
                     f"{method} at eps={cell['error_bound']}: kernel/scalar "
                     f"payloads differ")
+    overhead = report.get("obs_overhead")
+    if overhead is not None:
+        percent = float(overhead["overhead_percent"])
+        ceiling = float(overhead.get(
+            "max_percent",
+            report.get("config", {}).get("max_obs_overhead_percent",
+                                         DEFAULT_MAX_OBS_OVERHEAD_PERCENT)))
+        if percent > ceiling:
+            failures.append(
+                f"disabled-mode observability overhead {percent:.4f}% "
+                f"exceeds the {ceiling:.1f}% ceiling")
     return failures
 
 

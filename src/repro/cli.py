@@ -19,10 +19,17 @@ Subcommands:
 - ``repro-eval bench`` — time the vectorized compression kernels against
   their scalar references (best-of-N, ETTm1-like synthetic) and write the
   ``BENCH_compression.json`` baseline; ``--check`` turns the report into a
-  regression gate that exits 1 when a kernel drops below ``--min-speedup``
-  or the kernel/scalar payloads diverge.
+  regression gate that exits 1 when a kernel drops below ``--min-speedup``,
+  a kernel/scalar payload mismatch is detected, or the disabled-mode
+  observability overhead exceeds its ceiling.
+- ``repro-eval trace RUN_DIR`` — summarize a run directory written by
+  ``grid --trace`` (or ``bench --trace``): manifest counts, span tree,
+  slowest jobs, failure hotspots, merged metrics.
 
-All subcommands accept ``--length`` to control the synthetic series length.
+``grid`` and ``bench`` accept ``--trace [DIR]`` to record a merged
+``trace.jsonl`` (plus ``manifest.json`` for grid runs) into ``DIR``
+(default ``.trace``).  All subcommands accept ``--length`` to control the
+synthetic series length.
 """
 
 from __future__ import annotations
@@ -90,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--keep-going", action="store_true",
                       help="isolate failing cells (recorded in the "
                            "manifest) instead of aborting the run")
+    grid.add_argument("--trace", nargs="?", const=".trace", default=None,
+                      metavar="DIR",
+                      help="record spans/metrics from every worker into "
+                           "DIR/trace.jsonl plus the run manifest into "
+                           "DIR/manifest.json (default DIR: .trace)")
 
     bench = commands.add_parser(
         "bench", help="benchmark compression kernels vs scalar references")
@@ -108,6 +120,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "a kernel/scalar payload mismatch is detected")
     bench.add_argument("--min-speedup", type=float, default=1.0,
                        help="compress speedup floor enforced by --check")
+    bench.add_argument("--max-obs-overhead", type=float, default=None,
+                       help="ceiling (percent) on disabled-mode "
+                            "observability overhead enforced by --check")
+    bench.add_argument("--trace", nargs="?", const=".trace", default=None,
+                       metavar="DIR",
+                       help="record bench spans into DIR/trace.jsonl "
+                            "(default DIR: .trace)")
+
+    trace = commands.add_parser(
+        "trace", help="summarize a run directory written by grid --trace")
+    trace.add_argument("run_dir", help="directory holding trace.jsonl "
+                                       "and/or manifest.json")
+    trace.add_argument("--top", type=int, default=10,
+                       help="rows per section (slowest jobs, span tree)")
     return parser
 
 
@@ -210,6 +236,7 @@ def _command_grid(args: argparse.Namespace) -> int:
         job_timeout=args.timeout,
         job_retries=args.retries,
         keep_going=args.keep_going,
+        trace_dir=args.trace,
     )
     evaluation = Evaluation(config)
     cells = (len(config.datasets) * len(config.models)
@@ -225,6 +252,7 @@ def _command_grid(args: argparse.Namespace) -> int:
             print("\nrun manifest:")
             for line in evaluation.last_manifest.lines():
                 print(f"  {line}")
+        _finish_trace(args.trace)
         print(f"\nerror: {error}", file=sys.stderr)
         print("hint: re-run with --keep-going to isolate the failing cell",
               file=sys.stderr)
@@ -258,17 +286,41 @@ def _command_grid(args: argparse.Namespace) -> int:
                         else f"{'failed':>15s}")
             worst = f"{max(tfes):>+11.2%}" if tfes else f"{'n/a':>11s}"
             print(f"{dataset:<10s}{model:<12s}{baseline}{worst}")
+    _finish_trace(args.trace)
     return 0
 
 
+def _finish_trace(trace_dir: str | None) -> None:
+    """Flush and disable observability, pointing at the written trace."""
+    if not trace_dir:
+        return
+    import repro.obs as obs
+
+    obs.shutdown()
+    print(f"\ntrace written to {trace_dir} "
+          f"(inspect with: repro-eval trace {trace_dir})")
+
+
 def _command_bench(args: argparse.Namespace) -> int:
-    from repro.bench import BenchConfig, check_report, run_bench, write_report
+    from repro.bench import (DEFAULT_MAX_OBS_OVERHEAD_PERCENT, BenchConfig,
+                             check_report, run_bench, write_report)
 
     config = BenchConfig(length=args.length, repeats=args.repeats,
                          error_bounds=tuple(args.error_bounds),
                          grid_length=args.grid_length,
-                         min_speedup=args.min_speedup)
+                         min_speedup=args.min_speedup,
+                         max_obs_overhead_percent=(
+                             args.max_obs_overhead
+                             if args.max_obs_overhead is not None
+                             else DEFAULT_MAX_OBS_OVERHEAD_PERCENT))
+    if args.trace:
+        import os
+
+        import repro.obs as obs
+
+        obs.configure(trace_path=os.path.join(args.trace, "trace.jsonl"))
     report = run_bench(config, progress=print)
+    _finish_trace(args.trace)
     if args.output:
         write_report(report, args.output)
         print(f"report written to {args.output}")
@@ -281,7 +333,16 @@ def _command_bench(args: argparse.Namespace) -> int:
             return 1
     elif args.check:
         print(f"check passed: all kernels >= {args.min_speedup:.2f}x "
-              f"over scalar, payloads identical")
+              f"over scalar, payloads identical, obs overhead within "
+              f"{report['obs_overhead']['max_percent']:.1f}%")
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs.report import summarize_run
+
+    for line in summarize_run(args.run_dir, top=args.top):
+        print(line)
     return 0
 
 
@@ -299,6 +360,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_grid(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "trace":
+        return _command_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -29,6 +29,29 @@ def gunzip_bytes(payload: bytes) -> bytes:
     return _gzip.decompress(payload)
 
 
+def record_result(result: "CompressionResult") -> "CompressionResult":
+    """Emit compression telemetry for one finished compression run.
+
+    Returns the result unchanged so ``return record_result(...)`` wraps a
+    compressor's construction site in one line.  No-op unless
+    :mod:`repro.obs.metrics` is enabled: bytes in (8 bytes per float64
+    sample) and out, call/segment counters per method, and the achieved
+    compression ratio as a histogram observation.
+    """
+    from repro.obs import metrics
+
+    if not metrics.enabled():
+        return result
+    bytes_in = 8 * len(result.original)
+    metrics.inc(f"compress.{result.method}.calls")
+    metrics.inc("compress.bytes_in", bytes_in)
+    metrics.inc("compress.bytes_out", result.compressed_size)
+    metrics.inc("compress.segments", result.num_segments)
+    if result.compressed_size:
+        metrics.observe("compress.ratio", bytes_in / result.compressed_size)
+    return result
+
+
 @dataclass(frozen=True)
 class CompressionResult:
     """Everything the evaluation needs to know about one compression run."""

@@ -26,7 +26,8 @@ import struct
 import numpy as np
 
 from repro.compression import timestamps
-from repro.compression.base import CompressionResult, Compressor
+from repro.compression.base import (CompressionResult, Compressor,
+                                    record_result)
 from repro.compression.gorilla import _bits_to_float, _clz64, _ctz64, _float_to_bits
 from repro.datasets.timeseries import TimeSeries
 from repro.encoding.bits import BitReader, BitWriter
@@ -86,7 +87,7 @@ class Chimp(Compressor):
                 writer.write_bits(xor, 64 - rounded_leading)
         payload = (timestamps.encode_header(series.start, series.interval)
                    + _COUNT.pack(len(values)) + writer.to_bytes())
-        return CompressionResult(
+        return record_result(CompressionResult(
             method=self.name,
             error_bound=0.0,
             original=series,
@@ -94,7 +95,7 @@ class Chimp(Compressor):
             payload=payload,
             compressed=payload,
             num_segments=1,
-        )
+        ))
 
     def decompress(self, compressed: bytes) -> TimeSeries:
         start, interval, offset = timestamps.decode_header(compressed)

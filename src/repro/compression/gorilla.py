@@ -19,7 +19,8 @@ import struct
 import numpy as np
 
 from repro.compression import timestamps
-from repro.compression.base import CompressionResult, Compressor
+from repro.compression.base import (CompressionResult, Compressor,
+                                    record_result)
 from repro.datasets.timeseries import TimeSeries
 from repro.encoding.bits import BitReader, BitWriter
 
@@ -75,7 +76,7 @@ class Gorilla(Compressor):
         payload = (timestamps.encode_header(series.start, series.interval)
                    + _COUNT.pack(len(values)) + writer.to_bytes())
         # Gorilla is already a binary encoding; the paper does not add gzip.
-        return CompressionResult(
+        return record_result(CompressionResult(
             method=self.name,
             error_bound=0.0,
             original=series,
@@ -83,7 +84,7 @@ class Gorilla(Compressor):
             payload=payload,
             compressed=payload,
             num_segments=1,
-        )
+        ))
 
     def decompress(self, compressed: bytes) -> TimeSeries:
         start, interval, offset = timestamps.decode_header(compressed)

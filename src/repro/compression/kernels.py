@@ -63,6 +63,8 @@ import math
 
 import numpy as np
 
+from repro.obs.metrics import inc as _metric_inc
+
 # Initial lookahead of the chunked scans; doubles while a window stays
 # open, and restarts at twice the previous segment's length after a close.
 MIN_CHUNK = 16
@@ -312,6 +314,12 @@ def pmc_chase(values: np.ndarray, error_bound: float, max_length: int,
     position = _pmc_scan_batch(point_lo, point_hi, sums, counts, 0, n,
                                max_length, closes,
                                stop_segments=SAMPLE_SEGMENTS)
+    if position >= n:
+        # the sampling probe consumed the whole series; no dispatch needed
+        _metric_inc("kernel.pmc.probe_only")
+    else:
+        dense = position <= PMC_DENSE_MEANLEN_MAX * max(1, len(closes))
+        _metric_inc("kernel.pmc.dense" if dense else "kernel.pmc.chunked")
     if position < n:
         if position <= PMC_DENSE_MEANLEN_MAX * max(1, len(closes)):
             offset = position
@@ -592,6 +600,11 @@ def swing_chase(values: np.ndarray, error_bound: float, max_length: int,
     position = _swing_scan_batch(values, low_num, high_num, runs, 0, n,
                                  max_length, closes,
                                  stop_segments=SAMPLE_SEGMENTS)
+    if position >= n:
+        _metric_inc("kernel.swing.probe_only")
+    else:
+        dense = position <= SWING_DENSE_MEANLEN_MAX * max(1, len(closes))
+        _metric_inc("kernel.swing.dense" if dense else "kernel.swing.chunked")
     if position < n:
         if position <= SWING_DENSE_MEANLEN_MAX * max(1, len(closes)):
             offset = position

@@ -27,7 +27,8 @@ import struct
 import numpy as np
 
 from repro.compression import kernels, timestamps
-from repro.compression.base import (CompressionResult, Compressor, gunzip_bytes,
+from repro.compression.base import (CompressionResult, Compressor,
+                                    gunzip_bytes, record_result,
                                     gzip_bytes)
 from repro.datasets.timeseries import TimeSeries
 
@@ -65,7 +66,7 @@ class PMC(Compressor):
 
         payload = self._serialize(series, lengths, means)
         compressed = gzip_bytes(payload)
-        return CompressionResult(
+        return record_result(CompressionResult(
             method=self.name,
             error_bound=error_bound,
             original=series,
@@ -73,7 +74,7 @@ class PMC(Compressor):
             payload=payload,
             compressed=compressed,
             num_segments=len(lengths),
-        )
+        ))
 
     @staticmethod
     def _segments_kernel(values: np.ndarray, error_bound: float

@@ -19,7 +19,8 @@ import struct
 import numpy as np
 
 from repro.compression import timestamps
-from repro.compression.base import (CompressionResult, Compressor, gunzip_bytes,
+from repro.compression.base import (CompressionResult, Compressor,
+                                    gunzip_bytes, record_result,
                                     gzip_bytes)
 from repro.datasets.timeseries import TimeSeries
 
@@ -75,7 +76,7 @@ class PPA(Compressor):
 
         payload = self._serialize(series, segments)
         compressed = gzip_bytes(payload)
-        return CompressionResult(
+        return record_result(CompressionResult(
             method=self.name,
             error_bound=error_bound,
             original=series,
@@ -83,7 +84,7 @@ class PPA(Compressor):
             payload=payload,
             compressed=compressed,
             num_segments=len(segments),
-        )
+        ))
 
     def _longest_segment(self, values: np.ndarray, error_bound: float
                          ) -> tuple[int, int, np.ndarray]:

@@ -30,7 +30,8 @@ import struct
 import numpy as np
 
 from repro.compression import kernels, timestamps
-from repro.compression.base import (CompressionResult, Compressor, gunzip_bytes,
+from repro.compression.base import (CompressionResult, Compressor,
+                                    gunzip_bytes, record_result,
                                     gzip_bytes)
 from repro.datasets.timeseries import TimeSeries
 
@@ -75,7 +76,7 @@ class Swing(Compressor):
 
         payload = self._serialize(series, lengths, slopes, intercepts)
         compressed = gzip_bytes(payload)
-        return CompressionResult(
+        return record_result(CompressionResult(
             method=self.name,
             error_bound=error_bound,
             original=series,
@@ -84,7 +85,7 @@ class Swing(Compressor):
             payload=payload,
             compressed=compressed,
             num_segments=len(lengths),
-        )
+        ))
 
     def _segments_kernel(self, values: np.ndarray, error_bound: float
                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

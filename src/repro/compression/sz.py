@@ -40,7 +40,8 @@ import struct
 import numpy as np
 
 from repro.compression import timestamps
-from repro.compression.base import (CompressionResult, Compressor, gunzip_bytes,
+from repro.compression.base import (CompressionResult, Compressor,
+                                    gunzip_bytes, record_result,
                                     gzip_bytes)
 from repro.encoding import huffman, varint
 from repro.datasets.timeseries import TimeSeries
@@ -306,7 +307,7 @@ class SZ(Compressor):
         # runs of constant output (visible in the paper's Figure 1), so the
         # Figure 3 "segment" count is the number of such runs.
         changes = int(np.count_nonzero(np.diff(reconstructed))) + 1
-        return CompressionResult(
+        return record_result(CompressionResult(
             method=self.name,
             error_bound=error_bound,
             original=series,
@@ -314,7 +315,7 @@ class SZ(Compressor):
             payload=payload,
             compressed=compressed,
             num_segments=changes,
-        )
+        ))
 
     def _serialize(self, series: TimeSeries, n: int,
                    block_meta: list[tuple[int, float, float]],

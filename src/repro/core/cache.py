@@ -20,6 +20,8 @@ import pickle
 from collections.abc import Callable
 from typing import Any
 
+from repro.obs.metrics import inc as _metric_inc
+
 #: sentinel distinguishing "no cached value" from a cached ``None``
 MISSING = object()
 
@@ -69,6 +71,7 @@ class DiskCache:
         Corrupt disk entries are deleted and reported as misses.
         """
         if key in self._memory:
+            _metric_inc("cache.hit_memory")
             return self._memory[key]
         if self.directory is not None:
             path = self._path(key)
@@ -79,13 +82,16 @@ class DiskCache:
                 except CORRUPT_ENTRY_ERRORS:
                     # stale or corrupt entry: drop it and recompute; another
                     # process may have removed the file first
+                    _metric_inc("cache.corrupt")
                     with contextlib.suppress(FileNotFoundError):
                         os.remove(path)
                 except FileNotFoundError:
                     pass  # removed between the existence check and the open
                 else:
+                    _metric_inc("cache.hit_disk")
                     self._memory[key] = value
                     return value
+        _metric_inc("cache.miss")
         return default
 
     def put(self, key: str, value: Any) -> None:
@@ -108,6 +114,7 @@ class DiskCache:
                 raise
             os.replace(temporary, self._path(key))
         self._memory[key] = value
+        _metric_inc("cache.put")
 
     def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing it on a miss."""

@@ -49,6 +49,10 @@ class EvaluationConfig:
     #: True isolates a failing job to its dependent subtree (recorded as a
     #: ``FailureRecord`` in the run manifest) instead of raising ``JobError``
     keep_going: bool = False
+    #: directory receiving ``trace.jsonl`` (merged spans + metric flushes
+    #: from every worker) and ``manifest.json`` after each run; None keeps
+    #: observability disabled (its no-op fast path)
+    trace_dir: str | None = None
     #: extra keyword arguments per model name
     model_kwargs: dict = field(default_factory=dict)
 

@@ -15,6 +15,10 @@ on decompressed data, rides on the same graphs via ``train_on`` edges.
 
 from __future__ import annotations
 
+import json
+import os
+
+import repro.obs as obs
 from repro.compression.base import CompressionResult
 from repro.compression.registry import make as make_compressor
 from repro.compression.serialize import compression_ratio, raw_gz_size
@@ -44,6 +48,11 @@ class Evaluation:
                                   job_retries=self.config.job_retries,
                                   keep_going=self.config.keep_going)
         self._context = self._executor.context
+        self._trace_dir = self.config.trace_dir
+        if self._trace_dir is not None:
+            os.makedirs(self._trace_dir, exist_ok=True)
+            obs.configure(trace_path=os.path.join(self._trace_dir,
+                                                  "trace.jsonl"))
 
     @property
     def cache(self) -> DiskCache:
@@ -65,7 +74,25 @@ class Evaluation:
         graph = TaskGraph()
         for job in jobs:
             graph.add(job)
-        return self._executor.run(graph)
+        try:
+            return self._executor.run(graph)
+        finally:
+            self._write_manifest()
+
+    def _write_manifest(self) -> None:
+        """Persist the last run's manifest next to the trace file.
+
+        Runs in a ``finally`` so failed runs (including keep-going runs
+        whose manifest holds only failures) still leave an inspectable
+        ``manifest.json`` for ``repro-eval trace``.
+        """
+        manifest = self._executor.last_manifest
+        if self._trace_dir is None or manifest is None:
+            return
+        path = os.path.join(self._trace_dir, "manifest.json")
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(manifest.to_dict(), stream, indent=2, default=str)
+            stream.write("\n")
 
     # -- data ------------------------------------------------------------------
 

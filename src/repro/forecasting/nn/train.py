@@ -14,6 +14,16 @@ import numpy as np
 from repro.forecasting.nn.layers import Module
 from repro.forecasting.nn.optim import Adam
 from repro.forecasting.nn.tensor import Tensor, mse_loss
+from repro.obs import metrics as obs_metrics
+
+
+def gradient_norm(parameters: list[Tensor]) -> float:
+    """Global L2 norm over every parameter gradient (0.0 when none set)."""
+    total = 0.0
+    for parameter in parameters:
+        if parameter.grad is not None:
+            total += float(np.sum(parameter.grad ** 2))
+    return float(np.sqrt(total))
 
 
 def fit_model(model: Module,
@@ -37,18 +47,30 @@ def fit_model(model: Module,
     best_state = model.state()
     bad_epochs = 0
     history: list[float] = []
+    metered = obs_metrics.enabled()
     for _ in range(epochs):
         model.train()
         order = rng.permutation(len(train_x))
+        grad_norm = 0.0
+        batches = 0
         for begin in range(0, len(order), batch_size):
             batch = order[begin:begin + batch_size]
             optimizer.zero_grad()
             prediction = forward(train_x[batch])
             loss = mse_loss(prediction, train_y[batch])
             loss.backward()
+            if metered:
+                grad_norm += gradient_norm(model.parameters())
+                batches += 1
             optimizer.step()
         validation_loss = evaluate(forward, model, val_x, val_y, batch_size)
         history.append(validation_loss)
+        if metered:
+            obs_metrics.inc("train.epochs")
+            if np.isfinite(validation_loss):
+                obs_metrics.observe("train.epoch_val_loss", validation_loss)
+            if batches:
+                obs_metrics.observe("train.epoch_grad_norm", grad_norm / batches)
         if validation_loss < best_loss - 1e-9:
             best_loss = validation_loss
             best_state = model.state()

@@ -1,0 +1,133 @@
+"""Zero-dependency observability: spans, metrics, and correlated logging.
+
+The evaluation grid runs compressors, trainers, and forecasters across
+processes for minutes to hours; this package makes those runs observable
+without re-running them:
+
+- :mod:`repro.obs.trace` — nested spans (wall + CPU time, tags, outcome)
+  written as JSONL records to a process-safe sink, so the serial executor
+  and every pool worker append into one merged trace file;
+- :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms (compression bytes in/out, kernel dispatch decisions, cache
+  hits, retry/timeout/failure counts, per-epoch training loss);
+- :mod:`repro.obs.log` — a ``get_logger`` façade whose records carry the
+  current run id, so interleaved worker output stays attributable;
+- :mod:`repro.obs.report` — turns a run directory (``trace.jsonl`` +
+  ``manifest.json``) into the ``repro-eval trace`` summary.
+
+Everything is **disabled by default** and the disabled paths cost one
+module-global load and a ``None`` check — cheap enough to leave the
+instrumentation permanently in the compression kernels and the executor
+(pinned by the ``obs_overhead`` gate in ``repro-eval bench --check``).
+
+Enable with :func:`configure`, which returns the run id; pool workers are
+brought into the same run via the picklable :func:`state` /
+:func:`ensure` pair (a no-op under ``fork``, where the configured module
+globals are inherited).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.obs import log, metrics, trace
+from repro.obs.log import get_logger
+
+__all__ = [
+    "configure",
+    "enabled",
+    "ensure",
+    "flush_metrics",
+    "get_logger",
+    "shutdown",
+    "state",
+]
+
+
+def configure(trace_path: str | None = None, run_id: str | None = None,
+              enable_metrics: bool = True, fresh: bool = True) -> str:
+    """Turn observability on; returns the (possibly generated) run id.
+
+    ``trace_path`` names the JSONL span/metric sink (``None`` keeps spans
+    in memory only if a sink was installed programmatically, otherwise
+    spans are simply counted out of existence).  ``fresh`` truncates an
+    existing trace file — workers joining a live run pass ``False``.
+    """
+    run_id = run_id or log.new_run_id()
+    log.set_run_id(run_id)
+    sink = trace.JsonlSink(trace_path, truncate=fresh) if trace_path else None
+    trace.enable(sink, run_id=run_id)
+    if enable_metrics:
+        metrics.enable()
+    return run_id
+
+
+def enabled() -> bool:
+    """Whether any observability (tracing or metrics) is active."""
+    return trace.active() is not None or metrics.enabled()
+
+
+def shutdown() -> None:
+    """Flush pending metrics and disable tracing and metrics."""
+    flush_metrics()
+    trace.disable()
+    metrics.disable()
+
+
+def state() -> dict[str, Any] | None:
+    """Picklable snapshot of the active configuration, for pool workers."""
+    tracer = trace.active()
+    if tracer is None and not metrics.enabled():
+        return None
+    path = tracer.sink.path if tracer is not None and tracer.sink else None
+    return {
+        "run_id": tracer.run_id if tracer is not None else log.current_run_id(),
+        "trace_path": path,
+        "metrics": metrics.enabled(),
+        "tracing": tracer is not None,
+    }
+
+
+def ensure(snapshot: dict[str, Any] | None) -> None:
+    """Adopt a :func:`state` snapshot inside a worker process (idempotent).
+
+    Under the default ``fork`` start method the worker inherits the parent
+    configuration and this only verifies the run id; under ``spawn`` it
+    performs the configuration from scratch — without truncating the
+    shared trace file.
+    """
+    if not snapshot:
+        return
+    tracer = trace.active()
+    if tracer is not None and tracer.run_id == snapshot["run_id"]:
+        return
+    if snapshot.get("tracing"):
+        configure(trace_path=snapshot.get("trace_path"),
+                  run_id=snapshot["run_id"],
+                  enable_metrics=snapshot.get("metrics", True), fresh=False)
+    elif snapshot.get("metrics"):
+        log.set_run_id(snapshot["run_id"])
+        metrics.enable()
+
+
+def flush_metrics() -> dict[str, Any] | None:
+    """Write this process's metric deltas to the trace sink and reset them.
+
+    Returns the flushed snapshot (``None`` when metrics are disabled or
+    empty).  Each flush writes only what accumulated since the previous
+    one, so summing the flushed records of every process reconstructs the
+    run totals exactly once.
+    """
+    registry = metrics.active()
+    if registry is None:
+        return None
+    snapshot = registry.flush()
+    if not (snapshot["counters"] or snapshot["gauges"]
+            or snapshot["histograms"]):
+        return None
+    tracer = trace.active()
+    if tracer is not None and tracer.sink is not None:
+        tracer.sink.write({"type": "metrics", "run": tracer.run_id,
+                           "pid": os.getpid(), **snapshot})
+    return snapshot

@@ -1,0 +1,73 @@
+"""``get_logger`` façade with run-id correlation.
+
+All package loggers live under the ``repro`` root logger and stay silent
+(``NullHandler``) until :func:`configure_logging` attaches a handler.
+Every record carries the current run id (``%(run_id)s``), so output from
+the serial executor and any number of pool workers — which all stamp the
+same id via :func:`repro.obs.ensure` — can be interleaved and still
+grouped by run.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+import uuid
+
+#: format used by :func:`configure_logging`
+LOG_FORMAT = "%(asctime)s %(run_id)s %(name)s %(levelname)s %(message)s"
+
+_run_id = "-"
+
+
+def new_run_id() -> str:
+    """A short, unique, sortable run id (UTC timestamp + random suffix)."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"{stamp}-{uuid.uuid4().hex[:8]}"
+
+
+def set_run_id(run_id: str) -> None:
+    global _run_id
+    _run_id = run_id
+
+
+def current_run_id() -> str:
+    return _run_id
+
+
+class _RunIdFilter(logging.Filter):
+    """Injects the current run id (and pid) into every record."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.run_id = _run_id
+        record.pid = os.getpid()
+        return True
+
+
+def _root() -> logging.Logger:
+    root = logging.getLogger("repro")
+    if not any(isinstance(f, _RunIdFilter) for f in root.filters):
+        root.addFilter(_RunIdFilter())
+        root.addHandler(logging.NullHandler())
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy, e.g. ``get_logger("runtime")``."""
+    _root()
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+def configure_logging(level: int | str = logging.INFO,
+                      stream=None) -> logging.Handler:
+    """Attach a stream handler with the run-id format; returns the handler."""
+    root = _root()
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    handler.addFilter(_RunIdFilter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

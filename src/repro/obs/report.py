@@ -1,0 +1,212 @@
+"""Render a run directory (``trace.jsonl`` + ``manifest.json``) as text.
+
+``repro-eval grid --trace DIR`` leaves behind a run directory with the
+merged span/metric JSONL written by every process and the run manifest as
+JSON.  :func:`summarize_run` turns that into the ``repro-eval trace``
+report:
+
+- the manifest header and its failure table (rendered even when the run
+  produced *only* failures — a degenerate manifest must never crash the
+  tool that explains it);
+- an aggregated span tree ("flame" rolled up by name path): call count,
+  total/mean wall time, CPU fraction per node;
+- the slowest job attempts (kind, key, attempt, outcome, queue wait vs
+  execute time);
+- failure hotspots: error spans grouped by job kind and exception type;
+- merged metric totals (counters summed, histograms merged across every
+  process's flushes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.obs.metrics import merge_snapshots
+
+TRACE_FILE = "trace.jsonl"
+MANIFEST_FILE = "manifest.json"
+
+
+def load_run(run_dir: str) -> tuple[dict | None, list[dict], list[dict]]:
+    """Read ``(manifest, spans, metric_snapshots)`` from a run directory.
+
+    Missing files yield empty results; malformed JSONL lines (a worker
+    killed mid-write) are skipped rather than fatal.
+    """
+    manifest: dict | None = None
+    manifest_path = os.path.join(run_dir, MANIFEST_FILE)
+    if os.path.exists(manifest_path):
+        with open(manifest_path, encoding="utf-8") as stream:
+            manifest = json.load(stream)
+    spans: list[dict] = []
+    snapshots: list[dict] = []
+    trace_path = os.path.join(run_dir, TRACE_FILE)
+    if os.path.exists(trace_path):
+        with open(trace_path, encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn line from a killed writer
+                if record.get("type") == "span":
+                    spans.append(record)
+                elif record.get("type") == "metrics":
+                    snapshots.append(record)
+    return manifest, spans, snapshots
+
+
+def _manifest_lines(manifest: dict) -> list[str]:
+    total = manifest.get("total", 0)
+    cached = manifest.get("cached", 0)
+    rate = cached / total if total else 0.0
+    workers = manifest.get("workers", 1)
+    lines = [f"jobs      : {total} planned, {cached} cached ({rate:.0%}), "
+             f"{manifest.get('executed', 0)} executed",
+             f"wall time : {manifest.get('wall_seconds', 0.0):.2f}s "
+             f"({workers} worker{'s' if workers != 1 else ''})"]
+    failures = manifest.get("failures", [])
+    skipped = manifest.get("skipped", [])
+    if failures or skipped:
+        lines.append(f"failures  : {len(failures)} failed, "
+                     f"{len(skipped)} skipped downstream")
+        for failure in failures:
+            attempts = failure.get("attempts", 1)
+            plural = "s" if attempts != 1 else ""
+            lines.append(f"  {failure.get('description', failure.get('key'))}"
+                         f": {failure.get('error')} "
+                         f"({attempts} attempt{plural})")
+    return lines
+
+
+def _span_tree_lines(spans: list[dict], max_depth: int = 4) -> list[str]:
+    """Aggregate spans by name path and render an indented rollup."""
+    by_id = {span["span"]: span for span in spans}
+
+    def path_of(span: dict) -> tuple[str, ...]:
+        path: list[str] = []
+        seen: set[str] = set()
+        node: dict | None = span
+        while node is not None and node["span"] not in seen:
+            seen.add(node["span"])
+            path.append(node["name"])
+            parent = node.get("parent")
+            node = by_id.get(parent) if parent else None
+        return tuple(reversed(path))
+
+    groups: dict[tuple[str, ...], dict[str, float]] = {}
+    for span in spans:
+        path = path_of(span)[:max_depth]
+        group = groups.setdefault(path, {"count": 0, "wall": 0.0, "cpu": 0.0,
+                                         "errors": 0})
+        group["count"] += 1
+        group["wall"] += span.get("wall_s", 0.0)
+        group["cpu"] += span.get("cpu_s", 0.0)
+        group["errors"] += span.get("outcome") != "ok"
+    lines: list[str] = []
+
+    def render(prefix: tuple[str, ...], depth: int) -> None:
+        children = sorted((path for path in groups
+                           if len(path) == depth + 1
+                           and path[:depth] == prefix),
+                          key=lambda path: -groups[path]["wall"])
+        for path in children:
+            group = groups[path]
+            mean = group["wall"] / group["count"]
+            flag = f"  ({group['errors']:.0f} errors)" if group["errors"] else ""
+            lines.append(f"  {'  ' * depth}{path[-1]:<{24 - 2 * depth}s}"
+                         f"{group['count']:>6.0f}x"
+                         f"{group['wall']:>10.3f}s total"
+                         f"{mean:>10.4f}s mean"
+                         f"{group['cpu']:>10.3f}s cpu{flag}")
+            render(path, depth + 1)
+
+    render((), 0)
+    return lines
+
+
+def _slowest_job_lines(spans: list[dict], top: int) -> list[str]:
+    jobs = [span for span in spans if span.get("name") == "job"]
+    jobs.sort(key=lambda span: -span.get("wall_s", 0.0))
+    lines = []
+    for span in jobs[:top]:
+        tags = span.get("tags", {})
+        wait = tags.get("queue_wait_s")
+        wait_text = f"{wait:8.3f}s wait" if wait is not None else " " * 14
+        lines.append(f"  {tags.get('kind', '?'):<10s}"
+                     f"{span.get('wall_s', 0.0):8.3f}s  {wait_text}  "
+                     f"attempt {tags.get('attempt', '?')} "
+                     f"[{span.get('outcome')}]  {tags.get('key', '?')}")
+    return lines
+
+
+def _hotspot_lines(spans: list[dict]) -> list[str]:
+    hotspots: dict[tuple[str, str], int] = {}
+    for span in spans:
+        if span.get("outcome") == "ok":
+            continue
+        error = span.get("error", "?")
+        error_type = error.split("(", 1)[0] if error else "?"
+        key = (span.get("tags", {}).get("kind", span.get("name", "?")),
+               error_type)
+        hotspots[key] = hotspots.get(key, 0) + 1
+    return [f"  {kind:<10s} {error_type:<24s} {count}x"
+            for (kind, error_type), count in
+            sorted(hotspots.items(), key=lambda item: -item[1])]
+
+
+def _metric_lines(snapshots: list[dict]) -> list[str]:
+    merged = merge_snapshots(snapshots)
+    lines = [f"  {name:<32s} {value:>14g}"
+             for name, value in sorted(merged["counters"].items())]
+    for name, data in sorted(merged["histograms"].items()):
+        count = data["count"]
+        mean = data["total"] / count if count else float("nan")
+        lines.append(f"  {name:<32s} {count:>6d} obs  mean {mean:g}  "
+                     f"min {data['min']:g}  max {data['max']:g}")
+    for name, value in sorted(merged["gauges"].items()):
+        lines.append(f"  {name:<32s} {value:>14g} (gauge)")
+    return lines
+
+
+def summarize_run(run_dir: str, top: int = 10) -> list[str]:
+    """The full ``repro-eval trace`` report for one run directory."""
+    manifest, spans, snapshots = load_run(run_dir)
+    lines: list[str] = []
+    if manifest is None and not spans and not snapshots:
+        return [f"no {TRACE_FILE} or {MANIFEST_FILE} found in {run_dir}"]
+    runs = sorted({span.get("run", "-") for span in spans})
+    pids = sorted({span.get("pid") for span in spans})
+    header = f"trace: {len(spans)} spans"
+    if runs:
+        header += f", run {', '.join(runs)}"
+    if pids:
+        header += f", {len(pids)} process{'es' if len(pids) != 1 else ''}"
+    lines.append(header)
+    if manifest is not None:
+        lines.append("")
+        lines.append("manifest:")
+        lines += [f"  {line}" for line in _manifest_lines(manifest)]
+    if spans:
+        lines.append("")
+        lines.append("span tree (wall time, rolled up by name):")
+        lines += _span_tree_lines(spans)
+        slowest = _slowest_job_lines(spans, top)
+        if slowest:
+            lines.append("")
+            lines.append(f"slowest job attempts (top {min(top, len(slowest))}):")
+            lines += slowest
+        hotspots = _hotspot_lines(spans)
+        if hotspots:
+            lines.append("")
+            lines.append("failure hotspots:")
+            lines += hotspots
+    if snapshots:
+        lines.append("")
+        lines.append("metrics (merged across processes):")
+        lines += _metric_lines(snapshots)
+    return lines

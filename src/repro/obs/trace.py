@@ -1,0 +1,210 @@
+"""Nested spans with a process-safe JSONL sink.
+
+A span measures one unit of work — a job attempt, a model fit, a bench
+measurement — with wall time (``perf_counter``) and CPU time
+(``process_time``), arbitrary tags, and an outcome ("ok", or "error" with
+the exception's ``repr`` when the body raised).  Spans nest through a
+thread-local stack, so a ``train.fit`` span opened inside a job attempt
+records that attempt as its parent.
+
+Records are one JSON object per line.  The :class:`JsonlSink` opens the
+file in append mode *per write* with ``O_APPEND`` semantics, so the serial
+executor and every pool worker append into the same file without
+coordination and the lines interleave but never tear; each record carries
+the writer's pid and the run id, which is how ``repro-eval trace`` merges
+a multi-process run back into one timeline.
+
+Disabled-mode contract: when no tracer is enabled, :func:`span` returns a
+shared no-op singleton — one module-global load, one ``None`` check, no
+allocation.  ``repro-eval bench`` pins this as the ``obs_overhead`` gate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from typing import Any
+
+#: the span clock (wall time); also reused by ``repro.bench``
+WALL = time.perf_counter
+#: CPU clock: process-wide user + system time
+CPU = time.process_time
+
+
+class JsonlSink:
+    """Appends records as JSON lines; safe across threads and processes."""
+
+    def __init__(self, path: str, truncate: bool = False) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        if truncate:
+            open(path, "w", encoding="utf-8").close()
+
+    def write(self, record: dict[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True,
+                          default=str)
+        # one write() call per line: O_APPEND keeps concurrent writers
+        # from interleaving mid-line
+        with self._lock, open(self.path, "a", encoding="utf-8") as stream:
+            stream.write(line + "\n")
+
+
+class ListSink:
+    """In-memory sink for tests and the bench's span-event counting."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def write(self, record: dict[str, Any]) -> None:
+        self.records.append(record)
+
+
+class NullSpan:
+    """The shared disabled-mode span: every operation is a no-op."""
+
+    __slots__ = ()
+    enabled = False
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def tag(self, **tags: Any) -> "NullSpan":
+        return self
+
+
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One timed, tagged unit of work; records itself on exit."""
+
+    __slots__ = ("tracer", "name", "tags", "span_id", "parent_id",
+                 "start_epoch", "_start_wall", "_start_cpu", "wall_s",
+                 "cpu_s", "outcome", "error")
+    enabled = True
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 tags: dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.tags = tags
+        self.span_id = tracer.next_id()
+        self.parent_id: str | None = None
+        self.outcome = "ok"
+        self.error: str | None = None
+
+    def tag(self, **tags: Any) -> "Span":
+        self.tags.update(tags)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.parent_id = self.tracer.push(self.span_id)
+        self.start_epoch = time.time()
+        self._start_cpu = CPU()
+        self._start_wall = WALL()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_s = WALL() - self._start_wall
+        self.cpu_s = CPU() - self._start_cpu
+        self.tracer.pop()
+        if exc is not None:
+            self.outcome = "error"
+            self.error = repr(exc)
+        self.tracer.emit(self)
+        return False  # never swallow the exception
+
+
+class Tracer:
+    """Creates spans and writes their records to a sink."""
+
+    def __init__(self, sink: Any = None, run_id: str = "-") -> None:
+        self.sink = sink
+        self.run_id = run_id
+        self._counter = itertools.count(1)
+        self._local = threading.local()
+
+    def next_id(self) -> str:
+        return f"{os.getpid()}-{next(self._counter)}"
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def push(self, span_id: str) -> str | None:
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        stack.append(span_id)
+        return parent
+
+    def pop(self) -> None:
+        stack = self._stack()
+        if stack:
+            stack.pop()
+
+    def span(self, name: str, tags: dict[str, Any]) -> Span:
+        return Span(self, name, tags)
+
+    def emit(self, span: Span) -> None:
+        if self.sink is None:
+            return
+        record = {
+            "type": "span",
+            "run": self.run_id,
+            "pid": os.getpid(),
+            "span": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "tags": span.tags,
+            "start": round(span.start_epoch, 6),
+            "wall_s": round(span.wall_s, 9),
+            "cpu_s": round(span.cpu_s, 9),
+            "outcome": span.outcome,
+        }
+        if span.error is not None:
+            record["error"] = span.error
+        self.sink.write(record)
+
+
+_tracer: Tracer | None = None
+
+
+def enable(sink: Any = None, run_id: str = "-") -> Tracer:
+    """Install a process-global tracer (replacing any previous one)."""
+    global _tracer
+    _tracer = Tracer(sink, run_id)
+    return _tracer
+
+
+def disable() -> None:
+    global _tracer
+    _tracer = None
+
+
+def install(tracer: Tracer | None) -> None:
+    """Re-install a previously :func:`active` tracer (or ``None``)."""
+    global _tracer
+    _tracer = tracer
+
+
+def active() -> Tracer | None:
+    return _tracer
+
+
+def span(name: str, **tags: Any) -> Span | NullSpan:
+    """A context-managed span, or the no-op singleton when disabled."""
+    tracer = _tracer
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, tags)

@@ -8,9 +8,9 @@ pool through one shared cache (:mod:`repro.runtime.executor`).  The
 ``repro-eval grid`` CLI command exposes them directly.
 """
 
-from repro.runtime.executor import (Executor, FailureRecord, InjectedFailure,
-                                    JobError, JobTimeoutError, MemoryCache,
-                                    RunManifest)
+from repro.runtime.executor import (AttemptRecord, Executor, FailureRecord,
+                                    InjectedFailure, JobError,
+                                    JobTimeoutError, MemoryCache, RunManifest)
 from repro.runtime.graph import TaskGraph
 from repro.runtime.jobs import (CompressJob, FeatureJob, ForecastJob,
                                 JobSpec, RuntimeContext, TrainJob,
@@ -18,6 +18,7 @@ from repro.runtime.jobs import (CompressJob, FeatureJob, ForecastJob,
                                 test_windows)
 
 __all__ = [
+    "AttemptRecord",
     "CompressJob",
     "Executor",
     "FailureRecord",

@@ -50,8 +50,20 @@ contains all of them raise :class:`InjectedFailure` — the fault-injection
 hook used by tests and the CI smoke.
 
 Every run produces a :class:`RunManifest` (planned/cached/executed job
-counts, failures, wall time, and per-kind compute seconds) available as
+counts, failures, wall time, per-kind compute seconds, and one
+:class:`AttemptRecord` per job attempt) available as
 ``Executor.last_manifest`` — even when the run raised.
+
+Observability
+-------------
+
+When :mod:`repro.obs` is configured (``grid --trace``), every job attempt
+— including retried and failed ones — emits a ``job`` span tagged with
+kind, key, attempt number, outcome, and queue-wait time; pool workers
+append their spans and metric flushes into the same JSONL sink as the
+parent, so ``repro-eval trace`` sees one merged timeline.  With
+observability disabled (the default) the instrumentation reduces to a
+module-global load and a ``None`` check per call site.
 
 The cache is duck-typed (``contains``/``get``/``put``), normally a
 :class:`repro.core.cache.DiskCache`; ``cache=None`` uses a private
@@ -70,6 +82,9 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any
 
+import repro.obs as obs
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runtime.graph import TaskGraph
 from repro.runtime.jobs import JobSpec, RuntimeContext
 
@@ -127,6 +142,30 @@ def _deadline(seconds: float | None):
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One job attempt (successful or not), as recorded in the manifest.
+
+    The same attempt is also emitted as a ``job`` span when tracing is
+    enabled; the manifest copy keeps run post-mortems possible even when
+    no trace sink was configured.
+    """
+
+    kind: str
+    key: str
+    #: 1-based attempt number (2+ are retries)
+    attempt: int
+    #: "ok", "error", or "timeout"
+    outcome: str
+    #: seconds between submission and execution start (None when unknown,
+    #: e.g. a pool attempt that died before reporting)
+    queue_wait_s: float | None
+    #: execute time of the attempt (None when it raised)
+    execute_s: float | None
+    #: ``repr()`` of the exception for failed attempts
+    error: str | None = None
 
 
 @dataclass(frozen=True)
@@ -203,6 +242,33 @@ class RunManifest:
     failures: list[FailureRecord] = field(default_factory=list)
     #: keys skipped because an upstream dependency failed (keep-going mode)
     skipped: list[str] = field(default_factory=list)
+    #: every job attempt made this run, including retried and failed ones
+    attempts: list[AttemptRecord] = field(default_factory=list)
+
+    def record_attempt(self, kind: str, key: str, attempt: int, outcome: str,
+                       queue_wait_s: float | None, execute_s: float | None,
+                       error: str | None = None) -> None:
+        self.attempts.append(AttemptRecord(kind, key, attempt, outcome,
+                                           queue_wait_s, execute_s, error))
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form, persisted as ``manifest.json`` by the
+        ``grid --trace`` CLI and read back by ``repro-eval trace``."""
+        from dataclasses import asdict
+
+        return {
+            "total": self.total,
+            "cached": self.cached,
+            "executed": self.executed,
+            "wall_seconds": self.wall_seconds,
+            "workers": self.workers,
+            "phase_seconds": dict(self.phase_seconds),
+            "phase_executed": dict(self.phase_executed),
+            "phase_total": dict(self.phase_total),
+            "failures": [asdict(failure) for failure in self.failures],
+            "skipped": list(self.skipped),
+            "attempts": [asdict(attempt) for attempt in self.attempts],
+        }
 
     def record_probe(self, kind: str, hit: bool) -> None:
         self.total += 1
@@ -243,6 +309,11 @@ class RunManifest:
         return "\n".join(self.lines())
 
 
+def _attempt_outcome(error: BaseException) -> str:
+    """Attempt-record outcome label for a failed attempt."""
+    return "timeout" if isinstance(error, JobTimeoutError) else "error"
+
+
 def _timed_run(job: JobSpec, ctx: RuntimeContext, deps: dict[str, Any],
                timeout: float | None = None) -> tuple[Any, float]:
     _maybe_inject_failure(job)
@@ -257,11 +328,36 @@ _WORKER_CONTEXT: RuntimeContext | None = None
 
 
 def _pool_run(job: JobSpec, deps: dict[str, Any],
-              timeout: float | None = None) -> tuple[Any, float]:
+              timeout: float | None = None, attempt: int = 1,
+              submit_ts: float | None = None,
+              obs_state: dict | None = None
+              ) -> tuple[Any, float, float | None]:
+    """Worker-side job execution: one ``job`` span per attempt.
+
+    ``submit_ts`` (parent ``time.time()`` at submission) yields the
+    queue-wait estimate — wall clocks are comparable across processes on
+    one machine, unlike ``perf_counter``.  The span is written into the
+    shared trace sink even when the job raises (the context manager emits
+    on the error path before re-raising), and the worker's metric deltas
+    are flushed after every attempt so a later pool crash cannot lose
+    them.
+    """
     global _WORKER_CONTEXT
+    obs.ensure(obs_state)
     if _WORKER_CONTEXT is None:
         _WORKER_CONTEXT = RuntimeContext()
-    return _timed_run(job, _WORKER_CONTEXT, deps, timeout)
+    queue_wait = (max(0.0, time.time() - submit_ts)
+                  if submit_ts is not None else None)
+    span = obs_trace.span("job", kind=job.kind, attempt=attempt,
+                          queue_wait_s=queue_wait)
+    if span.enabled:
+        span.tag(key=job.key())
+    try:
+        with span:
+            value, seconds = _timed_run(job, _WORKER_CONTEXT, deps, timeout)
+    finally:
+        obs.flush_metrics()
+    return value, seconds, queue_wait
 
 
 class Executor:
@@ -303,16 +399,19 @@ class Executor:
         cached: dict[str, bool] = {}
         poisoned: set[str] = set()
         try:
-            needed = self._plan(graph, target_keys, cached, manifest)
-            if self.max_workers <= 1 or len(needed) <= 1:
-                for key in target_keys:
-                    self._materialize(graph, key, values, cached, manifest,
-                                      poisoned)
-            else:
-                self._run_pool(graph, order, target_keys, needed, values,
-                               cached, manifest, poisoned)
+            with obs_trace.span("executor.run", targets=len(target_keys),
+                                workers=manifest.workers):
+                needed = self._plan(graph, target_keys, cached, manifest)
+                if self.max_workers <= 1 or len(needed) <= 1:
+                    for key in target_keys:
+                        self._materialize(graph, key, values, cached,
+                                          manifest, poisoned)
+                else:
+                    self._run_pool(graph, order, target_keys, needed, values,
+                                   cached, manifest, poisoned)
         finally:
             manifest.wall_seconds = time.perf_counter() - start
+            obs.flush_metrics()
         return values
 
     # -- planning --------------------------------------------------------------
@@ -324,6 +423,8 @@ class Executor:
             hit = bool(self.cache.contains(key))
             cached[key] = hit
             manifest.record_probe(graph.job(key).kind, hit)
+            obs_metrics.inc("runtime.probe.hit" if hit
+                            else "runtime.probe.miss")
         return cached[key]
 
     def _plan(self, graph: TaskGraph, target_keys: tuple[str, ...],
@@ -425,16 +526,28 @@ class Executor:
         attempts = 0
         while True:
             attempts += 1
+            span = obs_trace.span("job", kind=job.kind, key=key,
+                                  attempt=attempts, queue_wait_s=0.0)
             try:
-                value, seconds = _timed_run(job, self.context, deps,
-                                            self.job_timeout)
+                with span:
+                    value, seconds = _timed_run(job, self.context, deps,
+                                                self.job_timeout)
             except Exception as error:
+                outcome = _attempt_outcome(error)
+                manifest.record_attempt(job.kind, key, attempts, outcome,
+                                        0.0, None, repr(error))
+                obs_metrics.inc(f"runtime.attempts.{outcome}")
                 if attempts <= self.job_retries:
+                    obs_metrics.inc("runtime.retries")
                     if self.retry_backoff:
                         time.sleep(self.retry_backoff * attempts)
                     continue
+                obs_metrics.inc("runtime.failures")
                 self._fail(job, key, error, attempts, manifest, poisoned)
                 return _FAILED
+            manifest.record_attempt(job.kind, key, attempts, "ok", 0.0,
+                                    seconds)
+            obs_metrics.inc("runtime.attempts.ok")
             manifest.record_execution(job.kind, seconds)
             return value
 
@@ -480,12 +593,15 @@ class Executor:
         pool = ProcessPoolExecutor(max_workers=self.max_workers)
         futures: dict[Any, str] = {}
 
+        obs_state = obs.state()
+
         def submit(key: str) -> None:
             job = graph.job(key)
             deps = {dep: values[dep] for dep in graph.dependencies(key)}
             attempts[key] += 1
-            futures[pool.submit(_pool_run, job, deps,
-                                self.job_timeout)] = key
+            futures[pool.submit(_pool_run, job, deps, self.job_timeout,
+                                attempts[key], time.time(),
+                                obs_state)] = key
 
         try:
             for key in ready:
@@ -498,7 +614,7 @@ class Executor:
                         continue  # cleared by a pool restart below
                     job = graph.job(key)
                     try:
-                        value, seconds = future.result()
+                        value, seconds, queue_wait = future.result()
                     except BrokenProcessPool as error:
                         # the pool is dead and every in-flight future died
                         # with it: restart it, resubmit survivors, and fail
@@ -509,9 +625,15 @@ class Executor:
                         pool = ProcessPoolExecutor(
                             max_workers=self.max_workers)
                         for flown in in_flight:
+                            manifest.record_attempt(
+                                graph.job(flown).kind, flown, attempts[flown],
+                                "error", None, None, repr(error))
+                            obs_metrics.inc("runtime.attempts.error")
                             if attempts[flown] <= self.job_retries:
+                                obs_metrics.inc("runtime.retries")
                                 submit(flown)
                             else:
+                                obs_metrics.inc("runtime.failures")
                                 self._fail(graph.job(flown), flown, error,
                                            attempts[flown], manifest,
                                            poisoned)
@@ -520,14 +642,24 @@ class Executor:
                                                    manifest)
                         break  # the futures map changed: wait again
                     except Exception as error:
+                        outcome = _attempt_outcome(error)
+                        manifest.record_attempt(job.kind, key, attempts[key],
+                                                outcome, None, None,
+                                                repr(error))
+                        obs_metrics.inc(f"runtime.attempts.{outcome}")
                         if attempts[key] <= self.job_retries:
+                            obs_metrics.inc("runtime.retries")
                             submit(key)
                             continue
+                        obs_metrics.inc("runtime.failures")
                         self._fail(job, key, error, attempts[key], manifest,
                                    poisoned)
                         self._skip_subtree(consumers.get(key, []), consumers,
                                            poisoned, manifest)
                         continue
+                    manifest.record_attempt(job.kind, key, attempts[key],
+                                            "ok", queue_wait, seconds)
+                    obs_metrics.inc("runtime.attempts.ok")
                     manifest.record_execution(job.kind, seconds)
                     self.cache.put(key, value)
                     values[key] = value

@@ -38,6 +38,8 @@ import numpy as np
 
 from repro.compression.registry import make as make_compressor
 from repro.datasets.registry import load
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.datasets.splits import Split, split
 from repro.datasets.timeseries import Dataset
 from repro.features.registry import compute_all, relative_difference
@@ -92,7 +94,8 @@ class RuntimeContext:
     def dataset(self, name: str, length: int | None) -> Dataset:
         key = (name, length)
         if key not in self._datasets:
-            self._datasets[key] = load(name, length=length)
+            with obs_trace.span("data.load", dataset=name, length=length):
+                self._datasets[key] = load(name, length=length)
         return self._datasets[key]
 
     def split(self, name: str, length: int | None) -> Split:
@@ -168,7 +171,10 @@ class CompressJob(JobSpec):
         else:
             parts = ctx.split(self.dataset, self.length)
             series = getattr(parts, self.part).target_series
-        return make_compressor(self.method).compress(series, self.error_bound)
+        with obs_trace.span("compress.run", method=self.method,
+                            error_bound=self.error_bound, part=self.part):
+            return make_compressor(self.method).compress(series,
+                                                         self.error_bound)
 
 
 @dataclass(frozen=True)
@@ -210,7 +216,11 @@ class TrainJob(JobSpec):
         model = make_model(self.model, input_length=self.input_length,
                            horizon=self.horizon, seed=self.seed,
                            **dict(self.model_kwargs))
-        model.fit(train, validation)
+        with obs_trace.span("train.fit", model=self.model,
+                            dataset=self.dataset, seed=self.seed,
+                            retrain=self.train_on is not None):
+            model.fit(train, validation)
+        obs_metrics.inc("train.fits")
         return model
 
 
@@ -302,7 +312,11 @@ class ForecastJob(JobSpec):
         inputs, targets, positions = test_windows(
             ctx, self.dataset, self.length, self.input_length, self.horizon,
             self.eval_stride, input_values)
-        metrics = evaluate_windows(model, inputs, targets, positions)
+        with obs_trace.span("forecast.evaluate", model=self.model,
+                            dataset=self.dataset, method=self.method,
+                            error_bound=self.error_bound,
+                            windows=len(inputs)):
+            metrics = evaluate_windows(model, inputs, targets, positions)
         return ScenarioRecord(self.dataset, self.model, self.method,
                               self.error_bound, self.seed, metrics,
                               retrained=self.retrained)

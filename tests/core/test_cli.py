@@ -109,3 +109,86 @@ def test_evaluate_fast_model(capsys):
     out = capsys.readouterr().out
     assert "baseline NRMSE" in out
     assert "PMC" in out and "SWING" in out and "SZ" in out
+
+
+# -- observability surface ---------------------------------------------------
+
+
+def _read_jsonl(path):
+    import json
+
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+def test_grid_trace_writes_merged_trace_and_manifest(capsys, tmp_path):
+    trace_dir = tmp_path / "run"
+    argv = ["grid", "--datasets", "ETTm1", "--models", "Arima",
+            "--methods", "PMC", "--error-bounds", "0.1", "0.4",
+            "--length", "1500", "--workers", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--trace", str(trace_dir)]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert f"trace written to {trace_dir}" in out
+
+    records = _read_jsonl(trace_dir / "trace.jsonl")
+    job_spans = [r for r in records
+                 if r.get("type") == "span" and r.get("name") == "job"]
+    import json
+
+    manifest = json.loads((trace_dir / "manifest.json").read_text())
+    # one span per job attempt, and the manifest agrees
+    assert len(job_spans) == manifest["executed"]
+    assert len(manifest["attempts"]) == len(job_spans)
+    assert all(r["outcome"] == "ok" for r in manifest["attempts"])
+    assert any(r.get("type") == "metrics" for r in records)
+
+    # the trace subcommand summarizes the run directory
+    assert main(["trace", str(trace_dir)]) == 0
+    summary = capsys.readouterr().out
+    assert "span tree" in summary
+    assert "slowest job attempts" in summary
+    assert "compress.PMC.calls" in summary
+
+
+def test_grid_trace_with_only_failures_still_summarizes(capsys, tmp_path,
+                                                        monkeypatch):
+    # EVERY cell fails: the manifest holds only FailureRecords, and both
+    # the grid summary and `repro-eval trace` must render, not raise
+    monkeypatch.setenv("REPRO_INJECT_FAILURE", "forecast:")
+    trace_dir = tmp_path / "run"
+    argv = ["grid", "--datasets", "ETTm1", "--models", "Arima",
+            "--methods", "PMC", "--error-bounds", "0.1",
+            "--length", "1500", "--workers", "1",
+            "--cache-dir", str(tmp_path / "cache"), "--keep-going",
+            "--trace", str(trace_dir)]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "failed" in out
+    assert "n/a" in out  # no TFE without a baseline
+
+    assert main(["trace", str(trace_dir)]) == 0
+    summary = capsys.readouterr().out
+    assert "failed" in summary
+    assert "InjectedFailure" in summary
+    assert "failure hotspots:" in summary
+
+
+def test_trace_on_missing_directory_reports_gracefully(capsys, tmp_path):
+    assert main(["trace", str(tmp_path / "nowhere")]) == 0
+    out = capsys.readouterr().out
+    assert "no trace.jsonl or manifest.json" in out
+
+
+def test_trace_flags_parse():
+    args = build_parser().parse_args(["grid", "--trace"])
+    assert args.trace == ".trace"
+    args = build_parser().parse_args(["grid", "--trace", "out/dir"])
+    assert args.trace == "out/dir"
+    args = build_parser().parse_args(["grid"])
+    assert args.trace is None
+    args = build_parser().parse_args(["bench", "--trace", "--check"])
+    assert args.trace == ".trace"
+    args = build_parser().parse_args(["trace", "some/dir", "--top", "3"])
+    assert args.run_dir == "some/dir"
+    assert args.top == 3

@@ -48,3 +48,65 @@ def test_too_few_points_rejected():
 def test_shape_mismatch_rejected():
     with pytest.raises(ValueError):
         kneedle(np.zeros(5), np.zeros(4))
+
+
+def test_rejects_mismatched_shapes():
+    with pytest.raises(ValueError, match="align"):
+        kneedle(np.linspace(0, 1, 5), np.zeros(4))
+
+
+def test_rejects_too_few_points():
+    with pytest.raises(ValueError, match="at least 3"):
+        kneedle(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+
+
+def test_minimal_three_point_curve():
+    x = np.array([0.0, 0.5, 1.0])
+    y = np.array([0.0, 0.1, 5.0])  # growth takes off after the middle
+    index = kneedle(x, y)
+    assert index == 1
+
+
+def test_monotone_linear_curve_returns_a_stable_index():
+    # y = ax + b normalizes onto the diagonal: the difference curve is zero
+    # up to rounding, so there is no knee to prefer — the result only has
+    # to be a valid, deterministic index
+    x = np.linspace(0, 1, 15)
+    y = 3.0 * x + 1.0
+    index = kneedle(x, y)
+    assert 0 <= index < len(x)
+    assert index == kneedle(x, y)
+
+
+def test_duplicate_knee_picks_the_first_deterministically():
+    # two identical take-off points: ties must resolve deterministically
+    x = np.linspace(0, 1, 9)
+    y = np.array([0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 5.0, 10.0])
+    first = kneedle(x, y)
+    second = kneedle(x, y)
+    assert first == second
+    assert 0 <= first < len(x)
+
+
+def test_degenerate_duplicate_x_values():
+    # a vertical segment (duplicate x) must not crash normalization
+    x = np.array([0.0, 0.5, 0.5, 1.0, 1.0, 2.0])
+    y = np.array([0.0, 0.1, 0.2, 0.3, 3.0, 9.0])
+    index = kneedle(x, y)
+    assert 0 <= index < len(x)
+
+
+def test_constant_x_flat_normalization():
+    # all-equal x collapses to zeros in normalization; still returns an index
+    x = np.full(5, 2.0)
+    y = np.array([0.0, 0.1, 0.2, 1.0, 5.0])
+    index = kneedle(x, y)
+    assert 0 <= index < len(x)
+
+
+def test_elbow_point_returns_the_curve_coordinates():
+    x = np.linspace(0, 1, 21)
+    y = np.exp(6 * x)
+    ex, ey = elbow_point(x, y)
+    position = int(np.argmin(np.abs(x - ex)))
+    assert ey == pytest.approx(float(y[position]))

@@ -110,3 +110,35 @@ def test_mean_absolute_shap_ranks_important_feature_first():
     model = GradientBoostingRegressor(n_estimators=40, subsample=1.0).fit(x, y)
     importance = mean_absolute_shap(model, x[:60])
     assert int(np.argmax(importance)) == 2
+
+
+# -- additivity property (hypothesis) ----------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@pytest.fixture(scope="module")
+def boosted():
+    rng = np.random.default_rng(5)
+    x = rng.uniform(0, 1, (250, 3))
+    y = 4 * x[:, 0] - 2 * x[:, 1] ** 2 + x[:, 2] + rng.normal(0, 0.05, 250)
+    return GradientBoostingRegressor(n_estimators=15, subsample=1.0).fit(x, y)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(min_value=-0.5, max_value=1.5), min_size=3,
+                max_size=3))
+def test_shap_additivity_property(boosted, sample):
+    """Local accuracy for ANY query point, including out-of-range ones:
+
+    base value (expectation with no features known) + sum of attributions
+    must equal the model's prediction exactly.
+    """
+    sample = np.asarray(sample)
+    phi = ensemble_shap(boosted, sample, 3)
+    base = float(boosted.base_prediction[0]) + sum(
+        boosted.learning_rate * expected_value(tree, sample, frozenset())
+        for tree in boosted.trees)
+    prediction = float(boosted.predict(sample)[0, 0])
+    assert base + phi.sum() == pytest.approx(prediction, abs=1e-8)

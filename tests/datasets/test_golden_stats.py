@@ -1,0 +1,65 @@
+"""Golden regression fixture for the synthetic datasets' Table 1 row.
+
+The synthetic generators are the ground truth every other layer builds
+on: a silent drift in their output would invalidate cached compression
+sweeps, trained models, and committed bench baselines at once.  This
+suite pins the full Table 1 statistics row (length, frequency, mean,
+min, max, Q1, Q3, rIQD) of every dataset at a fixed length and the
+generators' default seeds against ``golden_stats.json``.
+
+Regenerate the fixture ONLY for an intentional generator change:
+
+    PYTHONPATH=src python tests/datasets/test_golden_stats.py > \
+        tests/datasets/golden_stats.json
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.datasets.registry import DATASET_NAMES, load
+from repro.datasets.stats import describe
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_stats.json")
+
+with open(GOLDEN_PATH, encoding="utf-8") as _stream:
+    GOLDEN = json.load(_stream)
+
+
+def stats_row(name: str) -> dict:
+    stats = describe(load(name, length=GOLDEN["length"]).target_series)
+    return {
+        "length": stats.length, "frequency": stats.frequency,
+        "mean": stats.mean, "min": stats.minimum, "max": stats.maximum,
+        "q1": stats.q1, "q3": stats.q3, "riqd_percent": stats.riqd_percent,
+    }
+
+
+def test_fixture_covers_every_registered_dataset():
+    assert set(GOLDEN["datasets"]) == set(DATASET_NAMES)
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_dataset_statistics_match_golden_fixture(name):
+    expected = GOLDEN["datasets"][name]
+    actual = stats_row(name)
+    assert actual["length"] == expected["length"]
+    assert actual["frequency"] == expected["frequency"]
+    for field in ("mean", "min", "max", "q1", "q3", "riqd_percent"):
+        assert actual[field] == pytest.approx(expected[field], rel=1e-9), (
+            f"{name}.{field} drifted from the golden fixture — if the "
+            f"generator change is intentional, regenerate golden_stats.json")
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_generators_are_deterministic(name):
+    first = load(name, length=500).target_series.values
+    second = load(name, length=500).target_series.values
+    assert (first == second).all()
+
+
+if __name__ == "__main__":  # fixture regeneration entry point
+    golden = {"length": GOLDEN["length"],
+              "datasets": {name: stats_row(name) for name in DATASET_NAMES}}
+    print(json.dumps(golden, indent=2))

@@ -1,0 +1,135 @@
+"""Counters, gauges, histograms — including merge associativity."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import metrics
+from repro.obs.metrics import Histogram, MetricsRegistry, merge_snapshots
+
+
+@pytest.fixture(autouse=True)
+def _disable_after():
+    yield
+    metrics.disable()
+
+
+def test_counters_and_gauges():
+    registry = MetricsRegistry()
+    registry.inc("calls")
+    registry.inc("calls", 2.5)
+    registry.set_gauge("depth", 3)
+    registry.set_gauge("depth", 7)
+    assert registry.counter("calls") == 3.5
+    assert registry.counter("absent") == 0.0
+    assert registry.snapshot()["gauges"] == {"depth": 7.0}
+    assert registry.events == 4
+
+
+def test_flush_is_a_delta_and_keeps_gauges():
+    registry = MetricsRegistry()
+    registry.inc("n")
+    registry.set_gauge("g", 1)
+    registry.observe("h", 2.0)
+    first = registry.flush()
+    assert first["counters"] == {"n": 1.0}
+    assert first["histograms"]["h"]["count"] == 1
+    registry.inc("n")
+    second = registry.flush()
+    # the second flush holds only what accumulated since the first
+    assert second["counters"] == {"n": 1.0}
+    assert "h" not in second["histograms"]
+    assert second["gauges"] == {"g": 1.0}  # gauges keep their last value
+
+
+def test_module_level_helpers_are_noops_when_disabled():
+    metrics.disable()
+    assert not metrics.enabled()
+    # must not raise, must not create state
+    metrics.inc("x")
+    metrics.observe("y", 1.0)
+    metrics.set_gauge("z", 2.0)
+    assert metrics.active() is None
+
+
+def test_module_level_helpers_hit_the_enabled_registry():
+    registry = metrics.enable()
+    metrics.inc("x", 2)
+    metrics.observe("y", 0.5)
+    metrics.set_gauge("z", 9)
+    assert registry.counter("x") == 2.0
+    snapshot = registry.snapshot()
+    assert snapshot["histograms"]["y"]["count"] == 1
+    assert snapshot["gauges"]["z"] == 9.0
+
+
+def test_histogram_observe_and_stats():
+    histogram = Histogram()
+    for value in (0.001, 1.0, 1000.0):
+        histogram.observe(value)
+    assert histogram.count == 3
+    assert histogram.total == pytest.approx(1001.001)
+    assert histogram.minimum == 0.001
+    assert histogram.maximum == 1000.0
+    assert histogram.mean == pytest.approx(1001.001 / 3)
+    assert sum(histogram.counts) == 3
+
+
+def test_empty_histogram_round_trips_through_dict():
+    empty = Histogram()
+    data = empty.to_dict()
+    assert data["min"] is None and data["max"] is None
+    restored = Histogram.from_dict(data)
+    assert restored.count == 0
+    assert math.isnan(restored.mean)
+    merged = restored.merge(Histogram())
+    assert merged.count == 0
+
+
+def _fill(values):
+    histogram = Histogram()
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+# bounded non-negative floats keep float addition stable enough that the
+# histogram *totals* can be compared with approx; counts compare exactly
+observations = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False), max_size=30)
+
+
+@settings(max_examples=50, deadline=None)
+@given(observations, observations, observations)
+def test_histogram_merge_is_associative_and_commutative(xs, ys, zs):
+    a, b, c = _fill(xs), _fill(ys), _fill(zs)
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    swapped = c.merge(b).merge(a)
+    direct = _fill(xs + ys + zs)
+    for other in (right, swapped, direct):
+        assert left.counts == other.counts
+        assert left.count == other.count
+        assert left.total == pytest.approx(other.total)
+        assert left.minimum == other.minimum
+        assert left.maximum == other.maximum
+
+
+def test_merge_snapshots_folds_counters_histograms_gauges():
+    a = MetricsRegistry()
+    a.inc("n", 1)
+    a.observe("h", 1.0)
+    b = MetricsRegistry()
+    b.inc("n", 2)
+    b.inc("only_b")
+    b.observe("h", 3.0)
+    b.set_gauge("g", 5)
+    merged = merge_snapshots([a.flush(), b.flush()])
+    assert merged["counters"] == {"n": 3.0, "only_b": 1.0}
+    assert merged["histograms"]["h"]["count"] == 2
+    assert merged["histograms"]["h"]["total"] == pytest.approx(4.0)
+    assert merged["gauges"] == {"g": 5.0}
+    assert merge_snapshots([]) == {"counters": {}, "gauges": {},
+                                   "histograms": {}}

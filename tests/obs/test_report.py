@@ -1,0 +1,91 @@
+"""``repro-eval trace`` rendering, including degenerate run directories."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import trace
+from repro.obs.report import load_run, summarize_run
+
+
+@pytest.fixture(autouse=True)
+def _shutdown_after():
+    yield
+    obs.shutdown()
+
+
+def write_manifest(run_dir, payload):
+    (run_dir / "manifest.json").write_text(json.dumps(payload))
+
+
+def test_empty_directory_reports_instead_of_raising(tmp_path):
+    lines = summarize_run(str(tmp_path))
+    assert len(lines) == 1
+    assert "no trace.jsonl or manifest.json" in lines[0]
+
+
+def test_failure_only_manifest_renders_the_failure_table(tmp_path):
+    # a keep-going run where EVERY cell failed: zero totals, no trace file
+    write_manifest(tmp_path, {
+        "total": 0, "cached": 0, "executed": 0, "wall_seconds": 0.0,
+        "workers": 2,
+        "failures": [{"key": "train-abc", "kind": "train",
+                      "description": "train DLinear on ETTm1",
+                      "error": "RuntimeError('injected')", "attempts": 2}],
+        "skipped": ["forecast-def"],
+        "attempts": [],
+    })
+    lines = summarize_run(str(tmp_path))
+    text = "\n".join(lines)
+    assert "1 failed" in text
+    assert "1 skipped" in text
+    assert "train DLinear on ETTm1" in text
+    assert "RuntimeError" in text
+
+
+def test_torn_jsonl_lines_are_skipped(tmp_path):
+    (tmp_path / "trace.jsonl").write_text(
+        '{"type":"span","span":"1-1","parent":null,"name":"ok","tags":{},'
+        '"start":1.0,"wall_s":0.5,"cpu_s":0.1,"outcome":"ok","run":"r",'
+        '"pid":1}\n'
+        '{"type":"span","name":"torn","wall_s":0.'  # killed mid-write
+    )
+    manifest, spans, snapshots = load_run(str(tmp_path))
+    assert manifest is None
+    assert [span["name"] for span in spans] == ["ok"]
+    assert snapshots == []
+    assert any("1 spans" in line for line in summarize_run(str(tmp_path)))
+
+
+def test_full_summary_sections(tmp_path):
+    obs.configure(trace_path=str(tmp_path / "trace.jsonl"))
+    with trace.span("executor.run"):
+        with trace.span("job", kind="compress", key="compress-1", attempt=1,
+                        queue_wait_s=0.0):
+            with trace.span("compress.run", method="PMC"):
+                pass
+        try:
+            with trace.span("job", kind="train", key="train-1", attempt=1,
+                            queue_wait_s=0.1):
+                raise RuntimeError("injected")
+        except RuntimeError:
+            pass
+    from repro.obs import metrics
+    metrics.inc("cache.miss", 3)
+    metrics.observe("compress.ratio", 4.0)
+    metrics.set_gauge("pool.size", 2)
+    obs.shutdown()
+    write_manifest(tmp_path, {"total": 2, "cached": 1, "executed": 1,
+                              "wall_seconds": 1.5, "workers": 1,
+                              "failures": [], "skipped": [], "attempts": []})
+
+    text = "\n".join(summarize_run(str(tmp_path), top=5))
+    assert "2 planned, 1 cached" in text
+    assert "executor.run" in text and "compress.run" in text
+    assert "slowest job attempts" in text
+    assert "compress-1" in text and "train-1" in text
+    assert "failure hotspots:" in text
+    assert "RuntimeError" in text
+    assert "cache.miss" in text and "compress.ratio" in text
+    assert "pool.size" in text and "(gauge)" in text

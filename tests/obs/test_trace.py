@@ -1,0 +1,119 @@
+"""Span semantics: nesting, exception unwinding, disabled mode, clocks."""
+
+import json
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture
+def sink():
+    """A fresh in-memory tracer; always disabled afterwards."""
+    sink = trace.ListSink()
+    trace.enable(sink, run_id="test-run")
+    yield sink
+    trace.disable()
+
+
+def spans_by_name(sink):
+    return {record["name"]: record for record in sink.records}
+
+
+def test_span_records_basic_fields(sink):
+    with trace.span("work", flavor="unit") as span:
+        span.tag(extra=1)
+    (record,) = sink.records
+    assert record["type"] == "span"
+    assert record["run"] == "test-run"
+    assert record["name"] == "work"
+    assert record["tags"] == {"flavor": "unit", "extra": 1}
+    assert record["outcome"] == "ok"
+    assert record["parent"] is None
+    assert record["wall_s"] >= 0.0
+    assert record["cpu_s"] >= 0.0
+
+
+def test_nested_spans_link_to_parent(sink):
+    with trace.span("outer"):
+        with trace.span("inner"):
+            pass
+        with trace.span("sibling"):
+            pass
+    by_name = spans_by_name(sink)
+    assert by_name["inner"]["parent"] == by_name["outer"]["span"]
+    assert by_name["sibling"]["parent"] == by_name["outer"]["span"]
+    assert by_name["outer"]["parent"] is None
+    # children close before the parent, so the parent is emitted last
+    assert sink.records[-1]["name"] == "outer"
+
+
+def test_exception_unwinds_stack_and_marks_outcome(sink):
+    with pytest.raises(ValueError, match="boom"):
+        with trace.span("outer"):
+            with trace.span("inner"):
+                raise ValueError("boom")
+    by_name = spans_by_name(sink)
+    assert by_name["inner"]["outcome"] == "error"
+    assert "ValueError" in by_name["inner"]["error"]
+    # the exception propagated through the outer span too
+    assert by_name["outer"]["outcome"] == "error"
+    # the stack fully unwound: a new span is root-level again
+    with trace.span("after"):
+        pass
+    assert spans_by_name(sink)["after"]["parent"] is None
+
+
+def test_disabled_mode_returns_the_shared_noop_singleton():
+    trace.disable()
+    span = trace.span("anything", tag=1)
+    assert span is trace.NULL_SPAN
+    assert span.enabled is False
+    assert span.tag(more=2) is span
+    with span:
+        pass  # context protocol is a no-op
+    # exceptions still propagate through the null span
+    with pytest.raises(RuntimeError):
+        with trace.span("x"):
+            raise RuntimeError("propagates")
+
+
+def test_clock_monotonicity(sink):
+    with trace.span("first"):
+        pass
+    with trace.span("second"):
+        pass
+    first, second = sink.records
+    assert first["wall_s"] >= 0.0 and second["wall_s"] >= 0.0
+    assert second["start"] >= first["start"]
+    # a child starts no earlier than its parent
+    with trace.span("parent"):
+        with trace.span("child"):
+            pass
+    by_name = spans_by_name(sink)
+    assert by_name["child"]["start"] >= by_name["parent"]["start"]
+    assert by_name["child"]["wall_s"] <= by_name["parent"]["wall_s"] + 1e-6
+
+
+def test_jsonl_sink_appends_parseable_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = trace.JsonlSink(str(path))
+    sink.write({"type": "span", "name": "a"})
+    sink.write({"type": "span", "name": "b"})
+    lines = path.read_text().splitlines()
+    assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+    # a second sink without truncate keeps appending (worker semantics)
+    trace.JsonlSink(str(path)).write({"type": "span", "name": "c"})
+    assert len(path.read_text().splitlines()) == 3
+    # truncate starts over (fresh parent run)
+    trace.JsonlSink(str(path), truncate=True)
+    assert path.read_text() == ""
+
+
+def test_install_restores_a_previous_tracer():
+    tracer = trace.enable(trace.ListSink(), run_id="keep")
+    trace.disable()
+    assert trace.active() is None
+    trace.install(tracer)
+    assert trace.active() is tracer
+    trace.disable()
