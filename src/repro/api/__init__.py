@@ -1,0 +1,61 @@
+"""Versioned, typed request/response API — the single evaluation contract.
+
+Three frontends share this layer: the :class:`~repro.core.scenario.
+Evaluation` façade (legacy methods translated into requests), the
+``repro-eval`` CLI subcommands, and the ``repro-serve`` daemon
+(:mod:`repro.server`).  The pieces:
+
+- :mod:`repro.api.requests` / :mod:`repro.api.responses` — the frozen
+  dataclasses of the contract, stamped with :data:`API_VERSION`;
+- :mod:`repro.api.errors` — the stable :class:`ErrorEnvelope` every
+  frontend serializes failures through (the ``JobError`` kind/key
+  taxonomy);
+- :mod:`repro.api.schema` — explicit JSON schemas plus a stdlib
+  validator;
+- :mod:`repro.api.codec` — tagged dataclass ↔ JSON codecs
+  (``decode(encode(x)) == x``, deterministic bytes);
+- :mod:`repro.api.service` — :class:`ApiService`, which turns requests
+  into task graphs on the shared executor/cache and maps results (or
+  failures) back per request.
+"""
+
+from repro.api.codec import API_TYPES, decode, dumps, encode, loads
+from repro.api.errors import (ApiError, ErrorEnvelope, ValidationError,
+                              envelope_from_failure, envelope_from_job_error,
+                              skipped_envelope)
+from repro.api.requests import (API_VERSION, CompressRequest, ForecastRequest,
+                                GridRequest, TraceRequest)
+from repro.api.responses import (CompressResponse, ForecastResponse,
+                                 GridSubmitResponse, HealthResponse,
+                                 RunStatusResponse, TraceResponse)
+from repro.api.schema import SCHEMAS, validate, validate_payload
+from repro.api.service import ApiService
+
+__all__ = [
+    "API_TYPES",
+    "API_VERSION",
+    "ApiError",
+    "ApiService",
+    "CompressRequest",
+    "CompressResponse",
+    "ErrorEnvelope",
+    "ForecastRequest",
+    "ForecastResponse",
+    "GridRequest",
+    "GridSubmitResponse",
+    "HealthResponse",
+    "RunStatusResponse",
+    "SCHEMAS",
+    "TraceRequest",
+    "TraceResponse",
+    "ValidationError",
+    "decode",
+    "dumps",
+    "encode",
+    "envelope_from_failure",
+    "envelope_from_job_error",
+    "loads",
+    "skipped_envelope",
+    "validate",
+    "validate_payload",
+]

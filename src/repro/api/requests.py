@@ -1,0 +1,162 @@
+"""Versioned, typed request objects — the single evaluation contract.
+
+Every frontend speaks these four dataclasses:
+
+- :class:`CompressRequest` — compress one split part (or the full target
+  series) of one dataset with one method at one error bound;
+- :class:`ForecastRequest` — evaluate one (model, dataset, method, bound,
+  seed) grid cell, optionally retrained on decompressed data;
+- :class:`GridRequest` — a whole sub-grid (datasets x models x methods x
+  bounds) run as ONE task graph; ``None`` axes resolve against the
+  service's :class:`~repro.core.config.EvaluationConfig` defaults;
+- :class:`TraceRequest` — summarize a recorded run directory.
+
+Requests are frozen and carry no behaviour beyond :meth:`validate`, which
+checks *semantics* (known dataset/method/model names, valid split parts,
+sane numeric ranges) and raises :class:`~repro.api.errors.ValidationError`
+— shape validation against the JSON schemas lives in
+:mod:`repro.api.schema`, applied by the codec when a request arrives as a
+payload.  The façade (:class:`~repro.core.scenario.Evaluation`), the CLI
+subcommands, and the ``repro-serve`` daemon all construct exactly these
+objects and hand them to :class:`~repro.api.service.ApiService`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.errors import ValidationError
+from repro.compression.registry import LOSSY_METHODS
+from repro.datasets.registry import DATASET_NAMES
+from repro.forecasting.registry import MODEL_NAMES
+
+#: wire version stamped into every encoded payload ("v" field)
+API_VERSION = 1
+
+#: compression methods accepted over the API (lossy + the lossless baseline)
+COMPRESS_METHODS: tuple[str, ...] = LOSSY_METHODS + ("GORILLA",)
+
+#: split parts a CompressRequest may target
+PARTS: tuple[str, ...] = ("train", "validation", "test", "full")
+
+#: method label of uncompressed baseline forecasts
+RAW = "RAW"
+
+
+def _check(condition: bool, message: str, key: str) -> None:
+    if not condition:
+        raise ValidationError(message, key=key)
+
+
+@dataclass(frozen=True)
+class CompressRequest:
+    """Compress one part of one dataset's target series."""
+
+    dataset: str
+    method: str
+    error_bound: float
+    #: "train" / "validation" / "test" split part, or "full" for the
+    #: whole target series (the Figure 2/3 sweeps)
+    part: str = "full"
+    #: series length (None = the dataset's full/paper length)
+    length: int | None = None
+
+    def validate(self) -> "CompressRequest":
+        _check(self.dataset in DATASET_NAMES,
+               f"unknown dataset {self.dataset!r} "
+               f"(choose from {', '.join(DATASET_NAMES)})", "dataset")
+        _check(self.method in COMPRESS_METHODS,
+               f"unknown method {self.method!r} "
+               f"(choose from {', '.join(COMPRESS_METHODS)})", "method")
+        _check(self.error_bound >= 0.0,
+               f"error_bound must be >= 0, got {self.error_bound}",
+               "error_bound")
+        _check(self.part in PARTS,
+               f"unknown part {self.part!r} (choose from {', '.join(PARTS)})",
+               "part")
+        _check(self.length is None or self.length > 0,
+               f"length must be positive, got {self.length}", "length")
+        return self
+
+
+@dataclass(frozen=True)
+class ForecastRequest:
+    """Evaluate one (model, dataset, method, bound, seed) grid cell."""
+
+    model: str
+    dataset: str
+    #: RAW evaluates the uncompressed baseline (error_bound ignored as 0.0)
+    method: str = RAW
+    error_bound: float = 0.0
+    seed: int = 0
+    #: Figure 7 variant: also train on decompressed data
+    retrained: bool = False
+    #: series length (None = the service config's dataset_length)
+    length: int | None = None
+
+    def validate(self) -> "ForecastRequest":
+        _check(self.model in MODEL_NAMES,
+               f"unknown model {self.model!r} "
+               f"(choose from {', '.join(MODEL_NAMES)})", "model")
+        _check(self.dataset in DATASET_NAMES,
+               f"unknown dataset {self.dataset!r}", "dataset")
+        _check(self.method == RAW or self.method in LOSSY_METHODS,
+               f"unknown method {self.method!r} "
+               f"(choose from RAW, {', '.join(LOSSY_METHODS)})", "method")
+        _check(self.error_bound >= 0.0,
+               f"error_bound must be >= 0, got {self.error_bound}",
+               "error_bound")
+        _check(self.seed >= 0, f"seed must be >= 0, got {self.seed}", "seed")
+        _check(not (self.method == RAW and self.retrained),
+               "retrained=True requires a lossy method", "retrained")
+        _check(self.length is None or self.length > 0,
+               f"length must be positive, got {self.length}", "length")
+        return self
+
+
+@dataclass(frozen=True)
+class GridRequest:
+    """Baseline + scenario cells for a whole sub-grid in one task graph."""
+
+    #: None axes resolve to the service config's defaults
+    datasets: tuple[str, ...] | None = None
+    models: tuple[str, ...] | None = None
+    methods: tuple[str, ...] | None = None
+    error_bounds: tuple[float, ...] | None = None
+    include_baseline: bool = True
+    retrained: bool = False
+    #: seeds per model (None = the config's deep/simple seed counts)
+    seeds: int | None = None
+    length: int | None = None
+
+    def validate(self) -> "GridRequest":
+        for name in self.datasets or ():
+            _check(name in DATASET_NAMES, f"unknown dataset {name!r}",
+                   "datasets")
+        for name in self.models or ():
+            _check(name in MODEL_NAMES, f"unknown model {name!r}", "models")
+        for name in self.methods or ():
+            _check(name in LOSSY_METHODS, f"unknown method {name!r}",
+                   "methods")
+        for bound in self.error_bounds or ():
+            _check(bound >= 0.0, f"error_bound must be >= 0, got {bound}",
+                   "error_bounds")
+        _check(self.seeds is None or self.seeds > 0,
+               f"seeds must be positive, got {self.seeds}", "seeds")
+        _check(self.length is None or self.length > 0,
+               f"length must be positive, got {self.length}", "length")
+        return self
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """Summarize a run directory written by ``--trace`` / ``repro-serve``."""
+
+    run_dir: str
+    #: rows per section (slowest jobs, span tree)
+    top: int = 10
+
+    def validate(self) -> "TraceRequest":
+        _check(bool(self.run_dir), "run_dir must be non-empty", "run_dir")
+        _check(self.top > 0, f"top must be positive, got {self.top}", "top")
+        return self

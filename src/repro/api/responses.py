@@ -1,0 +1,126 @@
+"""Typed response objects mirroring :mod:`repro.api.requests`.
+
+Responses are plain frozen dataclasses whose fields are JSON-safe scalars
+and containers, so the same object serves the in-process façade (which
+converts them back into the legacy record types byte-identically) and the
+wire (where the codec turns them into tagged JSON payloads).  The
+conversion helpers (:meth:`CompressResponse.to_record`,
+:meth:`ForecastResponse.to_record` / :meth:`from_record`) are the only
+bridge between the API layer and :mod:`repro.core.results` — keeping the
+legacy surface stable while every frontend shares one contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.api.errors import ErrorEnvelope
+
+# imported lazily inside the record converters: ``repro.core.__init__``
+# imports the scenario façade, which imports this package, and an eager
+# import back into ``repro.core`` would make one of the two unimportable
+# depending on which side is imported first (the ``runtime.jobs`` rule)
+if TYPE_CHECKING:
+    from repro.core.results import CompressionRecord, ScenarioRecord
+
+#: terminal + transient states of an async grid run
+RUN_STATES: tuple[str, ...] = ("pending", "running", "done", "failed")
+
+
+@dataclass(frozen=True)
+class CompressResponse:
+    """Outcome of one :class:`~repro.api.requests.CompressRequest`."""
+
+    dataset: str
+    method: str
+    error_bound: float
+    part: str
+    compressed_size: int
+    compression_ratio: float
+    num_segments: int
+    #: transformation error per pointwise metric (NaN for degenerate cells)
+    te: dict[str, float] = field(default_factory=dict)
+
+    def to_record(self) -> "CompressionRecord":
+        """The legacy record type ``Evaluation.compression_sweep`` returns."""
+        from repro.core.results import CompressionRecord
+
+        return CompressionRecord(dataset=self.dataset, method=self.method,
+                                 error_bound=self.error_bound, te=dict(self.te),
+                                 compression_ratio=self.compression_ratio,
+                                 num_segments=self.num_segments)
+
+
+@dataclass(frozen=True)
+class ForecastResponse:
+    """Outcome of one :class:`~repro.api.requests.ForecastRequest`."""
+
+    dataset: str
+    model: str
+    method: str
+    error_bound: float
+    seed: int
+    retrained: bool
+    #: metric name -> score over the evaluation windows
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_record(cls, record: "ScenarioRecord") -> "ForecastResponse":
+        return cls(dataset=record.dataset, model=record.model,
+                   method=record.method, error_bound=record.error_bound,
+                   seed=record.seed, retrained=record.retrained,
+                   metrics=dict(record.metrics))
+
+    def to_record(self) -> "ScenarioRecord":
+        """The legacy record type the scenario methods return."""
+        from repro.core.results import ScenarioRecord
+
+        return ScenarioRecord(self.dataset, self.model, self.method,
+                              self.error_bound, self.seed,
+                              dict(self.metrics), retrained=self.retrained)
+
+
+@dataclass(frozen=True)
+class GridSubmitResponse:
+    """Acknowledgement of an async grid submission (``POST /v1/grid``)."""
+
+    run_id: str
+    #: cells the grid will evaluate (baselines included)
+    cells: int
+    status: str = "pending"
+
+
+@dataclass(frozen=True)
+class RunStatusResponse:
+    """State of one async grid run (``GET /v1/runs/{id}``)."""
+
+    run_id: str
+    #: one of :data:`RUN_STATES`
+    status: str
+    #: ``RunManifest.to_dict()`` of the run (None until it starts)
+    manifest: dict | None = None
+    #: per-cell failures, in the stable envelope shape
+    failures: tuple[ErrorEnvelope, ...] = ()
+    #: completed cells (empty until the run is done)
+    records: tuple[ForecastResponse, ...] = ()
+
+
+@dataclass(frozen=True)
+class TraceResponse:
+    """Rendered summary of one run directory (``repro-eval trace``)."""
+
+    run_dir: str
+    lines: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class HealthResponse:
+    """Liveness + identity of a ``repro-serve`` daemon."""
+
+    status: str
+    version: int
+    #: seconds since the server started
+    uptime_s: float = 0.0
+    #: grid runs currently tracked (any state)
+    runs: int = 0

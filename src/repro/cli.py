@@ -25,6 +25,14 @@ Subcommands:
 - ``repro-eval trace RUN_DIR`` — summarize a run directory written by
   ``grid --trace`` (or ``bench --trace``): manifest counts, span tree,
   slowest jobs, failure hotspots, merged metrics.
+- ``repro-eval serve ...`` — start the ``repro-serve`` HTTP daemon; every
+  following argument is forwarded to it (see ``repro-serve --help``).
+
+``compress`` and ``trace`` are thin shells over the typed API
+(:mod:`repro.api`): their output is decoded from the exact JSON payloads
+``repro-serve`` returns on ``/v1/compress`` / ``/v1/trace``, and
+``--json`` prints those payloads verbatim — one wire shape across the
+CLI, the façade, and the server.
 
 ``grid`` and ``bench`` accept ``--trace [DIR]`` to record a merged
 ``trace.jsonl`` (plus ``manifest.json`` for grid runs) into ``DIR``
@@ -58,6 +66,10 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=LOSSY_METHODS + ("GORILLA",))
     compress.add_argument("--error-bound", type=float, default=0.1)
     compress.add_argument("--length", type=int, default=5_000)
+    compress.add_argument("--json", action="store_true",
+                          help="print the tagged CompressResponse payload "
+                               "(the exact /v1/compress body) instead of "
+                               "the human-readable report")
 
     sweep = commands.add_parser("sweep", help="TE/CR sweep over all bounds")
     sweep.add_argument("--dataset", required=True, choices=DATASET_NAMES)
@@ -134,6 +146,16 @@ def build_parser() -> argparse.ArgumentParser:
                                        "and/or manifest.json")
     trace.add_argument("--top", type=int, default=10,
                        help="rows per section (slowest jobs, span tree)")
+    trace.add_argument("--json", action="store_true",
+                       help="print the tagged TraceResponse payload (the "
+                            "exact /v1/trace body) instead of plain lines")
+
+    # `serve` forwards its whole argument list to the repro-serve parser;
+    # main() intercepts it before parse_args because argparse.REMAINDER
+    # cannot capture leading optionals — this stub only documents it here
+    commands.add_parser(
+        "serve", help="start the repro-serve HTTP daemon (typed /v1 API); "
+                      "all following arguments are forwarded to repro-serve")
     return parser
 
 
@@ -146,20 +168,36 @@ def _command_info() -> int:
 
 
 def _command_compress(args: argparse.Namespace) -> int:
-    from repro.compression import make, raw_gz_size
-    from repro.compression.serialize import compression_ratio
-    from repro.datasets import load
-    from repro.metrics import transformation_error
+    """One CompressRequest through the typed API, printed off the wire.
 
-    series = load(args.dataset, length=args.length).target_series
-    result = make(args.method).compress(series, args.error_bound)
-    ratio = compression_ratio(raw_gz_size(series), result.compressed_size)
-    te = transformation_error(series, result.decompressed, "NRMSE")
-    print(f"{args.method} on {args.dataset} (eps={args.error_bound}):")
-    print(f"  compressed size : {result.compressed_size} bytes")
-    print(f"  compression ratio: {ratio:.2f}x")
-    print(f"  TE (NRMSE)       : {te:.5f}")
-    print(f"  segments         : {result.num_segments}")
+    The response is round-tripped through the JSON codec before printing,
+    so this command, the façade, and ``POST /v1/compress`` expose one and
+    the same payload shape — ``--json`` prints that payload verbatim.
+    """
+    from repro.api import (ApiError, ApiService, CompressRequest, dumps,
+                           loads)
+    from repro.core.config import EvaluationConfig
+
+    service = ApiService(EvaluationConfig(dataset_length=args.length,
+                                          cache_dir=None))
+    request = CompressRequest(args.dataset, args.method, args.error_bound,
+                              part="full")
+    result, = service.compress_batch([request])
+    wire = dumps(result)
+    if args.json:
+        print(wire)
+        return 0
+    response = loads(wire)
+    from repro.api import ErrorEnvelope
+
+    if isinstance(response, ErrorEnvelope):
+        raise ApiError(response, status=500)
+    print(f"{response.method} on {response.dataset} "
+          f"(eps={response.error_bound}):")
+    print(f"  compressed size : {response.compressed_size} bytes")
+    print(f"  compression ratio: {response.compression_ratio:.2f}x")
+    print(f"  TE (NRMSE)       : {response.te['NRMSE']:.5f}")
+    print(f"  segments         : {response.num_segments}")
     return 0
 
 
@@ -339,14 +377,33 @@ def _command_bench(args: argparse.Namespace) -> int:
 
 
 def _command_trace(args: argparse.Namespace) -> int:
-    from repro.obs.report import summarize_run
+    """Summarize a run directory via the typed API (TraceRequest).
 
-    for line in summarize_run(args.run_dir, top=args.top):
+    Same codec round trip as ``compress``: the printed lines are decoded
+    from the exact payload ``POST /v1/trace`` would return.
+    """
+    from repro.api import ApiService, TraceRequest, dumps, loads
+
+    request = TraceRequest(run_dir=args.run_dir, top=args.top)
+    wire = dumps(ApiService.trace(request))
+    if args.json:
+        print(wire)
+        return 0
+    for line in loads(wire).lines:
         print(line)
     return 0
 
 
+def _command_serve(argv: list[str]) -> int:
+    from repro.server.app import serve
+
+    return serve(argv)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["serve"]:
+        return _command_serve(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "info":
         return _command_info()

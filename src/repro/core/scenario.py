@@ -3,106 +3,139 @@
 A forecasting model is trained once on the raw training split; the test
 split is lossy-compressed and decompressed at each error bound; the model
 predicts from the transformed windows; and predictions are scored against
-the *raw* future values.  :class:`Evaluation` is a thin façade over the
-task-graph runtime (:mod:`repro.runtime`): every public method translates
-its request into frozen job specs (compress / train / forecast / feature),
-builds the dependency DAG, and hands it to the executor, which runs ready
-jobs serially or on a process pool (``EvaluationConfig.max_workers``)
-through one content-addressed :class:`~repro.core.cache.DiskCache`.  The
-retraining variant of Section 4.4.1 (Figure 7), where models are trained
-on decompressed data, rides on the same graphs via ``train_on`` edges.
+the *raw* future values.
+
+:class:`Evaluation` is now a thin **adapter over the typed API**
+(:mod:`repro.api`): every legacy method translates its arguments into the
+request objects of the shared contract (:class:`~repro.api.requests.
+CompressRequest`, :class:`~repro.api.requests.ForecastRequest`,
+:class:`~repro.api.requests.GridRequest`), hands them to the
+:class:`~repro.api.service.ApiService` — the same engine behind the CLI
+subcommands and the ``repro-serve`` daemon — and converts the typed
+responses back into the historical record types byte-identically.  The
+retraining variant of Section 4.4.1 (Figure 7) rides on the same
+requests via ``retrained=True``.
+
+Grid-axis arguments (``methods``, ``error_bounds``, ...) are now
+keyword-only; passing them positionally still works through a
+deprecation shim that emits a :class:`DeprecationWarning` (see the
+migration table in README.md).
 """
 
 from __future__ import annotations
 
-import json
-import os
+import functools
+import inspect
+import warnings
 
-import repro.obs as obs
+from repro.api.errors import ApiError, ErrorEnvelope
+from repro.api.requests import CompressRequest, ForecastRequest, GridRequest
+from repro.api.responses import CompressResponse, ForecastResponse
+from repro.api.service import ApiService
 from repro.compression.base import CompressionResult
 from repro.compression.registry import make as make_compressor
-from repro.compression.serialize import compression_ratio, raw_gz_size
 from repro.core.cache import DiskCache
 from repro.core.config import EvaluationConfig
-from repro.core.results import RAW, CompressionRecord, ScenarioRecord
+from repro.core.results import CompressionRecord, ScenarioRecord
 from repro.datasets.splits import Split
 from repro.datasets.timeseries import Dataset, TimeSeries
 from repro.forecasting.base import Forecaster
-from repro.metrics.pointwise import METRICS
-from repro.metrics.errors import transformation_error
-from repro.runtime.executor import Executor, FailureRecord, RunManifest
-from repro.runtime.graph import TaskGraph
-from repro.runtime.jobs import (CompressJob, FeatureJob, ForecastJob,
-                                JobSpec, TrainJob, freeze_kwargs)
+from repro.runtime.executor import FailureRecord, RunManifest
+from repro.runtime.jobs import JobSpec
+
+
+def _keyword_only(*names: str):
+    """Deprecation shim for parameters that used to be positional.
+
+    The decorated method declares ``names`` keyword-only; extra
+    positional arguments map onto them in order with a
+    :class:`DeprecationWarning`, so pre-API call sites keep working while
+    new code is steered to keywords (and, eventually, request objects).
+    """
+    def wrap(fn):
+        positional = [p for p in inspect.signature(fn).parameters.values()
+                      if p.name != "self"
+                      and p.kind in (p.POSITIONAL_ONLY,
+                                     p.POSITIONAL_OR_KEYWORD)]
+        lead = len(positional)
+
+        @functools.wraps(fn)
+        def shim(self, *args, **kwargs):
+            if len(args) > lead:
+                extra = args[lead:]
+                if len(extra) > len(names):
+                    raise TypeError(
+                        f"{fn.__name__}() takes at most "
+                        f"{lead + len(names)} positional arguments "
+                        f"({lead + len(extra)} given)")
+                moved = names[:len(extra)]
+                warnings.warn(
+                    f"{fn.__name__}: passing {', '.join(moved)} positionally "
+                    "is deprecated; use keyword arguments (see 'Migrating "
+                    "to the typed API' in README.md)",
+                    DeprecationWarning, stacklevel=2)
+                for name, value in zip(moved, extra):
+                    if name in kwargs:
+                        raise TypeError(f"{fn.__name__}() got multiple "
+                                        f"values for argument {name!r}")
+                    kwargs[name] = value
+                args = args[:lead]
+            return fn(self, *args, **kwargs)
+        return shim
+    return wrap
 
 
 class Evaluation:
-    """Façade building task graphs for the full experimental grid."""
+    """Legacy façade: adapts the historical methods onto the typed API."""
 
     def __init__(self, config: EvaluationConfig | None = None) -> None:
-        self.config = config or EvaluationConfig()
-        self._cache = DiskCache(self.config.cache_dir)
-        self._executor = Executor(self._cache,
-                                  max_workers=self.config.max_workers,
-                                  job_timeout=self.config.job_timeout,
-                                  job_retries=self.config.job_retries,
-                                  keep_going=self.config.keep_going)
-        self._context = self._executor.context
+        self._service = ApiService(config)
+        self.config = self._service.config
+        # pre-API aliases, kept for callers that reached into the façade
+        self._cache = self._service.cache
+        self._executor = self._service.executor
+        self._context = self._service.context
         self._trace_dir = self.config.trace_dir
-        if self._trace_dir is not None:
-            os.makedirs(self._trace_dir, exist_ok=True)
-            obs.configure(trace_path=os.path.join(self._trace_dir,
-                                                  "trace.jsonl"))
+
+    @property
+    def api(self) -> ApiService:
+        """The typed API service every frontend shares."""
+        return self._service
 
     @property
     def cache(self) -> DiskCache:
         """The content-addressed cache shared by every layer."""
-        return self._cache
+        return self._service.cache
 
     @property
     def last_manifest(self) -> RunManifest | None:
         """Manifest of the most recent graph run (None before any run)."""
-        return self._executor.last_manifest
+        return self._service.last_manifest
 
     @property
     def last_failures(self) -> list[FailureRecord]:
         """Per-cell failure records of the most recent run (keep-going)."""
-        manifest = self._executor.last_manifest
-        return list(manifest.failures) if manifest is not None else []
+        return self._service.last_failures
+
+    @property
+    def last_failure_envelopes(self) -> list[ErrorEnvelope]:
+        """The same failures in the stable API envelope shape — identical
+        to what ``repro-serve`` reports through ``/v1/runs/{id}``."""
+        return self._service.failure_envelopes()
 
     def _run(self, jobs: list[JobSpec]) -> dict[str, object]:
-        graph = TaskGraph()
-        for job in jobs:
-            graph.add(job)
-        try:
-            return self._executor.run(graph)
-        finally:
-            self._write_manifest()
-
-    def _write_manifest(self) -> None:
-        """Persist the last run's manifest next to the trace file.
-
-        Runs in a ``finally`` so failed runs (including keep-going runs
-        whose manifest holds only failures) still leave an inspectable
-        ``manifest.json`` for ``repro-eval trace``.
-        """
-        manifest = self._executor.last_manifest
-        if self._trace_dir is None or manifest is None:
-            return
-        path = os.path.join(self._trace_dir, "manifest.json")
-        with open(path, "w", encoding="utf-8") as stream:
-            json.dump(manifest.to_dict(), stream, indent=2, default=str)
-            stream.write("\n")
+        """Pre-API escape hatch: run raw job specs as one graph."""
+        return self._service.run_jobs(jobs)
 
     # -- data ------------------------------------------------------------------
 
     def dataset(self, name: str) -> Dataset:
         """The (cached) dataset instance at the configured length."""
-        return self._context.dataset(name, self.config.dataset_length)
+        return self._service.dataset(name)
 
     def split(self, name: str) -> Split:
         """The (cached) 70/10/20 chronological split."""
-        return self._context.split(name, self.config.dataset_length)
+        return self._service.split(name)
 
     # -- compression -------------------------------------------------------------
 
@@ -111,68 +144,36 @@ class Evaluation:
         """Compress one free-standing series (no caching)."""
         return make_compressor(method).compress(series, error_bound)
 
-    def _compress_job(self, name: str, method: str, error_bound: float,
-                      part: str = "test") -> CompressJob:
-        return CompressJob(name, self.config.dataset_length, method,
-                           error_bound, part=part)
-
     def compression_sweep(self, name: str) -> list[CompressionRecord]:
-        """TE/CR/segment records over the full target series (RQ1)."""
-        jobs = [self._compress_job(name, method, error_bound, part="full")
-                for method in self.config.compressors
-                for error_bound in self.config.error_bounds]
-        values = self._run(jobs)
-        series = self.dataset(name).target_series
-        raw_size = raw_gz_size(series)
-        records = []
-        for job in jobs:
-            result = values[job.key()]
-            te = {}
-            for metric in METRICS:
-                try:
-                    te[metric] = transformation_error(
-                        series, result.decompressed, metric)
-                except ZeroDivisionError:
-                    # e.g. R against a constant decompressed series
-                    te[metric] = float("nan")
-            records.append(CompressionRecord(
-                dataset=name,
-                method=job.method,
-                error_bound=job.error_bound,
-                te=te,
-                compression_ratio=compression_ratio(
-                    raw_size, result.compressed_size),
-                num_segments=result.num_segments,
-            ))
-        return records
+        """TE/CR/segment records over the full target series (RQ1).
+
+        Adapter for a batch of ``CompressRequest(part="full")`` — one
+        request per (method, bound) cell, executed as one task graph.
+        Failed cells (keep-going) are absent from the returned list and
+        reported via :attr:`last_failures`.
+        """
+        requests = [CompressRequest(name, method, error_bound, part="full")
+                    for method in self.config.compressors
+                    for error_bound in self.config.error_bounds]
+        return [response.to_record()
+                for response in self._service.compress_batch(requests)
+                if isinstance(response, CompressResponse)]
 
     def gorilla_ratio(self, name: str) -> float:
         """Compression ratio of the lossless GORILLA baseline (Figure 2)."""
-        job = self._compress_job(name, "GORILLA", 0.0, part="full")
-        result = self._run([job])[job.key()]
-        return compression_ratio(raw_gz_size(self.dataset(name).target_series),
-                                 result.compressed_size)
+        request = CompressRequest(name, "GORILLA", 0.0, part="full")
+        response, = self._service.compress_batch([request])
+        if isinstance(response, ErrorEnvelope):
+            raise ApiError(response, status=500)
+        return response.compression_ratio
 
     def transformed_split(self, name: str, method: str, error_bound: float,
                           part: str = "test") -> TimeSeries:
         """Decompressed values of one split part (T(test | C, eps))."""
-        job = self._compress_job(name, method, error_bound, part)
-        return self._run([job])[job.key()].decompressed
+        request = CompressRequest(name, method, error_bound, part=part)
+        return self._service.transform(request).decompressed
 
     # -- model training --------------------------------------------------------------
-
-    def _model_kwargs(self, model_name: str, dataset: Dataset) -> dict:
-        kwargs = dict(self.config.model_kwargs.get(model_name, {}))
-        if model_name == "Arima":
-            kwargs.setdefault("seasonal_period", dataset.seasonal_period)
-        return kwargs
-
-    def _train_job(self, model_name: str, dataset_name: str, seed: int,
-                   train_on: tuple[str, float] | None = None) -> TrainJob:
-        kwargs = self._model_kwargs(model_name, self.dataset(dataset_name))
-        return TrainJob(model_name, dataset_name, self.config.dataset_length,
-                        self.config.input_length, self.config.horizon, seed,
-                        model_kwargs=freeze_kwargs(kwargs), train_on=train_on)
 
     def trained_model(self, model_name: str, dataset_name: str, seed: int,
                       train_on: tuple[str, float] | None = None) -> Forecaster:
@@ -181,72 +182,70 @@ class Evaluation:
         ``train_on=(method, error_bound)`` trains on decompressed data
         (the Figure 7 retraining scenario); ``None`` trains on raw data.
         """
-        job = self._train_job(model_name, dataset_name, seed, train_on)
-        return self._run([job])[job.key()]
+        job = self._service.train_job(model_name, dataset_name, seed,
+                                      train_on)
+        return self._service.run_jobs([job])[job.key()]
 
     # -- evaluation ---------------------------------------------------------------------
 
-    def _forecast_job(self, model_name: str, dataset_name: str, seed: int,
-                      method: str = RAW, error_bound: float = 0.0,
-                      retrained: bool = False) -> ForecastJob:
-        kwargs = self._model_kwargs(model_name, self.dataset(dataset_name))
-        return ForecastJob(model_name, dataset_name,
-                           self.config.dataset_length,
-                           self.config.input_length, self.config.horizon,
-                           self.config.eval_stride, seed, method=method,
-                           error_bound=error_bound, retrained=retrained,
-                           model_kwargs=freeze_kwargs(kwargs))
-
-    def _forecast_grid(self, model_name: str, dataset_name: str,
+    def _cell_requests(self, model_name: str, dataset_name: str,
                        methods: tuple[str, ...],
                        error_bounds: tuple[float, ...],
-                       retrained: bool = False) -> list[ForecastJob]:
-        """Jobs in record order: method, then bound, then seed."""
-        return [self._forecast_job(model_name, dataset_name, seed, method,
-                                   error_bound, retrained)
+                       retrained: bool = False) -> list[ForecastRequest]:
+        """Requests in record order: method, then bound, then seed."""
+        return [ForecastRequest(model_name, dataset_name, method=method,
+                                error_bound=error_bound, seed=seed,
+                                retrained=retrained)
                 for method in methods
                 for error_bound in error_bounds
                 for seed in self.config.seeds_for(model_name)]
 
-    def _collect(self, jobs: list[ForecastJob]) -> list[ScenarioRecord]:
-        """Records for every completed cell, in job order.
+    def _collect(self, requests: list[ForecastRequest]
+                 ) -> list[ScenarioRecord]:
+        """Records for every completed cell, in request order.
 
-        With ``keep_going`` enabled, failed or skipped cells are absent
-        from the executor's result and therefore from the returned list —
+        With ``keep_going`` enabled, failed or skipped cells degrade to
+        error envelopes and are therefore absent from the returned list —
         their per-cell status is in :attr:`last_failures` / the manifest.
         """
-        values = self._run(jobs)
-        return [values[job.key()] for job in jobs if job.key() in values]
+        return [response.to_record()
+                for response in self._service.forecast_batch(requests)
+                if isinstance(response, ForecastResponse)]
 
     def baseline_records(self, model_name: str, dataset_name: str
                          ) -> list[ScenarioRecord]:
         """RAW-input records (the Table 2 baseline), one per seed."""
         return self._collect([
-            self._forecast_job(model_name, dataset_name, seed)
+            ForecastRequest(model_name, dataset_name, seed=seed)
             for seed in self.config.seeds_for(model_name)])
 
-    def scenario_records(self, model_name: str, dataset_name: str,
+    @_keyword_only("methods", "error_bounds")
+    def scenario_records(self, model_name: str, dataset_name: str, *,
                          methods: tuple[str, ...] | None = None,
                          error_bounds: tuple[float, ...] | None = None
                          ) -> list[ScenarioRecord]:
         """Algorithm 1: transformed-input records across the lossy grid."""
-        return self._collect(self._forecast_grid(
+        return self._collect(self._cell_requests(
             model_name, dataset_name,
             methods or self.config.compressors,
             error_bounds or self.config.error_bounds))
 
-    def retrain_records(self, model_name: str, dataset_name: str,
+    @_keyword_only("methods", "error_bounds")
+    def retrain_records(self, model_name: str, dataset_name: str, *,
                         methods: tuple[str, ...] | None = None,
                         error_bounds: tuple[float, ...] | None = None
                         ) -> list[ScenarioRecord]:
         """Figure 7: train AND infer on decompressed data, score vs raw."""
-        return self._collect(self._forecast_grid(
+        return self._collect(self._cell_requests(
             model_name, dataset_name,
             methods or self.config.compressors,
             error_bounds or self.config.error_bounds,
             retrained=True))
 
-    def grid_records(self, datasets: tuple[str, ...] | None = None,
+    @_keyword_only("datasets", "models", "methods", "error_bounds",
+                   "include_baseline", "retrained")
+    def grid_records(self, *,
+                     datasets: tuple[str, ...] | None = None,
                      models: tuple[str, ...] | None = None,
                      methods: tuple[str, ...] | None = None,
                      error_bounds: tuple[float, ...] | None = None,
@@ -254,7 +253,8 @@ class Evaluation:
                      retrained: bool = False) -> list[ScenarioRecord]:
         """Baseline + scenario records for a whole sub-grid in ONE graph.
 
-        Building one graph lets the executor overlap compression, training,
+        Adapter for one :class:`~repro.api.requests.GridRequest`: building
+        a single graph lets the executor overlap compression, training,
         and forecasting across every (dataset, model) pair — with
         ``max_workers > 1`` the full grid saturates the pool instead of
         synchronizing at each pair like per-method calls would.
@@ -262,22 +262,16 @@ class Evaluation:
         With ``EvaluationConfig.keep_going`` a failing cell no longer
         aborts the run: every independent cell still completes and is
         returned, while the failed cell's status (kind, key, exception,
-        attempts) is reported in :attr:`last_failures` and the manifest's
+        attempts) is reported in :attr:`last_failures` (or, envelope-
+        shaped, :attr:`last_failure_envelopes`) and the manifest's
         failure section instead of raising.
         """
-        datasets = datasets or self.config.datasets
-        models = models or self.config.models
-        methods = methods or self.config.compressors
-        error_bounds = error_bounds or self.config.error_bounds
-        jobs: list[ForecastJob] = []
-        for dataset_name in datasets:
-            for model_name in models:
-                if include_baseline:
-                    jobs += [self._forecast_job(model_name, dataset_name, seed)
-                             for seed in self.config.seeds_for(model_name)]
-                jobs += self._forecast_grid(model_name, dataset_name, methods,
-                                            error_bounds, retrained)
-        return self._collect(jobs)
+        request = GridRequest(datasets=datasets, models=models,
+                              methods=methods, error_bounds=error_bounds,
+                              include_baseline=include_baseline,
+                              retrained=retrained)
+        records, _ = self._service.grid(request)
+        return records
 
     # -- characteristics -------------------------------------------------------------------
 
@@ -286,12 +280,7 @@ class Evaluation:
                               error_bounds: tuple[float, ...] | None = None
                               ) -> dict[tuple[str, float], dict[str, float]]:
         """Relative differences (%) of all 42 characteristics per grid cell."""
-        methods = methods or self.config.compressors
-        error_bounds = error_bounds or self.config.error_bounds
-        jobs = {(method, error_bound): FeatureJob(
-                    dataset_name, self.config.dataset_length, method,
-                    error_bound)
-                for method in methods for error_bound in error_bounds}
-        values = self._run(list(jobs.values()))
-        return {cell: values[job.key()] for cell, job in jobs.items()
-                if job.key() in values}
+        return self._service.feature_deltas(
+            dataset_name,
+            methods or self.config.compressors,
+            error_bounds or self.config.error_bounds)

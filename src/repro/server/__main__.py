@@ -1,0 +1,8 @@
+"""``python -m repro.server`` boots the daemon (same as ``repro-serve``)."""
+
+import sys
+
+from repro.server.app import serve
+
+if __name__ == "__main__":
+    sys.exit(serve())

@@ -1,0 +1,451 @@
+"""``repro-serve``: a batching evaluation daemon over the grid runtime.
+
+A stdlib-only HTTP service (``http.server.ThreadingHTTPServer`` — one
+thread per connection, no new dependencies) exposing the typed API:
+
+- ``POST /v1/compress`` — one :class:`~repro.api.requests.CompressRequest`
+  payload; concurrent requests are coalesced by the compress
+  :class:`~repro.server.batching.MicroBatcher` into single task-graph
+  submissions backed by the shared ``DiskCache``;
+- ``POST /v1/forecast`` — same, for single grid cells;
+- ``POST /v1/grid`` — async: validates a
+  :class:`~repro.api.requests.GridRequest`, returns ``202`` with a run id
+  immediately, and executes the grid on a background thread;
+- ``GET /v1/runs/{id}`` — polls a grid run: status, the
+  :class:`~repro.runtime.executor.RunManifest` dict, per-cell failure
+  envelopes, and the completed records once done;
+- ``POST /v1/trace`` — renders a recorded run directory;
+- ``GET /v1/healthz`` / ``GET /v1/metricz`` — liveness and the merged
+  server metric totals (batch occupancy, queue waits, cache hit ratio).
+
+Every response body is a tagged API payload (or an
+:class:`~repro.api.errors.ErrorEnvelope` with a 4xx/5xx status), produced
+by the same codec the CLI and the façade use.  Every request runs inside
+a ``server.request`` span; the server always installs a trace sink — the
+configured ``trace_dir``'s JSONL file, or an in-memory list — so executor
+metric flushes are never lost and ``/v1/metricz`` can report exact run
+totals (the fixed-bucket histogram merge is associative).
+
+The service degrades, it does not hang: with ``keep_going`` (the
+``serve`` CLI default) a failing cell answers its own requests with a
+structured ``503`` envelope while batch siblings still get their
+results; fail-fast configs envelope the whole batch with the
+``JobError``'s kind/key.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import uuid
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+import repro.obs as obs
+from repro.api.codec import encode
+from repro.api.errors import (NOT_FOUND, ApiError, ErrorEnvelope,
+                              ValidationError, envelope_from_job_error)
+from repro.api.requests import (API_VERSION, CompressRequest, ForecastRequest,
+                                GridRequest, TraceRequest)
+from repro.api.responses import (ForecastResponse, GridSubmitResponse,
+                                 HealthResponse, RunStatusResponse)
+from repro.api.schema import validate_payload
+from repro.api.service import ApiService
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.log import get_logger
+from repro.obs.metrics import merge_snapshots
+from repro.obs.trace import WALL, JsonlSink, ListSink
+from repro.runtime.executor import JobError
+
+_log = get_logger("repro.server")
+
+
+class _HttpServer(ThreadingHTTPServer):
+    """Thread-per-connection server that JOINS its handlers on close.
+
+    ``ThreadingHTTPServer`` uses daemon threads, so ``server_close()``
+    can return while a handler is still emitting its span — and the
+    smoke test's span-per-request accounting would race the trace file.
+    Non-daemon threads + ``block_on_close`` make shutdown deterministic;
+    the handler closes every connection after one response (no
+    keep-alive), so no idle client can wedge the join.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+
+
+@dataclass
+class _GridRun:
+    """One async grid run tracked by the server."""
+
+    run_id: str
+    request: GridRequest
+    cells: int
+    status: str = "pending"
+    manifest: dict | None = None
+    failures: tuple[ErrorEnvelope, ...] = ()
+    records: tuple[ForecastResponse, ...] = ()
+    done: threading.Event = field(default_factory=threading.Event)
+
+    def to_response(self) -> RunStatusResponse:
+        return RunStatusResponse(run_id=self.run_id, status=self.status,
+                                 manifest=self.manifest,
+                                 failures=self.failures,
+                                 records=self.records)
+
+
+class ReproServer:
+    """The daemon: one ApiService, two micro-batchers, async grid runs."""
+
+    def __init__(self, config=None, host: str = "127.0.0.1", port: int = 0,
+                 max_batch: int = 64, batch_window_s: float = 0.01,
+                 request_timeout_s: float = 600.0) -> None:
+        from repro.server.batching import MicroBatcher
+
+        # remember the ambient obs state so stop() can restore it — the
+        # service configures tracing when config.trace_dir is set, and the
+        # server needs a sink + metrics regardless
+        self._prior_tracer = obs_trace.active()
+        self._prior_registry = obs_metrics.active()
+
+        self.service = ApiService(config)
+        self.host = host
+        self.port = port
+        self.request_timeout_s = request_timeout_s
+        self._compress_batcher = MicroBatcher(
+            "compress", self._execute_compress, max_batch=max_batch,
+            max_wait_s=batch_window_s)
+        self._forecast_batcher = MicroBatcher(
+            "forecast", self._execute_forecast, max_batch=max_batch,
+            max_wait_s=batch_window_s)
+        self._runs: dict[str, _GridRun] = {}
+        self._runs_lock = threading.Lock()
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started_at = WALL()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "ReproServer":
+        """Bind, start serving on a background thread, return self."""
+        if obs_trace.active() is None:
+            # no trace_dir: an in-memory sink still captures spans and
+            # metric flushes for /v1/metricz
+            obs_trace.enable(ListSink(), run_id="serve")
+        if obs_metrics.active() is None:
+            obs_metrics.enable()
+        self._httpd = _HttpServer((self.host, self.port),
+                                  _make_handler(self))
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        self._started_at = WALL()
+        _log.info("repro-serve listening on %s:%d", self.host, self.port)
+        return self
+
+    def stop(self) -> None:
+        """Shut down the listener and batchers; restore ambient obs state."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._compress_batcher.close()
+        self._forecast_batcher.close()
+        obs.flush_metrics()
+        obs_trace.install(self._prior_tracer)
+        if self._prior_registry is not None:
+            obs_metrics.enable(self._prior_registry)
+        else:
+            obs_metrics.disable()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- batched executions ----------------------------------------------------
+
+    def _note_cache_ratio(self) -> None:
+        manifest = self.service.last_manifest
+        if manifest is not None and manifest.total:
+            obs_metrics.set_gauge("server.cache.hit_ratio",
+                                  manifest.cache_hit_rate)
+
+    def _execute_compress(self, requests: list[CompressRequest]):
+        responses = self.service.compress_batch(requests)
+        self._note_cache_ratio()
+        return responses
+
+    def _execute_forecast(self, requests: list[ForecastRequest]):
+        responses = self.service.forecast_batch(requests)
+        self._note_cache_ratio()
+        return responses
+
+    # -- async grid runs -------------------------------------------------------
+
+    def submit_grid(self, request: GridRequest) -> GridSubmitResponse:
+        run_id = uuid.uuid4().hex[:12]
+        run = _GridRun(run_id=run_id, request=request,
+                       cells=len(self.service.grid_requests(request)))
+        with self._runs_lock:
+            self._runs[run_id] = run
+        # build the ack before starting the worker: the run may already be
+        # "running" by the time this returns, but the submission itself is
+        # always acknowledged as pending
+        ack = GridSubmitResponse(run_id=run_id, cells=run.cells,
+                                 status="pending")
+        threading.Thread(target=self._run_grid, args=(run,),
+                         name=f"grid-{run_id}", daemon=True).start()
+        obs_metrics.inc("server.grid.submitted")
+        return ack
+
+    def _run_grid(self, run: _GridRun) -> None:
+        run.status = "running"
+        try:
+            responses = self.service.forecast_batch(
+                self.service.grid_requests(run.request))
+        except JobError as error:
+            run.failures = (envelope_from_job_error(error),)
+            run.status = "failed"
+        except Exception as error:  # noqa: BLE001 — report, don't vanish
+            run.failures = (ErrorEnvelope(kind="internal", key=run.run_id,
+                                          message=repr(error)),)
+            run.status = "failed"
+        else:
+            run.records = tuple(r for r in responses
+                                if isinstance(r, ForecastResponse))
+            run.failures = tuple(r for r in responses
+                                 if isinstance(r, ErrorEnvelope))
+            run.status = "done"
+        manifest = self.service.last_manifest
+        run.manifest = manifest.to_dict() if manifest is not None else None
+        self._note_cache_ratio()
+        run.done.set()
+
+    def run_status(self, run_id: str) -> RunStatusResponse:
+        with self._runs_lock:
+            run = self._runs.get(run_id)
+        if run is None:
+            raise ApiError(ErrorEnvelope(kind=NOT_FOUND, key=run_id,
+                                         message=f"unknown run {run_id!r}"),
+                           status=404)
+        return run.to_response()
+
+    # -- metrics ---------------------------------------------------------------
+
+    def metric_totals(self) -> dict[str, Any]:
+        """Exact merged metric totals since the server started.
+
+        Executor runs flush metric deltas into the trace sink; merging
+        those flushed records with the registry's live snapshot counts
+        every increment exactly once (the fixed-bucket histogram merge is
+        associative, so the fold order is irrelevant).
+        """
+        snapshots: list[dict] = []
+        tracer = obs_trace.active()
+        sink = tracer.sink if tracer is not None else None
+        if isinstance(sink, ListSink):
+            records = list(sink.records)
+        elif isinstance(sink, JsonlSink) and os.path.exists(sink.path):
+            with open(sink.path, encoding="utf-8") as stream:
+                records = [json.loads(line) for line in stream if line.strip()]
+        else:
+            records = []
+        snapshots += [r for r in records if r.get("type") == "metrics"]
+        registry = obs_metrics.active()
+        if registry is not None:
+            snapshots.append(registry.snapshot())
+        return merge_snapshots(snapshots)
+
+    def health(self) -> HealthResponse:
+        with self._runs_lock:
+            runs = len(self._runs)
+        return HealthResponse(status="ok", version=API_VERSION,
+                              uptime_s=WALL() - self._started_at, runs=runs)
+
+
+def _make_handler(server: ReproServer) -> type[BaseHTTPRequestHandler]:
+    """The request-handler class bound to one server instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        # one keep-alive-friendly protocol version; clients may still
+        # close per request
+        protocol_version = "HTTP/1.1"
+
+        # -- plumbing ------------------------------------------------------
+
+        def log_message(self, fmt: str, *args) -> None:
+            _log.debug("%s " + fmt, self.address_string(), *args)
+
+        def _send_payload(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload, sort_keys=True,
+                              separators=(",", ":")).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+            self.close_connection = True
+
+        def _read_request(self, expect: type):
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                raise ValidationError("empty request body", key="body")
+            try:
+                payload = json.loads(raw)
+            except json.JSONDecodeError as error:
+                raise ValidationError(f"invalid JSON body: {error}",
+                                      key="body") from error
+            validate_payload(payload)
+            from repro.api.codec import decode
+
+            return decode(payload, expect=expect).validate()
+
+        def _dispatch(self, method: str) -> None:
+            path = self.path.split("?", 1)[0].rstrip("/")
+            status_holder = {"status": 500}
+            obs_metrics.inc("server.requests")
+            with obs_trace.span("server.request", method=method,
+                                path=path) as span:
+                try:
+                    status, payload = self._route(method, path)
+                except ApiError as error:
+                    status, payload = error.status, encode(error.envelope)
+                except Exception as error:  # noqa: BLE001 — envelope it
+                    status, payload = 500, encode(ErrorEnvelope(
+                        kind="internal", key=path, message=repr(error)))
+                status_holder["status"] = status
+                if span.enabled:
+                    span.tag(status=status)
+                self._send_payload(status, payload)
+            obs_metrics.inc(f"server.status.{status_holder['status']}")
+
+        def do_GET(self) -> None:  # noqa: N802 — http.server contract
+            self._dispatch("GET")
+
+        def do_POST(self) -> None:  # noqa: N802 — http.server contract
+            self._dispatch("POST")
+
+        # -- routing -------------------------------------------------------
+
+        def _route(self, method: str, path: str) -> tuple[int, dict]:
+            parts = [p for p in path.split("/") if p]
+            if not parts or parts[0] != "v1":
+                raise ApiError(ErrorEnvelope(
+                    kind=NOT_FOUND, key=path,
+                    message=f"unknown path {path!r} (try /v1/healthz)"),
+                    status=404)
+            route = tuple(parts[1:])
+            if method == "GET" and route == ("healthz",):
+                return 200, encode(server.health())
+            if method == "GET" and route == ("metricz",):
+                return 200, server.metric_totals()
+            if method == "GET" and len(route) == 2 and route[0] == "runs":
+                return 200, encode(server.run_status(route[1]))
+            if method == "POST" and route == ("compress",):
+                return self._batched(server._compress_batcher,
+                                     CompressRequest)
+            if method == "POST" and route == ("forecast",):
+                return self._batched(server._forecast_batcher,
+                                     ForecastRequest)
+            if method == "POST" and route == ("grid",):
+                request = self._read_request(GridRequest)
+                return 202, encode(server.submit_grid(request))
+            if method == "POST" and route == ("trace",):
+                request = self._read_request(TraceRequest)
+                return 200, encode(server.service.trace(request))
+            raise ApiError(ErrorEnvelope(
+                kind=NOT_FOUND, key=path,
+                message=f"no route for {method} {path!r}"), status=404)
+
+        def _batched(self, batcher, expect: type) -> tuple[int, dict]:
+            request = self._read_request(expect)
+            result = batcher.submit(request,
+                                    timeout=server.request_timeout_s)
+            if isinstance(result, ErrorEnvelope):
+                # the cell failed (or was skipped): a structured 503, not
+                # a hang — batch siblings are unaffected
+                return 503, encode(result)
+            return 200, encode(result)
+
+    return Handler
+
+
+def serve(argv=None) -> int:
+    """Entry point of ``repro-serve`` / ``repro-eval serve``."""
+    from repro.core.config import EvaluationConfig
+
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Batching evaluation service over the repro grid "
+                    "runtime (typed /v1 API)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321)
+    parser.add_argument("--length", type=int, default=2_000,
+                        help="dataset length served by default")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size of the executor")
+    parser.add_argument("--cache-dir", default=".cache",
+                        help="shared job cache ('' disables caching)")
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="micro-batch size cap")
+    parser.add_argument("--batch-window", type=float, default=0.01,
+                        help="seconds to wait for batch-mates after the "
+                             "first request arrives")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-job attempt timeout in seconds")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="extra attempts per failing job")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort a whole batch on the first failing "
+                             "cell (default: keep-going degradation)")
+    parser.add_argument("--trace", nargs="?", const=".serve-trace",
+                        default=None, metavar="DIR",
+                        help="record spans/metrics into DIR/trace.jsonl")
+    args = parser.parse_args(argv)
+
+    config = EvaluationConfig(
+        dataset_length=args.length,
+        cache_dir=args.cache_dir or None,
+        max_workers=args.workers,
+        job_timeout=args.timeout,
+        job_retries=args.retries,
+        keep_going=not args.fail_fast,
+        trace_dir=args.trace,
+    )
+    server = ReproServer(config, host=args.host, port=args.port,
+                         max_batch=args.max_batch,
+                         batch_window_s=args.batch_window)
+    server.start()
+    print(f"repro-serve v{API_VERSION} listening on "
+          f"http://{server.host}:{server.port}/v1/healthz "
+          f"(Ctrl-C to stop)")
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.stop()
+        obs.shutdown()
+    return 0
+
+
+def main() -> int:
+    return serve()
+
+
+if __name__ == "__main__":
+    sys.exit(serve())

@@ -1,0 +1,165 @@
+"""Server-side micro-batching: coalesce concurrent requests into one run.
+
+The model-serving batching pattern (Clipper-style): handler threads
+enqueue their request and block; a single dispatcher thread drains the
+queue — waiting up to ``max_wait_s`` after the first arrival so
+concurrent clients land in the same batch, capping at ``max_batch`` — and
+hands the whole batch to one ``execute`` callable.  For this system that
+callable is :meth:`~repro.api.service.ApiService.compress_batch` /
+``forecast_batch``, which runs the batch as ONE task graph: requests
+sharing a (dataset, method, model) signature collapse to a single
+content-addressed job, so 64 concurrent identical requests cost one
+execution plus 63 cache-free result fans.
+
+Observability per batch and per request:
+
+- ``server.batch.occupancy`` — histogram of batch sizes (the smoke test's
+  "batching actually happened" witness: max > 1 under concurrency);
+- ``server.queue_wait_s`` — histogram of enqueue → execution-start time
+  per request (queue wait vs execute split);
+- ``server.batch`` span — one per dispatched batch, tagged with the
+  occupancy and the batch family.
+
+Failure semantics mirror the runtime's ``keep_going`` degradation: the
+``execute`` callable returns, positionally, a response *or* an
+:class:`~repro.api.errors.ErrorEnvelope` per request; if it raises
+instead (fail-fast :class:`~repro.runtime.executor.JobError`, a bug), the
+whole batch degrades to envelopes rather than hanging any waiter.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.api.errors import (INTERNAL, ErrorEnvelope,
+                              envelope_from_job_error)
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.trace import WALL
+from repro.runtime.executor import JobError
+
+#: queue sentinel that shuts the dispatcher down
+_STOP = object()
+
+
+@dataclass
+class _Pending:
+    """One enqueued request and the event its handler thread waits on."""
+
+    request: Any
+    enqueued_at: float
+    done: threading.Event = field(default_factory=threading.Event)
+    result: Any = None
+
+    def resolve(self, result: Any) -> None:
+        self.result = result
+        self.done.set()
+
+
+class MicroBatcher:
+    """Coalesces concurrent submissions into single batched executions."""
+
+    def __init__(self, name: str,
+                 execute: Callable[[list[Any]], Sequence[Any]],
+                 max_batch: int = 64, max_wait_s: float = 0.01) -> None:
+        self.name = name
+        self._execute = execute
+        self.max_batch = max(1, max_batch)
+        self.max_wait_s = max(0.0, max_wait_s)
+        self._queue: queue.Queue = queue.Queue()
+        self._worker = threading.Thread(target=self._loop,
+                                        name=f"batcher-{name}", daemon=True)
+        self._started = False
+        self._lock = threading.Lock()
+
+    # -- public API ------------------------------------------------------------
+
+    def submit(self, request: Any, timeout: float | None = None) -> Any:
+        """Enqueue one request and block until its batch resolves it.
+
+        Returns whatever the batch execution produced for this request —
+        a typed response or an :class:`ErrorEnvelope`.  ``timeout``
+        bounds the wait; expiry returns an envelope rather than raising,
+        so a wedged run surfaces as a structured error.
+        """
+        self._ensure_started()
+        pending = _Pending(request, WALL())
+        self._queue.put(pending)
+        if not pending.done.wait(timeout):
+            return ErrorEnvelope(
+                kind=INTERNAL, key=self.name,
+                message=f"request timed out after {timeout}s in the "
+                        f"{self.name} batch queue")
+        return pending.result
+
+    def close(self) -> None:
+        """Stop the dispatcher (idempotent); queued requests still drain."""
+        with self._lock:
+            if not self._started:
+                return
+        self._queue.put(_STOP)
+        self._worker.join(timeout=30.0)
+
+    # -- dispatcher ------------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        with self._lock:
+            if not self._started:
+                self._worker.start()
+                self._started = True
+
+    def _collect(self) -> list[_Pending] | None:
+        """Block for the first request, then drain up to the batch window."""
+        first = self._queue.get()
+        if first is _STOP:
+            return None
+        batch = [first]
+        deadline = WALL() + self.max_wait_s
+        while len(batch) < self.max_batch:
+            remaining = deadline - WALL()
+            try:
+                item = (self._queue.get_nowait() if remaining <= 0
+                        else self._queue.get(timeout=remaining))
+            except queue.Empty:
+                break
+            if item is _STOP:
+                self._queue.put(_STOP)  # re-arm shutdown for after this batch
+                break
+            batch.append(item)
+        return batch
+
+    def _loop(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                return
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list[_Pending]) -> None:
+        started = WALL()
+        obs_metrics.observe("server.batch.occupancy", len(batch))
+        for pending in batch:
+            obs_metrics.observe("server.queue_wait_s",
+                                started - pending.enqueued_at)
+        try:
+            with obs_trace.span("server.batch", family=self.name,
+                                occupancy=len(batch)):
+                results = self._execute([p.request for p in batch])
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"batch executor returned {len(results)} results "
+                    f"for {len(batch)} requests")
+        except JobError as error:
+            # fail-fast executor: the run aborted, so every waiter in the
+            # batch gets the failing job's envelope
+            envelope = envelope_from_job_error(error)
+            results = [envelope] * len(batch)
+        except Exception as error:  # noqa: BLE001 — never hang a waiter
+            envelope = ErrorEnvelope(kind=INTERNAL, key=self.name,
+                                     message=repr(error))
+            results = [envelope] * len(batch)
+        for pending, result in zip(batch, results):
+            pending.resolve(result)

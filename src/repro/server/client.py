@@ -1,0 +1,129 @@
+"""A stdlib test client for ``repro-serve`` (``http.client``, no deps).
+
+:class:`ReproClient` speaks the same tagged payloads as the server —
+requests are encoded through :mod:`repro.api.codec` and responses decoded
+back into the typed dataclasses, so a round trip through the wire is the
+identity on the contract types.  Error statuses raise
+:class:`ServerError` carrying the decoded
+:class:`~repro.api.errors.ErrorEnvelope`, keeping failure handling
+structured on both sides of the socket.
+
+Each call opens a fresh ``HTTPConnection``: connections are not shared
+between calls, so one client instance may be used concurrently from many
+threads (the smoke test's 64-way fan-out does exactly that).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any
+
+from repro.api.codec import decode, encode
+from repro.api.errors import ErrorEnvelope
+from repro.api.requests import (CompressRequest, ForecastRequest, GridRequest,
+                                TraceRequest)
+from repro.api.responses import (CompressResponse, ForecastResponse,
+                                 GridSubmitResponse, HealthResponse,
+                                 RunStatusResponse, TraceResponse)
+from repro.obs.trace import WALL
+
+
+class ServerError(RuntimeError):
+    """A non-2xx server reply, with the structured envelope when present."""
+
+    def __init__(self, status: int, envelope: ErrorEnvelope | None,
+                 body: str = "") -> None:
+        detail = envelope.summary() if envelope is not None else body[:200]
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.envelope = envelope
+
+
+class ReproClient:
+    """Typed client for one ``repro-serve`` endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8321,
+                 timeout: float = 600.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def request_raw(self, method: str, path: str,
+                    payload: dict | None = None) -> tuple[int, bytes]:
+        """One HTTP exchange; returns (status, raw body) without decoding."""
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            body = (json.dumps(payload, sort_keys=True,
+                               separators=(",", ":")).encode()
+                    if payload is not None else None)
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> Any:
+        status, raw = self.request_raw(method, path, payload)
+        text = raw.decode("utf-8", errors="replace")
+        try:
+            decoded = json.loads(text)
+        except json.JSONDecodeError:
+            raise ServerError(status, None, text) from None
+        if not isinstance(decoded, dict):
+            raise ServerError(status, None, text)
+        if "type" not in decoded:
+            # untyped payload (e.g. /v1/metricz): raw dict passthrough
+            if 200 <= status < 300:
+                return decoded
+            raise ServerError(status, None, text)
+        obj = decode(decoded)
+        if isinstance(obj, ErrorEnvelope) or not 200 <= status < 300:
+            raise ServerError(status,
+                              obj if isinstance(obj, ErrorEnvelope) else None,
+                              text)
+        return obj
+
+    # -- endpoints -------------------------------------------------------------
+
+    def healthz(self) -> HealthResponse:
+        return self._request("GET", "/v1/healthz")
+
+    def metricz(self) -> dict[str, Any]:
+        """Merged server metric totals (plain snapshot dict, not typed)."""
+        return self._request("GET", "/v1/metricz")
+
+    def compress(self, request: CompressRequest) -> CompressResponse:
+        return self._request("POST", "/v1/compress", encode(request))
+
+    def forecast(self, request: ForecastRequest) -> ForecastResponse:
+        return self._request("POST", "/v1/forecast", encode(request))
+
+    def grid(self, request: GridRequest) -> GridSubmitResponse:
+        return self._request("POST", "/v1/grid", encode(request))
+
+    def run_status(self, run_id: str) -> RunStatusResponse:
+        return self._request("GET", f"/v1/runs/{run_id}")
+
+    def wait_for_run(self, run_id: str, timeout: float = 600.0,
+                     poll_s: float = 0.1) -> RunStatusResponse:
+        """Poll ``/v1/runs/{id}`` until the run leaves pending/running."""
+        deadline = WALL() + timeout
+        while True:
+            status = self.run_status(run_id)
+            if status.status in ("done", "failed"):
+                return status
+            if WALL() > deadline:
+                raise TimeoutError(
+                    f"grid run {run_id} still {status.status!r} after "
+                    f"{timeout}s")
+            time.sleep(poll_s)
+
+    def trace(self, request: TraceRequest) -> TraceResponse:
+        return self._request("POST", "/v1/trace", encode(request))

@@ -1,0 +1,199 @@
+"""End-to-end smoke drive of ``repro-serve``: ``python -m repro.server.smoke``.
+
+Boots a server on an ephemeral port and drives the full /v1 surface the
+way CI's ``server-smoke`` job does:
+
+1. ``--requests N`` (default 64) concurrent ``POST /v1/compress`` calls
+   with overlapping (dataset, method, bound) signatures — asserts every
+   request succeeds, that micro-batching actually coalesced them
+   (``server.batch.occupancy`` histogram max > 1), and that a repeated
+   cold request returns a byte-identical warm body;
+2. an async ``POST /v1/grid`` — submits, polls ``/v1/runs/{id}`` to
+   completion, asserts the manifest accounts for every cell;
+3. ``POST /v1/trace`` against the recorded run directory — asserts the
+   span stream holds one ``server.request`` span per HTTP request.
+
+Exit status 0 means every assertion held; any failure prints the reason
+and exits 1, so the module is directly usable as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import shutil
+import sys
+import tempfile
+
+from repro.api.requests import CompressRequest, GridRequest, TraceRequest
+from repro.core.config import EvaluationConfig
+from repro.server.app import ReproServer
+from repro.server.client import ReproClient
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+
+
+def run_smoke(requests: int = 64, length: int = 512,
+              batch_window_s: float = 0.05, verbose: bool = True) -> dict:
+    """Drive the full surface; returns the stats dict printed at the end."""
+    say = print if verbose else (lambda *a, **k: None)
+    workdir = tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    config = EvaluationConfig(dataset_length=length, cache_dir=None,
+                              keep_going=True, simple_seeds=1, deep_seeds=1,
+                              trace_dir=workdir)
+    http_requests = 0
+    stats: dict = {}
+    try:
+        with ReproServer(config, port=0, max_batch=max(64, requests),
+                         batch_window_s=batch_window_s) as server:
+            client = ReproClient(port=server.port)
+
+            health = client.healthz()
+            _check(health.status == "ok", f"healthz reported {health.status}")
+            http_requests += 1
+            say(f"[smoke] serving on :{server.port} (v{health.version})")
+
+            # -- 1. concurrent compress fan-out --------------------------------
+            # overlapping signatures: N requests spread over a handful of
+            # distinct cells, so batching AND job dedup both matter
+            cells = [CompressRequest("ETTm1", "PMC", 0.05, part="full"),
+                     CompressRequest("ETTm1", "SWING", 0.05,
+                                     part="full"),
+                     CompressRequest("ETTm2", "PMC", 0.10, part="full"),
+                     CompressRequest("ETTm1", "GORILLA", 0.0,
+                                     part="full")]
+            fan_out = [cells[i % len(cells)] for i in range(requests)]
+            with concurrent.futures.ThreadPoolExecutor(
+                    max_workers=requests) as pool:
+                responses = list(pool.map(client.compress, fan_out))
+            http_requests += requests
+            _check(len(responses) == requests,
+                   f"expected {requests} responses, got {len(responses)}")
+            for request, response in zip(fan_out, responses):
+                _check(response.dataset == request.dataset
+                       and response.method == request.method,
+                       f"response mismatch for {request}")
+                _check(response.compressed_size > 0,
+                       f"empty compression for {request}")
+            say(f"[smoke] {requests} concurrent /v1/compress requests OK")
+
+            # -- batching witness: occupancy histogram saw real batches -------
+            totals = client.metricz()
+            http_requests += 1
+            occupancy = totals["histograms"].get("server.batch.occupancy")
+            _check(occupancy is not None,
+                   "no server.batch.occupancy histogram recorded")
+            _check(occupancy["max"] > 1,
+                   f"micro-batching never coalesced requests "
+                   f"(max occupancy {occupancy['max']})")
+            _check(occupancy["count"] < requests,
+                   f"every request dispatched alone "
+                   f"({occupancy['count']} batches for {requests} requests)")
+            say(f"[smoke] batching verified: {int(occupancy['count'])} "
+                f"batches, max occupancy {int(occupancy['max'])}, "
+                f"mean {occupancy['total'] / occupancy['count']:.1f}")
+
+            # -- cold vs warm: byte-identical bodies --------------------------
+            cold_request = CompressRequest("Solar", "SWING", 0.02,
+                                           part="full")
+            from repro.api.codec import encode
+            payload = encode(cold_request)
+            status_cold, body_cold = client.request_raw(
+                "POST", "/v1/compress", payload)
+            status_warm, body_warm = client.request_raw(
+                "POST", "/v1/compress", payload)
+            http_requests += 2
+            _check(status_cold == 200, f"cold request failed: {status_cold}")
+            _check(status_warm == 200, f"warm request failed: {status_warm}")
+            _check(body_cold == body_warm,
+                   "cold and warm responses differ byte-wise:\n"
+                   f"  cold: {body_cold!r}\n  warm: {body_warm!r}")
+            say("[smoke] cold vs warm /v1/compress byte-identical")
+
+            # -- 2. async grid ------------------------------------------------
+            # length override: the serving default (--length) is tuned for
+            # the compress fan-out; forecasting needs room for the 96+24
+            # windows in the 20% test split
+            grid = GridRequest(datasets=("ETTm1",), models=("GBoost",),
+                               methods=("PMC",), error_bounds=(0.05,),
+                               length=2048)
+            submitted = client.grid(grid)
+            http_requests += 1
+            _check(submitted.cells > 0, "grid submission reported 0 cells")
+            done = client.wait_for_run(submitted.run_id, timeout=300.0)
+            # polling count varies; request_raw below recounts from metricz
+            _check(done.status == "done",
+                   f"grid run finished {done.status!r}: "
+                   + "; ".join(f.summary() for f in done.failures))
+            _check(len(done.records) == submitted.cells,
+                   f"grid returned {len(done.records)} records for "
+                   f"{submitted.cells} cells")
+            _check(done.manifest is not None
+                   and not done.manifest["failures"]
+                   and not done.manifest["skipped"],
+                   f"grid manifest reports failures: {done.manifest}")
+            say(f"[smoke] async grid run {submitted.run_id}: "
+                f"{len(done.records)} records, manifest clean")
+
+            # -- 3. trace the recorded run ------------------------------------
+            trace = client.trace(TraceRequest(run_dir=workdir))
+            _check(len(trace.lines) > 0, "trace rendered no lines")
+            say("[smoke] trace rendered "
+                f"{len(trace.lines)} lines for {workdir}")
+
+            # -- span accounting: one server.request span per HTTP hit --------
+            totals = client.metricz()
+            served = totals["counters"].get("server.requests", 0)
+            stats = {"port": server.port, "requests": requests,
+                     "batches": int(occupancy["count"]),
+                     "max_occupancy": int(occupancy["max"]),
+                     "served": int(served),
+                     "grid_cells": submitted.cells}
+        # server stopped: the trace file is final — count request spans
+        trace_path = f"{workdir}/trace.jsonl"
+        with open(trace_path, encoding="utf-8") as stream:
+            records = [json.loads(line) for line in stream if line.strip()]
+        request_spans = [r for r in records if r.get("type") == "span"
+                         and r.get("name") == "server.request"]
+        # every span the server traced covers exactly one HTTP request;
+        # stats["served"] excludes the post-stop reads but includes every
+        # request up to the last metricz, which is itself the final one
+        _check(len(request_spans) == stats["served"],
+               f"span/request mismatch: {len(request_spans)} server.request "
+               f"spans for {stats['served']} served requests")
+        stats["spans"] = len(request_spans)
+        say(f"[smoke] span accounting OK: {len(request_spans)} "
+            "server.request spans == served requests")
+        say(f"[smoke] PASS {stats}")
+        return stats
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server.smoke",
+        description="End-to-end smoke drive of repro-serve")
+    parser.add_argument("--requests", type=int, default=64,
+                        help="concurrent /v1/compress requests (default 64)")
+    parser.add_argument("--length", type=int, default=512,
+                        help="synthetic dataset length")
+    parser.add_argument("--batch-window", type=float, default=0.05,
+                        help="server micro-batch window in seconds")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    try:
+        run_smoke(requests=args.requests, length=args.length,
+                  batch_window_s=args.batch_window, verbose=not args.quiet)
+    except AssertionError as failure:
+        print(f"[smoke] FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Schema validation: malformed payloads fail loudly, with a path."""
+
+import pytest
+
+from repro.api import (CompressRequest, ForecastRequest, GridRequest,
+                       ValidationError, encode)
+from repro.api.schema import SCHEMAS, validate_payload
+
+
+def _payload(**overrides):
+    payload = encode(CompressRequest("ETTm1", "PMC", 0.1))
+    payload.update(overrides)
+    return payload
+
+
+def test_valid_payload_passes():
+    validate_payload(_payload())
+
+
+def test_every_api_type_has_a_schema():
+    from repro.api import API_TYPES
+
+    assert set(SCHEMAS) == set(API_TYPES)
+
+
+def test_missing_required_field_names_the_path():
+    payload = _payload()
+    del payload["dataset"]
+    with pytest.raises(ValidationError, match="dataset"):
+        validate_payload(payload)
+
+
+def test_wrong_field_type_is_rejected():
+    with pytest.raises(ValidationError, match="error_bound"):
+        validate_payload(_payload(error_bound="lots"))
+
+
+def test_unknown_tag_is_rejected():
+    with pytest.raises(ValidationError, match="type"):
+        validate_payload(_payload(type="Mystery"))
+
+
+def test_missing_version_is_rejected():
+    payload = _payload()
+    del payload["v"]
+    with pytest.raises(ValidationError):
+        validate_payload(payload)
+
+
+def test_future_version_is_rejected():
+    with pytest.raises(ValidationError, match="version"):
+        validate_payload(_payload(v=99))
+
+
+def test_non_dict_payload_is_rejected():
+    with pytest.raises(ValidationError):
+        validate_payload(["not", "an", "object"])
+
+
+# -- semantic validation (request.validate) ------------------------------------
+
+
+def test_unknown_method_is_rejected():
+    with pytest.raises(ValidationError, match="method"):
+        CompressRequest("ETTm1", "BOGUS", 0.1).validate()
+
+
+def test_unknown_part_is_rejected():
+    with pytest.raises(ValidationError, match="part"):
+        CompressRequest("ETTm1", "PMC", 0.1, part="middle").validate()
+
+
+def test_negative_error_bound_is_rejected():
+    with pytest.raises(ValidationError, match="error_bound"):
+        CompressRequest("ETTm1", "PMC", -0.1).validate()
+
+
+def test_retraining_requires_a_lossy_method():
+    with pytest.raises(ValidationError, match="retrain"):
+        ForecastRequest("Arima", "ETTm1", retrained=True).validate()
+
+
+def test_grid_request_accepts_defaults():
+    GridRequest().validate()
+
+
+def test_grid_request_rejects_unknown_axis_entries():
+    with pytest.raises(ValidationError):
+        GridRequest(methods=("BOGUS",)).validate()

@@ -192,3 +192,59 @@ def test_trace_flags_parse():
     args = build_parser().parse_args(["trace", "some/dir", "--top", "3"])
     assert args.run_dir == "some/dir"
     assert args.top == 3
+
+
+# -- typed-API rerouting -------------------------------------------------------
+
+
+def test_compress_json_is_the_wire_payload(capsys):
+    import json
+
+    from repro.api import CompressResponse, loads
+
+    assert main(["compress", "--dataset", "Weather", "--method", "PMC",
+                 "--error-bound", "0.2", "--length", "2000", "--json"]) == 0
+    out = capsys.readouterr().out.strip()
+    payload = json.loads(out)
+    assert payload["type"] == "CompressResponse"
+    response = loads(out)
+    assert isinstance(response, CompressResponse)
+    assert response.dataset == "Weather"
+    assert response.compression_ratio > 1
+
+
+def test_compress_human_output_matches_codec_round_trip(capsys):
+    # the human-readable numbers are printed OFF the decoded wire payload,
+    # so they must agree with --json exactly
+    args = ["compress", "--dataset", "ETTm1", "--method", "SWING",
+            "--error-bound", "0.1", "--length", "1500"]
+    assert main(args) == 0
+    human = capsys.readouterr().out
+    assert main(args + ["--json"]) == 0
+    from repro.api import loads
+
+    response = loads(capsys.readouterr().out.strip())
+    assert f"{response.compressed_size} bytes" in human
+    assert f"{response.compression_ratio:.2f}x" in human
+    assert f"{response.te['NRMSE']:.5f}" in human
+
+
+def test_trace_json_round_trips(capsys, tmp_path):
+    from repro.api import TraceResponse, loads
+
+    assert main(["trace", str(tmp_path / "nowhere"), "--json"]) == 0
+    response = loads(capsys.readouterr().out.strip())
+    assert isinstance(response, TraceResponse)
+    assert any("no trace.jsonl" in line for line in response.lines)
+
+
+def test_serve_is_listed_and_forwards(capsys):
+    # `serve` must appear in the command listing...
+    with pytest.raises(SystemExit):
+        main(["--help"])
+    assert "serve" in capsys.readouterr().out
+    # ...and forward unknown flags to the repro-serve parser (exit 2 there)
+    with pytest.raises(SystemExit) as excinfo:
+        main(["serve", "--bogus-flag"])
+    assert excinfo.value.code == 2
+    assert "repro-serve" in capsys.readouterr().err

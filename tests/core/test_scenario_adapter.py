@@ -1,0 +1,110 @@
+"""The Evaluation façade is an adapter: legacy surface, typed API engine.
+
+Satellite guarantees pinned here:
+
+- legacy methods return results identical to computing through the
+  service directly (the adapter adds nothing and loses nothing);
+- grid-axis arguments are keyword-only, with a deprecation shim that
+  maps old positional call sites onto keywords (warning once) — results
+  identical either way;
+- the façade exposes the API objects (``.api``, ``last_failure_envelopes``)
+  without breaking its pre-API aliases.
+"""
+
+import warnings
+
+import pytest
+
+from repro.api import ApiService, CompressRequest, GridRequest
+from repro.core.config import EvaluationConfig
+from repro.core.results import CompressionRecord, ScenarioRecord
+from repro.core.scenario import Evaluation
+
+
+def _config(**overrides):
+    base = dict(datasets=("ETTm1",), models=("GBoost",),
+                compressors=("PMC", "SWING"), error_bounds=(0.1, 0.4),
+                dataset_length=1_200, input_length=48, horizon=12,
+                eval_stride=12, deep_seeds=1, simple_seeds=1, cache_dir=None)
+    base.update(overrides)
+    return EvaluationConfig(**base)
+
+
+def test_compression_sweep_equals_service_path():
+    config = _config()
+    evaluation = Evaluation(config)
+    records = evaluation.compression_sweep("ETTm1")
+    assert records and all(isinstance(r, CompressionRecord) for r in records)
+
+    service = ApiService(config)
+    expected = [response.to_record() for response in service.compress_batch(
+        [CompressRequest("ETTm1", method, bound, part="full")
+         for method in config.compressors
+         for bound in config.error_bounds])]
+    assert records == expected
+
+
+def test_grid_records_equals_service_grid():
+    config = _config()
+    records = Evaluation(config).grid_records()
+    expected, _ = ApiService(config).grid(GridRequest())
+    assert records == expected
+    assert all(isinstance(r, ScenarioRecord) for r in records)
+
+
+def test_scenario_records_keywords_and_positionals_agree():
+    config = _config()
+    evaluation = Evaluation(config)
+    by_keyword = evaluation.scenario_records(
+        "GBoost", "ETTm1", methods=("PMC",), error_bounds=(0.1,))
+    with pytest.warns(DeprecationWarning, match="methods"):
+        by_position = evaluation.scenario_records(
+            "GBoost", "ETTm1", ("PMC",), (0.1,))
+    assert by_position == by_keyword
+
+
+def test_grid_records_positional_shim_and_limit():
+    config = _config()
+    evaluation = Evaluation(config)
+    with pytest.warns(DeprecationWarning, match="datasets"):
+        shimmed = evaluation.grid_records(("ETTm1",), ("GBoost",), ("PMC",),
+                                          (0.1,))
+    assert shimmed == evaluation.grid_records(
+        datasets=("ETTm1",), models=("GBoost",), methods=("PMC",),
+        error_bounds=(0.1,))
+
+    too_many = [("ETTm1",), ("GBoost",), ("PMC",), (0.1,), True, False, "x"]
+    with pytest.raises(TypeError, match="positional"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            evaluation.grid_records(*too_many)
+
+
+def test_positional_duplicate_of_keyword_is_a_type_error():
+    evaluation = Evaluation(_config())
+    with pytest.raises(TypeError, match="methods"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            evaluation.scenario_records("GBoost", "ETTm1", ("PMC",),
+                                        methods=("SWING",))
+
+
+def test_facade_exposes_api_and_legacy_aliases():
+    evaluation = Evaluation(_config())
+    assert isinstance(evaluation.api, ApiService)
+    assert evaluation.cache is evaluation.api.cache
+    assert evaluation._executor is evaluation.api.executor  # pre-API alias
+    assert evaluation.last_manifest is None
+    assert evaluation.last_failures == []
+    assert evaluation.last_failure_envelopes == []
+
+
+def test_failure_envelopes_mirror_last_failures(monkeypatch):
+    from repro.api.errors import envelope_from_failure
+
+    monkeypatch.setenv("REPRO_INJECT_FAILURE", "compress:SWING")
+    evaluation = Evaluation(_config(keep_going=True))
+    evaluation.compression_sweep("ETTm1")
+    assert evaluation.last_failures
+    assert (evaluation.last_failure_envelopes
+            == [envelope_from_failure(f) for f in evaluation.last_failures])

@@ -1,0 +1,175 @@
+"""End-to-end repro-serve suite: real sockets, real concurrency.
+
+Covers the serving-layer guarantees:
+
+- concurrent clients with overlapping signatures observe micro-batching
+  (``server.batch.occupancy`` max > 1) and all get correct answers;
+- a cold request and its warm repeat return byte-identical bodies;
+- a failing job under keep-going answers ITS requests with a structured
+  503 envelope while batch siblings still succeed;
+- async grid: submit returns a run id immediately, polling reaches
+  ``done`` with records + manifest, unknown ids are structured 404s;
+- malformed payloads are structured 400s, unknown routes 404s.
+"""
+
+import concurrent.futures
+import json
+
+import pytest
+
+from repro.api import (API_VERSION, CompressRequest, CompressResponse,
+                       ErrorEnvelope, ForecastRequest, GridRequest, encode)
+from repro.core.config import EvaluationConfig
+from repro.server.app import ReproServer
+from repro.server.client import ReproClient, ServerError
+
+
+def _config(**overrides):
+    base = dict(datasets=("ETTm1",), models=("GBoost",),
+                compressors=("PMC", "SWING"), error_bounds=(0.1,),
+                dataset_length=1_200, input_length=48, horizon=12,
+                eval_stride=12, deep_seeds=1, simple_seeds=1,
+                cache_dir=None, keep_going=True)
+    base.update(overrides)
+    return EvaluationConfig(**base)
+
+
+@pytest.fixture()
+def server():
+    with ReproServer(_config(), port=0, batch_window_s=0.1) as instance:
+        yield instance
+
+
+@pytest.fixture()
+def client(server):
+    return ReproClient(port=server.port)
+
+
+def test_healthz_reports_ok(client):
+    health = client.healthz()
+    assert health.status == "ok"
+    assert health.version == API_VERSION
+
+
+def test_compress_round_trip(client):
+    response = client.compress(CompressRequest("ETTm1", "PMC", 0.1,
+                                               part="full"))
+    assert isinstance(response, CompressResponse)
+    assert response.compressed_size > 0
+    assert response.te["NRMSE"] >= 0
+
+
+def test_concurrent_overlapping_requests_batch(client):
+    requests = [CompressRequest("ETTm1", ("PMC", "SWING")[i % 2], 0.1,
+                                part="full") for i in range(16)]
+    with concurrent.futures.ThreadPoolExecutor(max_workers=16) as pool:
+        responses = list(pool.map(client.compress, requests))
+    assert all(isinstance(r, CompressResponse) for r in responses)
+    assert [r.method for r in responses] == [q.method for q in requests]
+
+    occupancy = client.metricz()["histograms"]["server.batch.occupancy"]
+    assert occupancy["max"] > 1, "concurrent requests never coalesced"
+    # queue-wait vs execute split is observable per request
+    waits = client.metricz()["histograms"]["server.queue_wait_s"]
+    assert waits["count"] >= len(requests)
+
+
+def test_cold_and_warm_bodies_are_byte_identical(client):
+    payload = encode(CompressRequest("ETTm1", "SWING", 0.1, part="full"))
+    status_cold, body_cold = client.request_raw("POST", "/v1/compress",
+                                                payload)
+    status_warm, body_warm = client.request_raw("POST", "/v1/compress",
+                                                payload)
+    assert status_cold == status_warm == 200
+    assert body_cold == body_warm
+
+
+def test_failing_cell_is_a_structured_503(monkeypatch):
+    monkeypatch.setenv("REPRO_INJECT_FAILURE", "compress:SWING")
+    with ReproServer(_config(), port=0, batch_window_s=0.1) as server:
+        client = ReproClient(port=server.port)
+        # the healthy sibling in the same batch window still succeeds
+        with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+            ok_future = pool.submit(
+                client.compress,
+                CompressRequest("ETTm1", "PMC", 0.1, part="full"))
+            bad_future = pool.submit(
+                client.compress,
+                CompressRequest("ETTm1", "SWING", 0.1, part="full"))
+            assert isinstance(ok_future.result(), CompressResponse)
+            with pytest.raises(ServerError) as excinfo:
+                bad_future.result()
+    assert excinfo.value.status == 503
+    envelope = excinfo.value.envelope
+    assert isinstance(envelope, ErrorEnvelope)
+    assert envelope.kind == "compress"
+    assert "InjectedFailure" in envelope.message
+
+
+def test_forecast_endpoint(client):
+    response = client.forecast(
+        ForecastRequest("GBoost", "ETTm1", method="PMC", error_bound=0.1))
+    assert response.metrics["NRMSE"] > 0
+
+
+def test_async_grid_submit_poll_done(client):
+    submitted = client.grid(GridRequest())
+    assert submitted.status == "pending"
+    assert submitted.cells == 3  # RAW baseline + PMC + SWING at one bound
+    done = client.wait_for_run(submitted.run_id, timeout=300.0)
+    assert done.status == "done"
+    assert len(done.records) == submitted.cells
+    assert done.manifest["total"] > 0
+    assert done.failures == ()
+    assert client.healthz().runs == 1
+
+
+def test_unknown_run_id_is_a_structured_404(client):
+    with pytest.raises(ServerError) as excinfo:
+        client.run_status("nope")
+    assert excinfo.value.status == 404
+    assert excinfo.value.envelope.kind == "not_found"
+
+
+def test_unknown_route_is_a_structured_404(client):
+    with pytest.raises(ServerError) as excinfo:
+        client._request("GET", "/v2/everything")
+    assert excinfo.value.status == 404
+
+
+def test_malformed_payload_is_a_structured_400(client):
+    status, body = client.request_raw("POST", "/v1/compress",
+                                      {"type": "CompressRequest", "v": 1})
+    assert status == 400
+    envelope = json.loads(body)
+    assert envelope["type"] == "ErrorEnvelope"
+    assert envelope["kind"] == "validation"
+
+
+def test_semantically_invalid_request_is_a_structured_400(client):
+    status, body = client.request_raw(
+        "POST", "/v1/compress",
+        encode(CompressRequest("ETTm1", "PMC", -1.0)))
+    assert status == 400
+    assert json.loads(body)["kind"] == "validation"
+
+
+def test_wrong_request_type_for_endpoint_is_rejected(client):
+    status, body = client.request_raw(
+        "POST", "/v1/compress", encode(GridRequest()))
+    assert status == 400
+    assert json.loads(body)["kind"] == "validation"
+
+
+def test_empty_body_is_rejected(client):
+    status, body = client.request_raw("POST", "/v1/compress")
+    assert status == 400
+    assert json.loads(body)["kind"] == "validation"
+
+
+def test_metricz_counts_requests_and_cache_ratio(client):
+    client.compress(CompressRequest("ETTm1", "PMC", 0.1, part="full"))
+    totals = client.metricz()
+    assert totals["counters"]["server.requests"] >= 2
+    assert "server.cache.hit_ratio" in totals["gauges"]
+    assert totals["counters"].get("server.status.200", 0) >= 1
