@@ -24,8 +24,11 @@ from repro.api.errors import ErrorEnvelope
 if TYPE_CHECKING:
     from repro.core.results import CompressionRecord, ScenarioRecord
 
-#: terminal + transient states of an async grid run
-RUN_STATES: tuple[str, ...] = ("pending", "running", "done", "failed")
+#: terminal + transient states of an async grid run; "interrupted" marks
+#: a run that was pending/running when its daemon died — terminal, since
+#: the thread that would have finished it no longer exists
+RUN_STATES: tuple[str, ...] = ("pending", "running", "done", "failed",
+                               "interrupted")
 
 
 @dataclass(frozen=True)

@@ -86,7 +86,8 @@ SCHEMAS: dict[str, dict] = {
     "RunStatusResponse": _tagged(
         ["run_id", "status"],
         {"run_id": _STRING,
-         "status": {"enum": ["pending", "running", "done", "failed"]},
+         "status": {"enum": ["pending", "running", "done", "failed",
+                             "interrupted"]},
          "manifest": {"type": ["object", "null"]},
          "failures": _array({"$ref": "ErrorEnvelope"}),
          "records": _array({"$ref": "ForecastResponse"})}),

@@ -55,7 +55,7 @@ from repro.runtime.jobs import (CompressJob, FeatureJob, ForecastJob, JobSpec,
 # ``repro.core`` types are imported lazily: its package ``__init__``
 # imports the scenario façade, which imports this module (jobs.py rule)
 if TYPE_CHECKING:
-    from repro.core.cache import DiskCache
+    from repro.core.cache import Cache
     from repro.core.config import EvaluationConfig
     from repro.core.results import ScenarioRecord
 
@@ -68,12 +68,20 @@ class ApiService:
         from repro.core.config import EvaluationConfig
 
         self.config = config or EvaluationConfig()
-        self.cache = DiskCache(self.config.cache_dir)
+        self.cache: "Cache" = DiskCache(self.config.cache_dir)
+        backend_options = {}
+        if self.config.backend == "queue":
+            backend_options = {
+                "queue_path": self.config.queue_path,
+                "lease_s": self.config.queue_lease_s,
+            }
         self.executor = Executor(self.cache,
                                  max_workers=self.config.max_workers,
                                  job_timeout=self.config.job_timeout,
                                  job_retries=self.config.job_retries,
-                                 keep_going=self.config.keep_going)
+                                 keep_going=self.config.keep_going,
+                                 backend=self.config.backend,
+                                 backend_options=backend_options)
         self.context = self.executor.context
         self._lock = threading.RLock()
         self._trace_dir = self.config.trace_dir

@@ -15,7 +15,12 @@ Subcommands:
   bounds each job attempt, ``--retries`` re-runs transient failures, and
   ``--keep-going`` completes every independent cell when one fails (exit
   code 0, with the failure listed in the manifest) instead of aborting
-  with a ``JobError`` (exit code 1).
+  with a ``JobError`` (exit code 1).  ``--backend {serial,pool,queue}``
+  picks the execution backend; the queue backend coordinates independent
+  worker processes through a SQLite job queue and the shared cache.
+- ``repro-eval worker --queue-path .cache/queue.sqlite --cache-dir
+  .cache`` — attach an extra worker process to a live queue-backend run
+  (elastic scale-up from any terminal sharing the filesystem).
 - ``repro-eval bench`` — time the vectorized compression kernels against
   their scalar references (best-of-N, ETTm1-like synthetic) and write the
   ``BENCH_compression.json`` baseline; ``--check`` turns the report into a
@@ -95,7 +100,20 @@ def build_parser() -> argparse.ArgumentParser:
                       default=[0.1, 0.4])
     grid.add_argument("--length", type=int, default=2_000)
     grid.add_argument("--workers", type=int, default=1,
-                      help="process-pool size (1 = serial)")
+                      help="worker count of the execution backend "
+                           "(with --backend auto: 1 = serial, >1 = pool)")
+    grid.add_argument("--backend", default="auto",
+                      choices=("auto", "serial", "pool", "queue"),
+                      help="execution backend; queue = durable SQLite job "
+                           "queue with independent worker processes "
+                           "(requires --cache-dir; scale up live runs with "
+                           "'repro-eval worker')")
+    grid.add_argument("--queue-path", default=None,
+                      help="queue-backend database path (default: "
+                           "queue.sqlite inside the cache dir)")
+    grid.add_argument("--lease", type=float, default=10.0,
+                      help="queue-backend lease seconds before a silent "
+                           "worker forfeits its job")
     grid.add_argument("--seeds", type=int, default=1,
                       help="random seeds per model")
     grid.add_argument("--cache-dir", default=".cache",
@@ -139,6 +157,25 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="DIR",
                        help="record bench spans into DIR/trace.jsonl "
                             "(default DIR: .trace)")
+
+    worker = commands.add_parser(
+        "worker", help="attach a queue worker process to a live grid run "
+                       "(elastic scale-up for --backend queue)")
+    worker.add_argument("--queue-path", required=True,
+                        help="the run's queue database (queue.sqlite)")
+    worker.add_argument("--cache-dir", required=True,
+                        help="the run's shared cache directory (results "
+                             "are published there)")
+    worker.add_argument("--lease", type=float, default=10.0,
+                        help="lease seconds (match the run's --lease)")
+    worker.add_argument("--idle-timeout", type=float, default=None,
+                        help="exit after this many idle seconds "
+                             "(default: run until killed)")
+    worker.add_argument("--max-jobs", type=int, default=None,
+                        help="exit after executing this many jobs")
+    worker.add_argument("--id", default=None, dest="worker_id",
+                        help="worker id stamped on leases "
+                             "(default: host-pid)")
 
     trace = commands.add_parser(
         "trace", help="summarize a run directory written by grid --trace")
@@ -271,6 +308,9 @@ def _command_grid(args: argparse.Namespace) -> int:
         simple_seeds=args.seeds,
         cache_dir=args.cache_dir or None,
         max_workers=args.workers,
+        backend=args.backend,
+        queue_path=args.queue_path,
+        queue_lease_s=args.lease,
         job_timeout=args.timeout,
         job_retries=args.retries,
         keep_going=args.keep_going,
@@ -282,7 +322,7 @@ def _command_grid(args: argparse.Namespace) -> int:
     print(f"grid: {len(config.datasets)} datasets x {len(config.models)} "
           f"models x {len(config.compressors)} methods x "
           f"{len(config.error_bounds)} bounds = {cells} cells "
-          f"(+ baselines), workers={args.workers}")
+          f"(+ baselines), workers={args.workers}, backend={args.backend}")
     try:
         records = evaluation.grid_records(retrained=args.retrain)
     except JobError as error:
@@ -376,6 +416,32 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_worker(args: argparse.Namespace) -> int:
+    """Attach one queue worker to a live run (elastic scale-up).
+
+    Workers rendezvous purely through the queue database and the shared
+    cache directory, so any terminal (or host sharing the filesystem)
+    can add capacity to a running ``grid --backend queue`` mid-flight.
+    """
+    import os
+
+    from repro.runtime.backends.queue import worker_loop
+
+    worker_id = args.worker_id or f"cli-{os.getpid()}"
+    print(f"worker {worker_id} pulling from {args.queue_path} "
+          f"(cache: {args.cache_dir}; Ctrl-C to stop)")
+    try:
+        executed = worker_loop(args.queue_path, args.cache_dir,
+                               worker_id=worker_id, lease_s=args.lease,
+                               idle_timeout_s=args.idle_timeout,
+                               max_jobs=args.max_jobs)
+    except KeyboardInterrupt:
+        print("worker stopped")
+        return 0
+    print(f"worker {worker_id} exiting after {executed} job(s)")
+    return 0
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     """Summarize a run directory via the typed API (TraceRequest).
 
@@ -417,6 +483,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_grid(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "worker":
+        return _command_worker(args)
     if args.command == "trace":
         return _command_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

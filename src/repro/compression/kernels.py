@@ -121,7 +121,11 @@ def prefix_sums(values: np.ndarray) -> np.ndarray:
     """
     sums = np.empty(len(values) + 1)
     sums[0] = 0.0
-    np.cumsum(values, out=sums[1:])
+    sums[1:] = values
+    # accumulate over the 0.0 seed so even the first element goes through a
+    # real addition: cumsum on the values alone would *copy* element 0, and
+    # a copied -0.0 differs bitwise from the scalar fold's 0.0 + -0.0 == +0.0
+    np.cumsum(sums, out=sums)
     return sums
 
 

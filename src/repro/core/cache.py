@@ -1,14 +1,17 @@
-"""Pickle-backed cache for trained models and compression sweeps.
+"""Caches for trained models and compression sweeps, and their contract.
 
 Training seven models on six datasets dominates the cost of regenerating
 the paper's tables; caching trained models on disk makes each bench
 incremental.  Keys are human-readable strings hashed into file names;
 values must be picklable.
 
-Besides the original :meth:`DiskCache.get_or_compute`, the cache exposes
-the primitive ``contains`` / ``get`` / ``put`` operations the task-graph
-executor (:mod:`repro.runtime.executor`) needs to probe and populate
-entries without holding a ``compute`` closure.
+The :class:`Cache` protocol formalizes what the task-graph scheduler and
+:class:`~repro.api.service.ApiService` actually require — the primitive
+``contains`` / ``get`` / ``put`` triple, no ``compute`` closure — with
+two implementations: :class:`DiskCache` (content-addressed pickle files
+plus an in-memory layer; the result-coordination medium of the queue
+execution backend) and :class:`MemoryCache` (a plain dict for cacheless
+runs and tests).
 """
 
 from __future__ import annotations
@@ -18,7 +21,7 @@ import hashlib
 import os
 import pickle
 from collections.abc import Callable
-from typing import Any
+from typing import Any, Protocol, runtime_checkable
 
 from repro.obs.metrics import inc as _metric_inc
 
@@ -39,6 +42,41 @@ CORRUPT_ENTRY_ERRORS = (
     ImportError,
     KeyError,
 )
+
+
+@runtime_checkable
+class Cache(Protocol):
+    """What the scheduler needs from a cache: probe, load, store.
+
+    ``contains`` must be cheap (an existence check, not a load) and may
+    answer ``True`` for an entry ``get`` later fails to read — callers
+    recompute on that path.  ``get`` takes a caller-supplied default so a
+    cached ``None`` is distinguishable from a miss.  ``put`` must be safe
+    to call twice with the same key (keys are content hashes, so the
+    bytes agree).
+    """
+
+    def contains(self, key: str) -> bool: ...
+
+    def get(self, key: str, default: Any = None) -> Any: ...
+
+    def put(self, key: str, value: Any) -> None: ...
+
+
+class MemoryCache:
+    """Dict-backed :class:`Cache` used when no DiskCache is supplied."""
+
+    def __init__(self) -> None:
+        self._store: dict[str, Any] = {}
+
+    def contains(self, key: str) -> bool:
+        return key in self._store
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._store.get(key, default)
+
+    def put(self, key: str, value: Any) -> None:
+        self._store[key] = value
 
 
 class DiskCache:

@@ -38,11 +38,25 @@ class EvaluationConfig:
     metric: str = "NRMSE"
     #: directory for trained-model/compression caches (None = no cache)
     cache_dir: str | None = ".cache"
-    #: process-pool size for the task-graph executor; 1 = serial execution
-    #: in-process (bit-identical to the historical orchestration)
+    #: worker count for the task-graph executor; with the default backend,
+    #: 1 = serial execution in-process (bit-identical to the historical
+    #: orchestration) and >1 = a process pool of this size
     max_workers: int = 1
+    #: execution backend: "auto" (serial/pool by ``max_workers``),
+    #: "serial", "pool", or "queue" (durable SQLite job queue with
+    #: independent worker processes; requires a ``cache_dir``)
+    backend: str = "auto"
+    #: queue database path for the queue backend (None = ``queue.sqlite``
+    #: inside the cache directory)
+    queue_path: str | None = None
+    #: queue-backend lease duration in seconds; a worker that stops
+    #: heartbeating for this long forfeits its job to reclaim
+    queue_lease_s: float = 10.0
+    #: durable run-store path for ``repro-serve`` (None = in-memory store:
+    #: runs do not survive a daemon restart)
+    store_path: str | None = None
     #: per-job attempt timeout in seconds (None = unlimited); enforced via
-    #: SIGALRM in-process and inside each pool worker
+    #: SIGALRM on main threads and a watcher thread elsewhere
     job_timeout: float | None = None
     #: extra attempts per failing job before it counts as failed
     job_retries: int = 0

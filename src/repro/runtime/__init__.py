@@ -2,38 +2,68 @@
 
 The paper's experimental grid is expressed as declarative, content-
 addressed job specs (:mod:`repro.runtime.jobs`), wired into a dependency
-DAG (:mod:`repro.runtime.graph`) and executed serially or on a process
-pool through one shared cache (:mod:`repro.runtime.executor`).  The
-:class:`repro.core.scenario.Evaluation` façade builds these graphs; the
-``repro-eval grid`` CLI command exposes them directly.
+DAG (:mod:`repro.runtime.graph`) and executed through one shared cache
+by the backend-agnostic :mod:`repro.runtime.scheduler` on a pluggable
+:mod:`execution backend <repro.runtime.backends>` — serial in-process, a
+process pool, or a durable SQLite job queue with independent workers.
+The :class:`repro.core.scenario.Evaluation` façade builds these graphs;
+the ``repro-eval grid`` CLI command exposes them directly, and
+``repro-eval worker`` attaches extra queue workers to a live run.
 """
 
-from repro.runtime.executor import (AttemptRecord, Executor, FailureRecord,
-                                    InjectedFailure, JobError,
-                                    JobTimeoutError, MemoryCache, RunManifest)
+from typing import Any
+
+from repro.runtime.backends import (CompletionEvent, ExecutionBackend,
+                                    make_backend)
+from repro.runtime.deadline import JobTimeoutError, call_with_deadline
+from repro.runtime.executor import Executor
+from repro.runtime.faults import InjectedFailure
 from repro.runtime.graph import TaskGraph
 from repro.runtime.jobs import (CompressJob, FeatureJob, ForecastJob,
                                 JobSpec, RuntimeContext, TrainJob,
                                 evaluate_windows, freeze_kwargs,
                                 test_windows)
+from repro.runtime.manifest import (AttemptRecord, FailureRecord, JobError,
+                                    RunManifest, WorkerLostError)
+from repro.runtime.queue import JobQueue
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.store import RunStore
 
 __all__ = [
     "AttemptRecord",
+    "CompletionEvent",
     "CompressJob",
+    "ExecutionBackend",
     "Executor",
     "FailureRecord",
     "FeatureJob",
     "ForecastJob",
     "InjectedFailure",
     "JobError",
+    "JobQueue",
     "JobSpec",
     "JobTimeoutError",
     "MemoryCache",
     "RunManifest",
+    "RunStore",
     "RuntimeContext",
+    "Scheduler",
     "TaskGraph",
     "TrainJob",
+    "WorkerLostError",
+    "call_with_deadline",
     "evaluate_windows",
     "freeze_kwargs",
+    "make_backend",
     "test_windows",
 ]
+
+
+def __getattr__(name: str) -> Any:
+    # lazy: ``MemoryCache`` lives in ``repro.core.cache``, whose package
+    # ``__init__`` imports back into this package (see executor.py)
+    if name == "MemoryCache":
+        from repro.core.cache import MemoryCache
+
+        return MemoryCache
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,289 @@
+"""Durable queue execution backend and its worker loop.
+
+Independent worker processes pull content-hash-keyed jobs from a
+SQLite-WAL :class:`~repro.runtime.queue.JobQueue` and publish results
+into the shared content-addressed ``DiskCache`` — the queue carries
+coordination state only, never payloads.  The scheduler-side backend:
+
+- enqueues *ready* jobs (dependencies already materialized and visible
+  in the shared cache on disk);
+- polls the queue for terminal rows, reclaiming expired leases first, and
+  converts them to :class:`~repro.runtime.backends.CompletionEvent`\\ s —
+  ``done`` rows become ``"ok"`` events whose value is loaded from the
+  cache (``value_in_cache``), ``failed`` rows carry the worker's recorded
+  exception ``repr`` (wrapped so manifests match the serial backend
+  byte-for-byte), and ``lost`` rows (a worker died mid-job and its lease
+  expired) become ``"lost"`` events the scheduler requeues for free;
+- optionally spawns ``max_workers`` local worker processes for the run —
+  and because workers rendezvous purely through the queue file and cache
+  directory, ``repro-eval worker`` can attach more from any terminal
+  mid-run (elastic scale-up).
+
+Worker-side, each claimed job runs under the same fault-injection and
+deadline semantics as every other backend (``timed_run``), with a
+heartbeat thread extending the lease at a third of its duration; a
+worker that loses its lease abandons the result write (the queue's
+owner guard makes its ``complete`` a no-op, and the content-addressed
+cache makes a double write harmless).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import socket
+import threading
+import time
+from typing import Any
+
+import repro.obs as obs
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.runtime.backends import CompletionEvent, ExecutionBackend, timed_run
+from repro.runtime.jobs import JobSpec, RuntimeContext
+from repro.runtime.manifest import WorkerLostError, attempt_outcome
+from repro.runtime.queue import ClaimedJob, JobQueue
+
+#: sentinel distinguishing "absent from cache" from a cached ``None``
+_MISSING = object()
+
+#: default lease duration; heartbeats fire at a third of this
+DEFAULT_LEASE_S = 10.0
+
+
+class RemoteJobFailure(RuntimeError):
+    """A failure reported by a queue worker, reconstructed parent-side.
+
+    Worker exceptions cross the queue as ``repr`` strings; this wrapper
+    replays that exact ``repr`` so manifests and error envelopes are
+    byte-identical with the serial backend, where the original exception
+    object was available.
+    """
+
+    def __init__(self, error_repr: str) -> None:
+        super().__init__(error_repr)
+        self.error_repr = error_repr
+
+    def __repr__(self) -> str:
+        return self.error_repr
+
+
+class QueueBackend(ExecutionBackend):
+    """Runs job attempts on queue workers coordinated through SQLite."""
+
+    name = "queue"
+
+    def __init__(self, max_workers: int = 2, queue_path: str | None = None,
+                 lease_s: float = DEFAULT_LEASE_S,
+                 poll_interval_s: float = 0.05,
+                 spawn_workers: bool = True) -> None:
+        self.concurrency = max(1, max_workers)
+        self.queue_path = queue_path
+        self.lease_s = lease_s
+        self.poll_interval_s = poll_interval_s
+        self.spawn_workers = spawn_workers
+        self._queue: JobQueue | None = None
+        self._inflight: dict[str, JobSpec] = {}
+        self._processes: list[multiprocessing.Process] = []
+        self._obs_state: dict | None = None
+        self._spawned = 0
+
+    def start(self, graph: Any) -> None:
+        cache = self.scheduler.cache
+        directory = getattr(cache, "directory", None)
+        if not directory:
+            raise ValueError(
+                "the queue backend requires a DiskCache (results are "
+                "coordinated through a shared on-disk cache); got "
+                f"{type(cache).__name__}")
+        self._cache_dir = str(directory)
+        path = self.queue_path or os.path.join(self._cache_dir,
+                                               "queue.sqlite")
+        self.queue_path = path
+        self._queue = JobQueue(path)
+        # one active run per queue: drop leftovers from aborted runs
+        self._queue.reset()
+        self._inflight = {}
+        self._spawned = 0
+        if self.spawn_workers:
+            self._obs_state = obs.state()
+            self._processes = [self._spawn() for _ in range(self.concurrency)]
+
+    def _spawn(self) -> multiprocessing.Process:
+        index = self._spawned
+        self._spawned += 1
+        process = multiprocessing.Process(
+            target=worker_loop, args=(self.queue_path, self._cache_dir),
+            kwargs=dict(worker_id=f"local-{index}-{os.getpid()}",
+                        lease_s=self.lease_s, obs_state=self._obs_state),
+            daemon=True, name=f"repro-queue-worker-{index}")
+        process.start()
+        return process
+
+    def submit(self, key: str, job: JobSpec, deps: dict[str, Any],
+               attempt: int) -> None:
+        assert self._queue is not None, "submit before start"
+        # deps are already materialized scheduler-side, hence on disk in
+        # the shared cache — workers reload them by key
+        self._inflight[key] = job
+        self._queue.submit(key, job.kind, pickle.dumps(job),
+                           tuple(deps.keys()), attempt,
+                           self.scheduler.job_timeout)
+        obs_metrics.inc("runtime.queue.enqueued")
+
+    def wait(self) -> list[CompletionEvent]:
+        while True:
+            events = self._poll()
+            if events:
+                return events
+            time.sleep(self.poll_interval_s)
+
+    def _poll(self) -> list[CompletionEvent]:
+        # replace local workers that died (an injected kill, the OOM
+        # killer): their leased jobs come back via lease expiry below, and
+        # without a replacement a run could strand with work pending but
+        # nobody left to pull it
+        for index, process in enumerate(self._processes):
+            if not process.is_alive():
+                process.join()
+                process.close()
+                obs_metrics.inc("runtime.queue.worker_respawned")
+                self._processes[index] = self._spawn()
+        reclaimed = self._queue.reclaim_expired()
+        if reclaimed:
+            obs_metrics.inc("runtime.queue.reclaimed", len(reclaimed))
+        events: list[CompletionEvent] = []
+        for row in self._queue.collect():
+            if self._inflight.pop(row.key, None) is None:
+                continue  # stale row from a previous submission cycle
+            if row.status == "done":
+                events.append(CompletionEvent(
+                    row.key, "ok", value_in_cache=True,
+                    execute_s=row.execute_s, queue_wait_s=row.queue_wait_s))
+            elif row.status == "lost":
+                events.append(CompletionEvent(
+                    row.key, "lost",
+                    error=WorkerLostError(row.error or
+                                          f"worker lost running {row.key}")))
+            else:
+                outcome = (row.outcome
+                           if row.outcome in ("error", "timeout") else "error")
+                events.append(CompletionEvent(
+                    row.key, outcome,
+                    error=RemoteJobFailure(row.error or "worker failure")))
+        counts = self._queue.counts()
+        obs_metrics.set_gauge("runtime.queue.depth",
+                              counts.get("pending", 0)
+                              + counts.get("running", 0))
+        return events
+
+    def finish(self) -> None:
+        if self._queue is not None:
+            self._queue.cancel_pending()
+        self._inflight = {}
+        for process in self._processes:
+            process.terminate()
+        for process in self._processes:
+            process.join(timeout=5.0)
+            process.close()
+        self._processes = []
+        if self._queue is not None:
+            self._queue.close()
+            self._queue = None
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _heartbeat_loop(queue: JobQueue, key: str, owner: str, lease_s: float,
+                    stop: threading.Event) -> None:
+    interval = max(lease_s / 3.0, 0.01)
+    while not stop.wait(interval):
+        if not queue.heartbeat(key, owner, lease_s):
+            # lease reclaimed: the job was handed to someone else; our
+            # result write will be a guarded no-op
+            obs_metrics.inc("runtime.queue.lease_lost")
+            return
+        obs_metrics.inc("runtime.queue.heartbeats")
+
+
+def _run_claim(queue: JobQueue, cache: Any, ctx: RuntimeContext,
+               claim: ClaimedJob, worker_id: str, lease_s: float) -> None:
+    """Execute one leased job: heartbeat, run, publish, mark terminal."""
+    job: JobSpec = pickle.loads(claim.spec)
+    queue_wait = max(0.0, time.time() - claim.submitted_at)
+    stop = threading.Event()
+    beat = threading.Thread(target=_heartbeat_loop,
+                            args=(queue, claim.key, worker_id, lease_s, stop),
+                            name=f"heartbeat-{claim.key}", daemon=True)
+    beat.start()
+    span = obs_trace.span("job", kind=job.kind, attempt=claim.attempt,
+                          queue_wait_s=queue_wait)
+    if span.enabled:
+        span.tag(key=claim.key, worker=worker_id)
+    try:
+        with span:
+            deps: dict[str, Any] = {}
+            for dep in claim.deps:
+                value = cache.get(dep, _MISSING)
+                if value is _MISSING:
+                    raise RuntimeError(
+                        f"dependency {dep} of {claim.key} is absent from "
+                        f"the shared cache")
+                deps[dep] = value
+            value, seconds = timed_run(job, ctx, deps, claim.timeout_s)
+    except Exception as error:  # noqa: BLE001 — reported through the queue
+        queue.fail(claim.key, worker_id, attempt_outcome(error), repr(error))
+    else:
+        # publish before marking done: a consumer must never see a done
+        # row whose result is not yet readable
+        cache.put(claim.key, value)
+        queue.complete(claim.key, worker_id, seconds, queue_wait)
+    finally:
+        stop.set()
+        beat.join(timeout=1.0)
+        obs.flush_metrics()
+
+
+def worker_loop(queue_path: str, cache_dir: str, *,
+                worker_id: str | None = None,
+                lease_s: float = DEFAULT_LEASE_S,
+                poll_interval_s: float = 0.05,
+                idle_timeout_s: float | None = None,
+                max_jobs: int | None = None,
+                obs_state: dict | None = None) -> int:
+    """Pull-and-execute loop for one queue worker; returns jobs executed.
+
+    Runs until terminated (the backend's ``finish``), or until the queue
+    stays empty for ``idle_timeout_s``, or after ``max_jobs`` executions.
+    Workers rendezvous purely through ``queue_path`` + ``cache_dir``, so
+    extra workers can attach to a live run from anywhere
+    (``repro-eval worker``).
+    """
+    from repro.core.cache import DiskCache
+
+    obs.ensure(obs_state)
+    queue = JobQueue(queue_path)
+    cache = DiskCache(cache_dir)
+    ctx = RuntimeContext()
+    worker = worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    executed = 0
+    idle_since = time.monotonic()
+    try:
+        while True:
+            claim = queue.claim(worker, lease_s)
+            if claim is None:
+                if (idle_timeout_s is not None
+                        and time.monotonic() - idle_since >= idle_timeout_s):
+                    return executed
+                time.sleep(poll_interval_s)
+                continue
+            idle_since = time.monotonic()
+            obs_metrics.inc("runtime.queue.claims")
+            _run_claim(queue, cache, ctx, claim, worker, lease_s)
+            executed += 1
+            if max_jobs is not None and executed >= max_jobs:
+                return executed
+    finally:
+        queue.close()

@@ -1,0 +1,20 @@
+"""In-process serial execution backend.
+
+``concurrency == 1`` means the scheduler never drives this backend
+through the concurrent wavefront — every attempt goes through the shared
+``run_sync`` primitive on the scheduler's own thread, preserving the
+historical recursive-materialization order bit-for-bit (and keeping
+``SIGALRM`` deadline enforcement available, since attempts run on the
+main thread whenever the caller does).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.backends import ExecutionBackend
+
+
+class SerialBackend(ExecutionBackend):
+    """Runs every job attempt in the calling process, one at a time."""
+
+    name = "serial"
+    concurrency = 1

@@ -1,0 +1,99 @@
+"""Portable per-attempt deadlines for job execution.
+
+Every backend bounds a job attempt with the same contract: the attempt
+raises :class:`JobTimeoutError` once it exceeds its budget, in-process,
+so a hung job fails like any other exception instead of wedging a pool
+or stranding a queue lease.
+
+Two enforcement strategies, picked automatically by
+:func:`call_with_deadline`:
+
+- **SIGALRM** (preferred): an interval timer interrupts the running job
+  at the deadline.  Only available on platforms with ``SIGALRM`` and only
+  in a process's main thread (signals can be installed nowhere else).
+- **Watcher thread** (fallback): the job runs on a daemon thread while
+  the caller waits out the budget; on expiry the caller raises
+  :class:`JobTimeoutError` and abandons the worker thread.  The job body
+  is not interrupted — it finishes in the background and its result is
+  discarded — but the *caller-visible* semantics match the signal path,
+  which is what threaded callers (server handler threads, queue worker
+  loops running under a supervisor thread) need.
+
+The fallback never leaks the timeout budget: a worker thread that
+outlives its deadline is daemonic and cannot block interpreter exit.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Any, Callable
+
+
+class JobTimeoutError(Exception):
+    """A single job attempt exceeded the executor's ``job_timeout``."""
+
+
+def _signal_available() -> bool:
+    return (hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread())
+
+
+@contextlib.contextmanager
+def alarm_deadline(seconds: float | None):
+    """SIGALRM-based deadline; no-op when unavailable (see module doc)."""
+    if not seconds or not _signal_available():
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise JobTimeoutError(f"job exceeded the {seconds}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _call_in_watcher_thread(fn: Callable[[], Any], seconds: float) -> Any:
+    """Run ``fn`` on a daemon thread; raise on deadline expiry."""
+    outcome: dict[str, Any] = {}
+    done = threading.Event()
+
+    def target() -> None:
+        try:
+            outcome["value"] = fn()
+        except BaseException as error:  # noqa: BLE001 — re-raised below
+            outcome["error"] = error
+        finally:
+            done.set()
+
+    worker = threading.Thread(target=target, name="job-deadline",
+                              daemon=True)
+    worker.start()
+    if not done.wait(seconds):
+        raise JobTimeoutError(f"job exceeded the {seconds}s timeout")
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["value"]
+
+
+def call_with_deadline(fn: Callable[[], Any],
+                       seconds: float | None) -> Any:
+    """Run ``fn()``, raising :class:`JobTimeoutError` past ``seconds``.
+
+    Uses ``SIGALRM`` in a main thread (the job is interrupted at the
+    deadline) and a watcher thread everywhere else (the caller raises at
+    the deadline; the job body is abandoned).  ``seconds`` falsy runs
+    ``fn`` unguarded.
+    """
+    if not seconds:
+        return fn()
+    if _signal_available():
+        with alarm_deadline(seconds):
+            return fn()
+    return _call_in_watcher_thread(fn, seconds)

@@ -1,675 +1,150 @@
-"""Serial / process-pool execution of task graphs over a shared cache.
+"""Compatibility façade over the layered execution runtime.
 
-The executor materializes the *target* results of a
-:class:`~repro.runtime.graph.TaskGraph`:
+Historically this module was the whole execution engine — planning,
+retry/timeout policy, manifest accounting, and process-pool mechanics in
+one place.  Those responsibilities now live in dedicated layers:
 
-1. job keys are probed against the cache lazily while planning (a cheap
-   existence check — the cache is content-addressed by job key, so one
-   entry serves every layer that asks for the same work); probing and
-   manifest accounting are restricted to the subtree a run actually
-   plans, not the whole graph;
-2. cache misses that a target transitively needs are executed —
-   dependencies before dependents — either serially in-process or on a
-   ``concurrent.futures`` process pool;
-3. each executed result is written back to the cache, and each job key is
-   executed at most once per run (single-flight: two grid cells sharing a
-   trained model never fit it twice).
+- :mod:`repro.runtime.scheduler` — backend-agnostic planning, cache
+  probing, dependency tracking, retry budgets, keep-going subtree skips,
+  and :class:`~repro.runtime.manifest.RunManifest` accounting;
+- :mod:`repro.runtime.backends` — where attempts physically run: serial
+  in-process, a ``concurrent.futures`` process pool, or a durable
+  SQLite-backed job queue with independent worker processes;
+- :mod:`repro.runtime.manifest` / :mod:`repro.runtime.deadline` /
+  :mod:`repro.runtime.faults` — run records, portable per-attempt
+  deadlines, and the shared fault-injection hooks.
 
-``max_workers <= 1`` (the default) runs everything serially in-process so
-results stay bit-identical with historical behaviour; jobs are pure
-functions of their spec and dependency results, so a pool produces the
-same values in the same order, just faster.
-
-Fault tolerance
----------------
-
-Any single grid cell can fail (an ill-conditioned ARIMA fit, a worker
-killed by the OOM killer), and hours of sibling work must survive it:
-
-- ``job_retries`` re-runs a failing job (transient errors, corrupt-cache
-  recomputes, ``BrokenProcessPool``) with linear backoff on the serial
-  path and immediate resubmission on the pool path;
-- ``job_timeout`` bounds each attempt's run time via ``SIGALRM`` (applied
-  in-process serially and inside each pool worker, so a hung job fails
-  without breaking the pool); platforms without ``SIGALRM`` skip
-  enforcement;
-- ``keep_going=False`` (the default) wraps the first exhausted failure in
-  a :class:`JobError` naming the job's kind and key, cancels outstanding
-  futures, and shuts pool workers down cleanly — no leaked processes;
-- ``keep_going=True`` records a structured :class:`FailureRecord` in the
-  manifest instead, skips the failing job's dependent subtree, and still
-  completes every independent cell.  Failed and skipped jobs are simply
-  absent from the returned mapping.
-
-Both paths produce identical failure semantics and byte-identical results
-for healthy cells.
-
-Setting the ``REPRO_INJECT_FAILURE`` environment variable to a
-colon-separated list of substrings makes every job whose ``kind + repr``
-contains all of them raise :class:`InjectedFailure` — the fault-injection
-hook used by tests and the CI smoke.
-
-Every run produces a :class:`RunManifest` (planned/cached/executed job
-counts, failures, wall time, per-kind compute seconds, and one
-:class:`AttemptRecord` per job attempt) available as
-``Executor.last_manifest`` — even when the run raised.
-
-Observability
--------------
-
-When :mod:`repro.obs` is configured (``grid --trace``), every job attempt
-— including retried and failed ones — emits a ``job`` span tagged with
-kind, key, attempt number, outcome, and queue-wait time; pool workers
-append their spans and metric flushes into the same JSONL sink as the
-parent, so ``repro-eval trace`` sees one merged timeline.  With
-observability disabled (the default) the instrumentation reduces to a
-module-global load and a ``None`` check per call site.
-
-The cache is duck-typed (``contains``/``get``/``put``), normally a
-:class:`repro.core.cache.DiskCache`; ``cache=None`` uses a private
-in-memory store.
+:class:`Executor` remains the stable entry point with its historical
+constructor signature — existing callers (``ApiService``, the scenario
+façade, tests) keep working unchanged, including the semantics promise:
+``max_workers <= 1`` stays bit-identical with historical serial runs,
+and every backend produces byte-identical results for healthy cells with
+identical failure semantics for sick ones.
 """
 
 from __future__ import annotations
 
-import contextlib
-import os
-import signal
-import threading
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
 from typing import Any
 
-import repro.obs as obs
-from repro.obs import metrics as obs_metrics
-from repro.obs import trace as obs_trace
+from repro.runtime.backends import (CompletionEvent, ExecutionBackend,
+                                    make_backend, timed_run)
+from repro.runtime.deadline import (JobTimeoutError, alarm_deadline,
+                                    call_with_deadline)
+from repro.runtime.faults import (INJECT_ENV, KILL_DIR_ENV, KILL_ENV,
+                                  InjectedFailure, maybe_inject_failure)
 from repro.runtime.graph import TaskGraph
-from repro.runtime.jobs import JobSpec, RuntimeContext
+from repro.runtime.manifest import (AttemptRecord, FailureRecord, JobError,
+                                    RunManifest, WorkerLostError,
+                                    attempt_outcome)
+from repro.runtime.scheduler import MAX_LOST_REQUEUES, Scheduler
 
-#: sentinel distinguishing "no cached value" from a cached ``None``
-_MISSING = object()
-
-#: sentinel returned by the serial path for failed or skipped jobs
-_FAILED = object()
-
-#: environment variable holding colon-separated substrings; a job whose
-#: ``f"{kind} {spec!r}"`` contains all of them raises :class:`InjectedFailure`
-INJECT_ENV = "REPRO_INJECT_FAILURE"
-
-
-class InjectedFailure(RuntimeError):
-    """Deterministic failure raised by the ``REPRO_INJECT_FAILURE`` hook."""
-
-
-class JobTimeoutError(Exception):
-    """A single job attempt exceeded the executor's ``job_timeout``."""
-
-
-def _maybe_inject_failure(job: JobSpec) -> None:
-    spec = os.environ.get(INJECT_ENV)
-    if not spec:
-        return
-    haystack = f"{job.kind} {job!r}"
-    if all(token in haystack for token in spec.split(":") if token):
-        raise InjectedFailure(
-            f"injected failure: {INJECT_ENV}={spec!r} matches {job.describe()}")
-
-
-@contextlib.contextmanager
-def _deadline(seconds: float | None):
-    """Raise :class:`JobTimeoutError` if the body runs longer than ``seconds``.
-
-    Uses ``SIGALRM``, so enforcement happens in-process — inside each pool
-    worker the job's own process raises, keeping the pool healthy instead
-    of requiring a worker kill.  No-op when ``seconds`` is falsy, on
-    platforms without ``SIGALRM``, or off the main thread (signals can only
-    be installed there).
-    """
-    if (not seconds or not hasattr(signal, "SIGALRM")
-            or threading.current_thread() is not threading.main_thread()):
-        yield
-        return
-
-    def _on_alarm(signum, frame):
-        raise JobTimeoutError(f"job exceeded the {seconds}s timeout")
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
-@dataclass(frozen=True)
-class AttemptRecord:
-    """One job attempt (successful or not), as recorded in the manifest.
-
-    The same attempt is also emitted as a ``job`` span when tracing is
-    enabled; the manifest copy keeps run post-mortems possible even when
-    no trace sink was configured.
-    """
-
-    kind: str
-    key: str
-    #: 1-based attempt number (2+ are retries)
-    attempt: int
-    #: "ok", "error", or "timeout"
-    outcome: str
-    #: seconds between submission and execution start (None when unknown,
-    #: e.g. a pool attempt that died before reporting)
-    queue_wait_s: float | None
-    #: execute time of the attempt (None when it raised)
-    execute_s: float | None
-    #: ``repr()`` of the exception for failed attempts
-    error: str | None = None
-
-
-@dataclass(frozen=True)
-class FailureRecord:
-    """One job that exhausted its attempts, as recorded in the manifest."""
-
-    kind: str
-    key: str
-    #: human-readable spec (``JobSpec.describe()``)
-    description: str
-    #: ``repr()`` of the final exception
-    error: str
-    #: total attempts made (1 = no retries configured or needed)
-    attempts: int
-
-
-class JobError(RuntimeError):
-    """A job failed in fail-fast mode; names the failing job's kind and key."""
-
-    def __init__(self, failure: FailureRecord) -> None:
-        super().__init__(
-            f"{failure.description} [{failure.key}] failed after "
-            f"{failure.attempts} attempt{'s' if failure.attempts != 1 else ''}"
-            f": {failure.error}")
-        self.failure = failure
-
-    @property
-    def kind(self) -> str:
-        return self.failure.kind
-
-    @property
-    def key(self) -> str:
-        return self.failure.key
-
-
-class MemoryCache:
-    """Fallback dict-backed cache used when no DiskCache is supplied."""
-
-    def __init__(self) -> None:
-        self._store: dict[str, Any] = {}
-
-    def contains(self, key: str) -> bool:
-        return key in self._store
-
-    def get(self, key: str, default: Any = None) -> Any:
-        return self._store.get(key, default)
-
-    def put(self, key: str, value: Any) -> None:
-        self._store[key] = value
-
-
-@dataclass
-class RunManifest:
-    """What one executor run did, for logs and the CLI ``grid`` command.
-
-    Counts cover the *planned subtree* — the targets plus every dependency
-    that had to be probed to materialize them — not the whole graph, so
-    the cache hit rate reflects the requested work and large grids never
-    pay O(graph) disk stats for a one-cell run.
-    """
-
-    total: int = 0
-    cached: int = 0
-    executed: int = 0
-    wall_seconds: float = 0.0
-    #: summed compute seconds per job kind (CPU-side, not wall when parallel)
-    phase_seconds: dict[str, float] = field(default_factory=dict)
-    #: executed job count per kind
-    phase_executed: dict[str, int] = field(default_factory=dict)
-    #: planned job count per kind
-    phase_total: dict[str, int] = field(default_factory=dict)
-    workers: int = 1
-    #: jobs that exhausted their attempts (keep-going and fail-fast alike)
-    failures: list[FailureRecord] = field(default_factory=list)
-    #: keys skipped because an upstream dependency failed (keep-going mode)
-    skipped: list[str] = field(default_factory=list)
-    #: every job attempt made this run, including retried and failed ones
-    attempts: list[AttemptRecord] = field(default_factory=list)
-
-    def record_attempt(self, kind: str, key: str, attempt: int, outcome: str,
-                       queue_wait_s: float | None, execute_s: float | None,
-                       error: str | None = None) -> None:
-        self.attempts.append(AttemptRecord(kind, key, attempt, outcome,
-                                           queue_wait_s, execute_s, error))
-
-    def to_dict(self) -> dict:
-        """JSON-serializable form, persisted as ``manifest.json`` by the
-        ``grid --trace`` CLI and read back by ``repro-eval trace``."""
-        from dataclasses import asdict
-
-        return {
-            "total": self.total,
-            "cached": self.cached,
-            "executed": self.executed,
-            "wall_seconds": self.wall_seconds,
-            "workers": self.workers,
-            "phase_seconds": dict(self.phase_seconds),
-            "phase_executed": dict(self.phase_executed),
-            "phase_total": dict(self.phase_total),
-            "failures": [asdict(failure) for failure in self.failures],
-            "skipped": list(self.skipped),
-            "attempts": [asdict(attempt) for attempt in self.attempts],
-        }
-
-    def record_probe(self, kind: str, hit: bool) -> None:
-        self.total += 1
-        self.phase_total[kind] = self.phase_total.get(kind, 0) + 1
-        if hit:
-            self.cached += 1
-
-    def record_execution(self, kind: str, seconds: float) -> None:
-        self.executed += 1
-        self.phase_seconds[kind] = self.phase_seconds.get(kind, 0.0) + seconds
-        self.phase_executed[kind] = self.phase_executed.get(kind, 0) + 1
-
-    @property
-    def cache_hit_rate(self) -> float:
-        """Fraction of planned jobs whose results were already cached."""
-        return self.cached / self.total if self.total else 0.0
-
-    def lines(self) -> list[str]:
-        out = [f"jobs      : {self.total} planned, {self.cached} cached "
-               f"({self.cache_hit_rate:.0%}), {self.executed} executed",
-               f"wall time : {self.wall_seconds:.2f}s "
-               f"({self.workers} worker{'s' if self.workers != 1 else ''})"]
-        for kind in sorted(self.phase_total):
-            executed = self.phase_executed.get(kind, 0)
-            seconds = self.phase_seconds.get(kind, 0.0)
-            out.append(f"{kind:<10s}: {executed}/{self.phase_total[kind]} "
-                       f"executed, {seconds:.2f}s compute")
-        if self.failures or self.skipped:
-            out.append(f"failures  : {len(self.failures)} failed, "
-                       f"{len(self.skipped)} skipped downstream")
-            for failure in self.failures:
-                plural = "s" if failure.attempts != 1 else ""
-                out.append(f"  {failure.description}: {failure.error} "
-                           f"({failure.attempts} attempt{plural})")
-        return out
-
-    def __str__(self) -> str:
-        return "\n".join(self.lines())
-
-
-def _attempt_outcome(error: BaseException) -> str:
-    """Attempt-record outcome label for a failed attempt."""
-    return "timeout" if isinstance(error, JobTimeoutError) else "error"
-
-
-def _timed_run(job: JobSpec, ctx: RuntimeContext, deps: dict[str, Any],
-               timeout: float | None = None) -> tuple[Any, float]:
-    _maybe_inject_failure(job)
-    start = time.perf_counter()
-    with _deadline(timeout):
-        value = job.run(ctx, deps)
-    return value, time.perf_counter() - start
-
-
-#: per-worker-process context, created lazily on the first job
-_WORKER_CONTEXT: RuntimeContext | None = None
-
-
-def _pool_run(job: JobSpec, deps: dict[str, Any],
-              timeout: float | None = None, attempt: int = 1,
-              submit_ts: float | None = None,
-              obs_state: dict | None = None
-              ) -> tuple[Any, float, float | None]:
-    """Worker-side job execution: one ``job`` span per attempt.
-
-    ``submit_ts`` (parent ``time.time()`` at submission) yields the
-    queue-wait estimate — wall clocks are comparable across processes on
-    one machine, unlike ``perf_counter``.  The span is written into the
-    shared trace sink even when the job raises (the context manager emits
-    on the error path before re-raising), and the worker's metric deltas
-    are flushed after every attempt so a later pool crash cannot lose
-    them.
-    """
-    global _WORKER_CONTEXT
-    obs.ensure(obs_state)
-    if _WORKER_CONTEXT is None:
-        _WORKER_CONTEXT = RuntimeContext()
-    queue_wait = (max(0.0, time.time() - submit_ts)
-                  if submit_ts is not None else None)
-    span = obs_trace.span("job", kind=job.kind, attempt=attempt,
-                          queue_wait_s=queue_wait)
-    if span.enabled:
-        span.tag(key=job.key())
-    try:
-        with span:
-            value, seconds = _timed_run(job, _WORKER_CONTEXT, deps, timeout)
-    finally:
-        obs.flush_metrics()
-    return value, seconds, queue_wait
+__all__ = [
+    "AttemptRecord",
+    "CompletionEvent",
+    "ExecutionBackend",
+    "Executor",
+    "FailureRecord",
+    "INJECT_ENV",
+    "InjectedFailure",
+    "JobError",
+    "JobTimeoutError",
+    "MAX_LOST_REQUEUES",
+    "MemoryCache",
+    "RunManifest",
+    "Scheduler",
+    "WorkerLostError",
+    "alarm_deadline",
+    "attempt_outcome",
+    "call_with_deadline",
+    "make_backend",
+    "maybe_inject_failure",
+    "timed_run",
+    "KILL_DIR_ENV",
+    "KILL_ENV",
+]
 
 
 class Executor:
-    """Runs task graphs serially or on a process pool, through one cache."""
+    """Runs task graphs on an execution backend, through one cache.
+
+    A thin façade: construction resolves a backend (historically serial
+    for ``max_workers <= 1``, a process pool otherwise; ``backend=`` now
+    also accepts ``"serial"``/``"pool"``/``"queue"`` or a ready
+    :class:`~repro.runtime.backends.ExecutionBackend` instance) and
+    everything else delegates to the :class:`Scheduler`.
+    """
 
     def __init__(self, cache: Any = None, max_workers: int = 1,
                  job_timeout: float | None = None, job_retries: int = 0,
-                 keep_going: bool = False,
-                 retry_backoff: float = 0.1) -> None:
-        self.cache = cache if cache is not None else MemoryCache()
+                 keep_going: bool = False, retry_backoff: float = 0.1,
+                 backend: "str | ExecutionBackend | None" = None,
+                 backend_options: dict | None = None) -> None:
+        resolved = make_backend(backend, max_workers=max_workers,
+                                **dict(backend_options or {}))
         self.max_workers = max_workers
-        self.job_timeout = job_timeout
-        self.job_retries = max(0, job_retries)
-        self.keep_going = keep_going
-        self.retry_backoff = retry_backoff
-        self.last_manifest: RunManifest | None = None
-        self.context = RuntimeContext()
+        self.scheduler = Scheduler(cache=cache, backend=resolved,
+                                   job_timeout=job_timeout,
+                                   job_retries=job_retries,
+                                   keep_going=keep_going,
+                                   retry_backoff=retry_backoff)
 
     # -- public API ------------------------------------------------------------
 
     def run(self, graph: TaskGraph,
             targets: tuple[str, ...] | None = None) -> dict[str, Any]:
-        """Materialize ``targets`` (default: the graph's targets).
+        """Materialize ``targets`` (default: the graph's targets); see
+        :meth:`Scheduler.run`."""
+        return self.scheduler.run(graph, targets)
 
-        Returns a mapping of job key to result for every target plus any
-        dependency that had to be loaded or computed along the way.  In
-        keep-going mode, failed jobs and their skipped dependents are
-        absent from the mapping and described by ``last_manifest``; in
-        fail-fast mode (the default) the first exhausted failure raises
-        :class:`JobError`.
-        """
-        start = time.perf_counter()
-        order = graph.topological_order()  # also rejects cyclic graphs
-        target_keys = graph.targets if targets is None else tuple(targets)
-        manifest = RunManifest(workers=max(1, self.max_workers))
-        self.last_manifest = manifest
+    # -- delegated state -------------------------------------------------------
 
-        values: dict[str, Any] = {}
-        cached: dict[str, bool] = {}
-        poisoned: set[str] = set()
-        try:
-            with obs_trace.span("executor.run", targets=len(target_keys),
-                                workers=manifest.workers):
-                needed = self._plan(graph, target_keys, cached, manifest)
-                if self.max_workers <= 1 or len(needed) <= 1:
-                    for key in target_keys:
-                        self._materialize(graph, key, values, cached,
-                                          manifest, poisoned)
-                else:
-                    self._run_pool(graph, order, target_keys, needed, values,
-                                   cached, manifest, poisoned)
-        finally:
-            manifest.wall_seconds = time.perf_counter() - start
-            obs.flush_metrics()
-        return values
+    @property
+    def backend(self) -> ExecutionBackend:
+        return self.scheduler.backend
 
-    # -- planning --------------------------------------------------------------
+    @property
+    def cache(self) -> Any:
+        return self.scheduler.cache
 
-    def _probe(self, graph: TaskGraph, key: str, cached: dict[str, bool],
-               manifest: RunManifest) -> bool:
-        """Memoized cache probe; the first probe of a key is accounted."""
-        if key not in cached:
-            hit = bool(self.cache.contains(key))
-            cached[key] = hit
-            manifest.record_probe(graph.job(key).kind, hit)
-            obs_metrics.inc("runtime.probe.hit" if hit
-                            else "runtime.probe.miss")
-        return cached[key]
+    @cache.setter
+    def cache(self, value: Any) -> None:
+        self.scheduler.cache = value
 
-    def _plan(self, graph: TaskGraph, target_keys: tuple[str, ...],
-              cached: dict[str, bool], manifest: RunManifest) -> list[str]:
-        """Cache misses that must execute to materialize every target.
+    @property
+    def context(self):
+        return self.scheduler.context
 
-        A cached job stops the traversal: its dependencies are only needed
-        if some *other* uncached job consumes them (pruning).  Only visited
-        jobs are probed and counted in the manifest.  The result preserves
-        the graph's insertion order.
-        """
-        needed: set[str] = set()
-        stack = list(target_keys)
-        while stack:
-            key = stack.pop()
-            if key in needed or self._probe(graph, key, cached, manifest):
-                continue
-            needed.add(key)
-            stack.extend(graph.dependencies(key))
-        return [key for key in graph.keys() if key in needed]
+    @property
+    def last_manifest(self) -> RunManifest | None:
+        return self.scheduler.last_manifest
 
-    # -- failure bookkeeping ---------------------------------------------------
+    @last_manifest.setter
+    def last_manifest(self, value: RunManifest | None) -> None:
+        self.scheduler.last_manifest = value
 
-    def _fail(self, job: JobSpec, key: str, error: BaseException,
-              attempts: int, manifest: RunManifest,
-              poisoned: set[str]) -> None:
-        """Record an exhausted failure; raise :class:`JobError` unless
-        running in keep-going mode."""
-        failure = FailureRecord(kind=job.kind, key=key,
-                                description=job.describe(),
-                                error=repr(error), attempts=attempts)
-        manifest.failures.append(failure)
-        poisoned.add(key)
-        if not self.keep_going:
-            raise JobError(failure) from error
+    @property
+    def job_timeout(self) -> float | None:
+        return self.scheduler.job_timeout
 
-    @staticmethod
-    def _skip_subtree(keys: list[str], consumers: dict[str, list[str]],
-                      poisoned: set[str], manifest: RunManifest) -> None:
-        """Mark ``keys`` and their transitive consumers as skipped."""
-        stack = list(keys)
-        while stack:
-            key = stack.pop()
-            if key in poisoned:
-                continue
-            poisoned.add(key)
-            manifest.skipped.append(key)
-            stack.extend(consumers.get(key, ()))
+    @property
+    def job_retries(self) -> int:
+        return self.scheduler.job_retries
 
-    # -- serial path -----------------------------------------------------------
+    @property
+    def keep_going(self) -> bool:
+        return self.scheduler.keep_going
 
-    def _materialize(self, graph: TaskGraph, key: str, values: dict[str, Any],
-                     cached: dict[str, bool], manifest: RunManifest,
-                     poisoned: set[str]) -> Any:
-        """Load ``key`` from cache or execute it (recursing into deps).
+    @property
+    def retry_backoff(self) -> float:
+        return self.scheduler.retry_backoff
 
-        Returns the ``_FAILED`` sentinel for failed or skipped jobs in
-        keep-going mode (fail-fast raises before the sentinel can spread).
-        """
-        if key in values:
-            return values[key]
-        if key in poisoned:
-            return _FAILED
-        if self._probe(graph, key, cached, manifest):
-            value = self.cache.get(key, _MISSING)
-            if value is not _MISSING:
-                values[key] = value
-                return value
-            # corrupt disk entry discovered at load time: fall through and
-            # recompute (the probe counted it as a hit; undo that)
-            cached[key] = False
-            manifest.cached -= 1
-        job = graph.job(key)
-        deps: dict[str, Any] = {}
-        upstream_failed = False
-        for dep in graph.dependencies(key):
-            # materialize every dependency even after one fails so healthy
-            # siblings stay warm in the cache and the executed set matches
-            # the pool path's
-            result = self._materialize(graph, dep, values, cached, manifest,
-                                       poisoned)
-            if result is _FAILED:
-                upstream_failed = True
-            else:
-                deps[dep] = result
-        if upstream_failed:
-            poisoned.add(key)
-            manifest.skipped.append(key)
-            return _FAILED
-        value = self._execute_serial(job, key, deps, manifest, poisoned)
-        if value is _FAILED:
-            return _FAILED
-        self.cache.put(key, value)
-        values[key] = value
-        return value
 
-    def _execute_serial(self, job: JobSpec, key: str, deps: dict[str, Any],
-                        manifest: RunManifest, poisoned: set[str]) -> Any:
-        attempts = 0
-        while True:
-            attempts += 1
-            span = obs_trace.span("job", kind=job.kind, key=key,
-                                  attempt=attempts, queue_wait_s=0.0)
-            try:
-                with span:
-                    value, seconds = _timed_run(job, self.context, deps,
-                                                self.job_timeout)
-            except Exception as error:
-                outcome = _attempt_outcome(error)
-                manifest.record_attempt(job.kind, key, attempts, outcome,
-                                        0.0, None, repr(error))
-                obs_metrics.inc(f"runtime.attempts.{outcome}")
-                if attempts <= self.job_retries:
-                    obs_metrics.inc("runtime.retries")
-                    if self.retry_backoff:
-                        time.sleep(self.retry_backoff * attempts)
-                    continue
-                obs_metrics.inc("runtime.failures")
-                self._fail(job, key, error, attempts, manifest, poisoned)
-                return _FAILED
-            manifest.record_attempt(job.kind, key, attempts, "ok", 0.0,
-                                    seconds)
-            obs_metrics.inc("runtime.attempts.ok")
-            manifest.record_execution(job.kind, seconds)
-            return value
+def __getattr__(name: str) -> Any:
+    # ``MemoryCache`` moved to ``repro.core.cache``; a module-level import
+    # here would cycle through ``repro.core.__init__`` (which imports the
+    # scenario layer, which imports this module), so re-export it lazily.
+    if name == "MemoryCache":
+        from repro.core.cache import MemoryCache
 
-    # -- parallel path ---------------------------------------------------------
-
-    def _run_pool(self, graph: TaskGraph, order: list[str],
-                  target_keys: tuple[str, ...], needed: list[str],
-                  values: dict[str, Any], cached: dict[str, bool],
-                  manifest: RunManifest, poisoned: set[str]) -> None:
-        # Materialize every cached value the needed jobs (or targets) will
-        # read, in the parent.  A corrupt entry falls back to the serial
-        # recursive path, which may shrink the needed set — and, in
-        # keep-going mode, may poison consumers like any other failure.
-        needed_set = set(needed)
-        for key in order:
-            wanted = (key in target_keys and key not in needed_set) or any(
-                consumer in needed_set
-                for consumer in graph.dependents(key))
-            if wanted and key not in needed_set and key not in values:
-                self._materialize(graph, key, values, cached, manifest,
-                                  poisoned)
-        needed = [key for key in needed
-                  if key not in values and key not in poisoned]
-        needed_set = set(needed)
-
-        pending = {key: sum(1 for dep in graph.dependencies(key)
-                            if dep in needed_set and dep not in values)
-                   for key in needed}
-        consumers: dict[str, list[str]] = {key: [] for key in needed}
-        for key in needed:
-            for dep in graph.dependencies(key):
-                if dep in needed_set:
-                    consumers[dep].append(key)
-        # jobs whose upstream already failed during pre-materialization
-        for key in needed:
-            if key not in poisoned and any(
-                    dep in poisoned for dep in graph.dependencies(key)):
-                self._skip_subtree([key], consumers, poisoned, manifest)
-        ready = [key for key in needed
-                 if pending[key] == 0 and key not in poisoned]
-
-        attempts = {key: 0 for key in needed}
-        pool = ProcessPoolExecutor(max_workers=self.max_workers)
-        futures: dict[Any, str] = {}
-
-        obs_state = obs.state()
-
-        def submit(key: str) -> None:
-            job = graph.job(key)
-            deps = {dep: values[dep] for dep in graph.dependencies(key)}
-            attempts[key] += 1
-            futures[pool.submit(_pool_run, job, deps, self.job_timeout,
-                                attempts[key], time.time(),
-                                obs_state)] = key
-
-        try:
-            for key in ready:
-                submit(key)
-            while futures:
-                done, _ = wait(futures, return_when=FIRST_COMPLETED)
-                for future in done:
-                    key = futures.pop(future, None)
-                    if key is None:
-                        continue  # cleared by a pool restart below
-                    job = graph.job(key)
-                    try:
-                        value, seconds, queue_wait = future.result()
-                    except BrokenProcessPool as error:
-                        # the pool is dead and every in-flight future died
-                        # with it: restart it, resubmit survivors, and fail
-                        # the jobs that exhausted their attempts
-                        in_flight = [key] + list(futures.values())
-                        futures.clear()
-                        pool.shutdown(wait=True)
-                        pool = ProcessPoolExecutor(
-                            max_workers=self.max_workers)
-                        for flown in in_flight:
-                            manifest.record_attempt(
-                                graph.job(flown).kind, flown, attempts[flown],
-                                "error", None, None, repr(error))
-                            obs_metrics.inc("runtime.attempts.error")
-                            if attempts[flown] <= self.job_retries:
-                                obs_metrics.inc("runtime.retries")
-                                submit(flown)
-                            else:
-                                obs_metrics.inc("runtime.failures")
-                                self._fail(graph.job(flown), flown, error,
-                                           attempts[flown], manifest,
-                                           poisoned)
-                                self._skip_subtree(consumers.get(flown, []),
-                                                   consumers, poisoned,
-                                                   manifest)
-                        break  # the futures map changed: wait again
-                    except Exception as error:
-                        outcome = _attempt_outcome(error)
-                        manifest.record_attempt(job.kind, key, attempts[key],
-                                                outcome, None, None,
-                                                repr(error))
-                        obs_metrics.inc(f"runtime.attempts.{outcome}")
-                        if attempts[key] <= self.job_retries:
-                            obs_metrics.inc("runtime.retries")
-                            submit(key)
-                            continue
-                        obs_metrics.inc("runtime.failures")
-                        self._fail(job, key, error, attempts[key], manifest,
-                                   poisoned)
-                        self._skip_subtree(consumers.get(key, []), consumers,
-                                           poisoned, manifest)
-                        continue
-                    manifest.record_attempt(job.kind, key, attempts[key],
-                                            "ok", queue_wait, seconds)
-                    obs_metrics.inc("runtime.attempts.ok")
-                    manifest.record_execution(job.kind, seconds)
-                    self.cache.put(key, value)
-                    values[key] = value
-                    for consumer in consumers[key]:
-                        pending[consumer] -= 1
-                        if pending[consumer] == 0 and consumer not in poisoned:
-                            submit(consumer)
-        finally:
-            # fail-fast exit (or any error): cancel what never started and
-            # join the workers so no process outlives the run
-            for future in futures:
-                future.cancel()
-            pool.shutdown(wait=True, cancel_futures=True)
+        return MemoryCache
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,84 @@
+"""Deterministic fault injection shared by every execution backend.
+
+Two environment hooks let tests and the CI smokes crash precise jobs
+without patching any code, and every backend — serial, process pool, and
+queue workers alike — injects through this one module so the semantics
+cannot drift between paths:
+
+- ``REPRO_INJECT_FAILURE`` — colon-separated substrings; a job whose
+  ``f"{kind} {spec!r}"`` contains **all** of them raises
+  :class:`InjectedFailure` at the start of every attempt.  This models an
+  ordinary in-job crash (an ill-conditioned fit, a bad cell) and exercises
+  retry / keep-going / envelope paths.
+- ``REPRO_INJECT_KILL`` — same matching syntax, but the matching job's
+  *process* dies outright via ``os._exit`` — no exception, no cleanup.
+  On the pool backend this breaks the pool (``BrokenProcessPool``
+  restart-and-resubmit); on the queue backend it strands a leased job
+  until the lease expires and another worker reclaims it.  Set
+  ``REPRO_INJECT_KILL_DIR`` to a directory to make each matching job kill
+  at most one process: the first execution drops a marker file and dies,
+  re-executions see the marker and run normally — the "worker dies
+  mid-job, run still completes" scenario.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.runtime.jobs import JobSpec
+
+#: colon-separated substrings; matching jobs raise :class:`InjectedFailure`
+INJECT_ENV = "REPRO_INJECT_FAILURE"
+
+#: colon-separated substrings; matching jobs kill their process outright
+KILL_ENV = "REPRO_INJECT_KILL"
+
+#: marker directory making each ``REPRO_INJECT_KILL`` match kill only once
+KILL_DIR_ENV = "REPRO_INJECT_KILL_DIR"
+
+#: exit status of an injected process kill (distinctive in worker logs)
+KILL_EXIT_CODE = 87
+
+
+class InjectedFailure(RuntimeError):
+    """Deterministic failure raised by the ``REPRO_INJECT_FAILURE`` hook."""
+
+
+def _matches(job: JobSpec, spec: str) -> bool:
+    haystack = f"{job.kind} {job!r}"
+    return all(token in haystack for token in spec.split(":") if token)
+
+
+def maybe_inject_kill(job: JobSpec) -> None:
+    """Kill this process if ``job`` matches ``REPRO_INJECT_KILL``.
+
+    With ``REPRO_INJECT_KILL_DIR`` set, the kill fires at most once per
+    job key: the marker file survives the dead process, so the retried or
+    reclaimed attempt executes normally.
+    """
+    spec = os.environ.get(KILL_ENV)
+    if not spec or not _matches(job, spec):
+        return
+    marker_dir = os.environ.get(KILL_DIR_ENV)
+    if marker_dir:
+        marker = os.path.join(marker_dir, f"killed-{job.key()}")
+        if os.path.exists(marker):
+            return
+        os.makedirs(marker_dir, exist_ok=True)
+        with open(marker, "w"):
+            pass
+    os._exit(KILL_EXIT_CODE)
+
+
+def maybe_inject_failure(job: JobSpec) -> None:
+    """Raise :class:`InjectedFailure` if ``job`` matches the inject hook."""
+    spec = os.environ.get(INJECT_ENV)
+    if spec and _matches(job, spec):
+        raise InjectedFailure(
+            f"injected failure: {INJECT_ENV}={spec!r} matches {job.describe()}")
+
+
+def inject(job: JobSpec) -> None:
+    """Apply both hooks, kill before failure (a dead process can't raise)."""
+    maybe_inject_kill(job)
+    maybe_inject_failure(job)

@@ -1,0 +1,280 @@
+"""Durable SQLite-WAL job queue with lease-based claims.
+
+One ``jobs`` table is the whole protocol.  The parent (the scheduler's
+queue backend) inserts *ready* jobs — dependencies already materialized
+in the shared ``DiskCache`` — as pickled specs keyed by their content
+hash.  Independent worker processes claim one pending job at a time
+inside a ``BEGIN IMMEDIATE`` transaction (WAL readers don't block, the
+single writer lock serializes claims), stamping a *lease*: an owner id
+and an expiry timestamp.  While executing, the worker heartbeats to push
+the expiry forward; results go into the shared cache and the row is
+marked ``done``.  If a worker dies mid-job its lease stops moving, and
+the parent's poll loop *reclaims* the row — flips it to ``lost`` so the
+scheduler can requeue the work for some other worker.
+
+State machine per row::
+
+    pending --claim--> running --complete--> done ┐
+       ^                  |  \\--fail-----> failed ├─ collected (deleted)
+       |                  '--lease expiry-> lost  ┘
+       '-- submit (requeue by the scheduler)
+
+``complete``/``fail``/``heartbeat`` are guarded by the lease owner: a
+worker that lost its lease (it stalled past the expiry and the job was
+reclaimed and re-run elsewhere) gets ``False`` back and its result is
+ignored — the shared cache is content-addressed, so even a double
+execution stores the same bytes.
+
+The queue carries *coordination state only* — job specs in, outcome
+metadata out; result payloads never transit SQLite.  Connections are
+kept per-(pid, thread-shared) so forked workers never share a SQLite
+handle with the parent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    key           TEXT PRIMARY KEY,
+    kind          TEXT NOT NULL,
+    spec          BLOB NOT NULL,
+    deps          TEXT NOT NULL,
+    attempt       INTEGER NOT NULL DEFAULT 1,
+    timeout_s     REAL,
+    status        TEXT NOT NULL DEFAULT 'pending',
+    lease_owner   TEXT,
+    lease_expires REAL,
+    submitted_at  REAL NOT NULL,
+    started_at    REAL,
+    finished_at   REAL,
+    queue_wait_s  REAL,
+    execute_s     REAL,
+    outcome       TEXT,
+    error         TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_status ON jobs (status);
+"""
+
+
+@dataclass(frozen=True)
+class ClaimedJob:
+    """A leased job handed to a worker by :meth:`JobQueue.claim`."""
+
+    key: str
+    kind: str
+    #: pickled :class:`~repro.runtime.jobs.JobSpec`
+    spec: bytes
+    #: dependency job keys; values live in the shared cache
+    deps: tuple[str, ...]
+    attempt: int
+    timeout_s: float | None
+    submitted_at: float
+
+
+@dataclass(frozen=True)
+class FinishedJob:
+    """A terminal row returned by :meth:`JobQueue.collect`."""
+
+    key: str
+    #: "done", "failed", or "lost"
+    status: str
+    attempt: int
+    #: attempt outcome label reported by the worker ("ok"/"error"/"timeout")
+    outcome: str | None
+    error: str | None
+    execute_s: float | None
+    queue_wait_s: float | None
+
+
+class JobQueue:
+    """SQLite-WAL backed queue; safe across processes and threads."""
+
+    def __init__(self, path: str, busy_timeout_s: float = 30.0) -> None:
+        self.path = path
+        self._busy_timeout_ms = int(busy_timeout_s * 1000)
+        self._lock = threading.Lock()
+        self._conns: dict[int, sqlite3.Connection] = {}
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        # executescript manages its own transaction; don't wrap it in one
+        with self._lock:
+            self._conn().executescript(_SCHEMA)
+
+    # -- connection plumbing ---------------------------------------------------
+
+    def _conn(self) -> sqlite3.Connection:
+        """Per-process connection (SQLite handles don't survive fork)."""
+        pid = os.getpid()
+        conn = self._conns.get(pid)
+        if conn is None:
+            conn = sqlite3.connect(self.path, timeout=self._busy_timeout_ms
+                                   / 1000.0, check_same_thread=False)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(f"PRAGMA busy_timeout={self._busy_timeout_ms}")
+            conn.isolation_level = None  # explicit transactions only
+            self._conns[pid] = conn
+        return conn
+
+    class _Txn:
+        def __init__(self, queue: "JobQueue", immediate: bool) -> None:
+            self._queue = queue
+            self._immediate = immediate
+
+        def __enter__(self) -> sqlite3.Connection:
+            self._queue._lock.acquire()
+            self._conn = self._queue._conn()
+            self._conn.execute("BEGIN IMMEDIATE" if self._immediate
+                               else "BEGIN")
+            return self._conn
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            try:
+                if exc_type is None:
+                    self._conn.execute("COMMIT")
+                else:
+                    self._conn.execute("ROLLBACK")
+            finally:
+                self._queue._lock.release()
+
+    def _txn(self, immediate: bool = True) -> "JobQueue._Txn":
+        """One locked transaction; IMMEDIATE grabs the writer lock up
+        front so read-modify-write sequences (claims) are atomic."""
+        return JobQueue._Txn(self, immediate)
+
+    # -- producer side ---------------------------------------------------------
+
+    def submit(self, key: str, kind: str, spec: bytes,
+               deps: tuple[str, ...] = (), attempt: int = 1,
+               timeout_s: float | None = None) -> None:
+        """Enqueue (or requeue) a ready job.  Idempotent on ``key``."""
+        now = time.time()
+        with self._txn() as conn:
+            conn.execute(
+                """INSERT INTO jobs (key, kind, spec, deps, attempt,
+                                     timeout_s, status, submitted_at)
+                   VALUES (?, ?, ?, ?, ?, ?, 'pending', ?)
+                   ON CONFLICT(key) DO UPDATE SET
+                       kind=excluded.kind, spec=excluded.spec,
+                       deps=excluded.deps, attempt=excluded.attempt,
+                       timeout_s=excluded.timeout_s, status='pending',
+                       lease_owner=NULL, lease_expires=NULL,
+                       submitted_at=excluded.submitted_at, started_at=NULL,
+                       finished_at=NULL, queue_wait_s=NULL, execute_s=NULL,
+                       outcome=NULL, error=NULL""",
+                (key, kind, sqlite3.Binary(spec), json.dumps(list(deps)),
+                 attempt, timeout_s, now))
+
+    def reclaim_expired(self, now: float | None = None) -> list[str]:
+        """Flip expired-lease ``running`` rows to ``lost``; return keys."""
+        now = time.time() if now is None else now
+        with self._txn() as conn:
+            rows = conn.execute(
+                """SELECT key, lease_owner FROM jobs
+                   WHERE status = 'running' AND lease_expires < ?""",
+                (now,)).fetchall()
+            for key, owner in rows:
+                conn.execute(
+                    """UPDATE jobs SET status='lost', outcome='lost',
+                           finished_at=?, error=?
+                       WHERE key = ? AND status = 'running'""",
+                    (now, f"lease expired (worker {owner!r} stopped "
+                          f"heartbeating)", key))
+        return [key for key, _ in rows]
+
+    def collect(self) -> list[FinishedJob]:
+        """Drain and return every terminal (done/failed/lost) row."""
+        with self._txn() as conn:
+            rows = conn.execute(
+                """SELECT key, status, attempt, outcome, error, execute_s,
+                          queue_wait_s
+                   FROM jobs WHERE status IN ('done', 'failed', 'lost')
+                   ORDER BY finished_at, key""").fetchall()
+            for row in rows:
+                conn.execute("DELETE FROM jobs WHERE key = ?", (row[0],))
+        return [FinishedJob(*row) for row in rows]
+
+    def cancel_pending(self) -> int:
+        """Drop jobs no worker has claimed yet (fail-fast abort)."""
+        with self._txn() as conn:
+            cursor = conn.execute(
+                "DELETE FROM jobs WHERE status = 'pending'")
+            return cursor.rowcount
+
+    def reset(self) -> None:
+        """Drop every row — called at run start (one active run per queue)."""
+        with self._txn() as conn:
+            conn.execute("DELETE FROM jobs")
+
+    def counts(self) -> dict[str, int]:
+        """Row count per status, for queue-depth gauges and tests."""
+        with self._txn(immediate=False) as conn:
+            rows = conn.execute(
+                "SELECT status, COUNT(*) FROM jobs GROUP BY status")
+            return {status: count for status, count in rows}
+
+    # -- worker side -----------------------------------------------------------
+
+    def claim(self, owner: str, lease_s: float) -> ClaimedJob | None:
+        """Lease the oldest pending job to ``owner``; None when drained."""
+        now = time.time()
+        with self._txn() as conn:
+            row = conn.execute(
+                """SELECT key, kind, spec, deps, attempt, timeout_s,
+                          submitted_at
+                   FROM jobs WHERE status = 'pending'
+                   ORDER BY rowid LIMIT 1""").fetchone()
+            if row is None:
+                return None
+            key, kind, spec, deps, attempt, timeout_s, submitted_at = row
+            conn.execute(
+                """UPDATE jobs SET status='running', lease_owner=?,
+                       lease_expires=?, started_at=?
+                   WHERE key = ?""",
+                (owner, now + lease_s, now, key))
+        return ClaimedJob(key=key, kind=kind, spec=bytes(spec),
+                          deps=tuple(json.loads(deps)), attempt=attempt,
+                          timeout_s=timeout_s, submitted_at=submitted_at)
+
+    def heartbeat(self, key: str, owner: str, lease_s: float) -> bool:
+        """Extend ``owner``'s lease; False if the lease is no longer held
+        (the job was reclaimed — the worker should abandon it)."""
+        with self._txn() as conn:
+            cursor = conn.execute(
+                """UPDATE jobs SET lease_expires = ?
+                   WHERE key = ? AND lease_owner = ? AND status = 'running'""",
+                (time.time() + lease_s, key, owner))
+            return cursor.rowcount == 1
+
+    def complete(self, key: str, owner: str, execute_s: float,
+                 queue_wait_s: float | None = None) -> bool:
+        """Mark ``key`` done; no-op (False) for a stale lease holder."""
+        with self._txn() as conn:
+            cursor = conn.execute(
+                """UPDATE jobs SET status='done', outcome='ok', finished_at=?,
+                       execute_s=?, queue_wait_s=?
+                   WHERE key = ? AND lease_owner = ? AND status = 'running'""",
+                (time.time(), execute_s, queue_wait_s, key, owner))
+            return cursor.rowcount == 1
+
+    def fail(self, key: str, owner: str, outcome: str, error: str) -> bool:
+        """Mark ``key`` failed; no-op (False) for a stale lease holder."""
+        with self._txn() as conn:
+            cursor = conn.execute(
+                """UPDATE jobs SET status='failed', outcome=?, finished_at=?,
+                       error=?
+                   WHERE key = ? AND lease_owner = ? AND status = 'running'""",
+                (outcome, time.time(), error, key, owner))
+            return cursor.rowcount == 1
+
+    def close(self) -> None:
+        conn = self._conns.pop(os.getpid(), None)
+        if conn is not None:
+            conn.close()

@@ -46,7 +46,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 import repro.obs as obs
-from repro.api.codec import encode
+from repro.api.codec import decode, encode
 from repro.api.errors import (NOT_FOUND, ApiError, ErrorEnvelope,
                               ValidationError, envelope_from_job_error)
 from repro.api.requests import (API_VERSION, CompressRequest, ForecastRequest,
@@ -61,6 +61,7 @@ from repro.obs.log import get_logger
 from repro.obs.metrics import merge_snapshots
 from repro.obs.trace import WALL, JsonlSink, ListSink
 from repro.runtime.executor import JobError
+from repro.runtime.store import RunStore
 
 _log = get_logger("repro.server")
 
@@ -118,6 +119,17 @@ class ReproServer:
         self.host = host
         self.port = port
         self.request_timeout_s = request_timeout_s
+        # the durable run ledger: with a configured store_path, async grid
+        # runs survive daemon restarts (resolvable from a fresh process);
+        # without one the store is in-memory and equivalent to the old
+        # process-local dict.  Runs left pending/running by a dead daemon
+        # are flipped to the terminal "interrupted" state at boot.
+        self.store = RunStore(self.service.config.store_path)
+        interrupted = self.store.mark_interrupted()
+        if interrupted:
+            _log.info("marked %d run(s) from a previous daemon as "
+                      "interrupted: %s", len(interrupted),
+                      ", ".join(interrupted))
         self._compress_batcher = MicroBatcher(
             "compress", self._execute_compress, max_batch=max_batch,
             max_wait_s=batch_window_s)
@@ -161,6 +173,7 @@ class ReproServer:
             self._thread = None
         self._compress_batcher.close()
         self._forecast_batcher.close()
+        self.store.close()
         obs.flush_metrics()
         obs_trace.install(self._prior_tracer)
         if self._prior_registry is not None:
@@ -200,6 +213,7 @@ class ReproServer:
                        cells=len(self.service.grid_requests(request)))
         with self._runs_lock:
             self._runs[run_id] = run
+        self.store.create(run_id, cells=run.cells, request=encode(request))
         # build the ack before starting the worker: the run may already be
         # "running" by the time this returns, but the submission itself is
         # always acknowledged as pending
@@ -212,6 +226,7 @@ class ReproServer:
 
     def _run_grid(self, run: _GridRun) -> None:
         run.status = "running"
+        self.store.set_status(run.run_id, "running")
         try:
             responses = self.service.forecast_batch(
                 self.service.grid_requests(run.request))
@@ -230,17 +245,31 @@ class ReproServer:
             run.status = "done"
         manifest = self.service.last_manifest
         run.manifest = manifest.to_dict() if manifest is not None else None
+        self.store.finish(run.run_id, run.status, manifest=run.manifest,
+                          failures=[encode(f) for f in run.failures],
+                          records=[encode(r) for r in run.records])
         self._note_cache_ratio()
         run.done.set()
 
     def run_status(self, run_id: str) -> RunStatusResponse:
         with self._runs_lock:
             run = self._runs.get(run_id)
-        if run is None:
+        if run is not None:
+            return run.to_response()
+        # not in this process's memory: a run from a previous daemon
+        # incarnation may still be answerable from the durable store
+        stored = self.store.get(run_id)
+        if stored is None:
             raise ApiError(ErrorEnvelope(kind=NOT_FOUND, key=run_id,
                                          message=f"unknown run {run_id!r}"),
                            status=404)
-        return run.to_response()
+        return RunStatusResponse(
+            run_id=stored.run_id, status=stored.status,
+            manifest=stored.manifest,
+            failures=tuple(decode(payload, expect=ErrorEnvelope)
+                           for payload in stored.failures),
+            records=tuple(decode(payload, expect=ForecastResponse)
+                          for payload in stored.records))
 
     # -- metrics ---------------------------------------------------------------
 
@@ -397,7 +426,17 @@ def serve(argv=None) -> int:
     parser.add_argument("--length", type=int, default=2_000,
                         help="dataset length served by default")
     parser.add_argument("--workers", type=int, default=1,
-                        help="process-pool size of the executor")
+                        help="worker count of the execution backend")
+    parser.add_argument("--backend", default="auto",
+                        choices=("auto", "serial", "pool", "queue"),
+                        help="execution backend (auto = serial/pool by "
+                             "--workers; queue needs a cache dir)")
+    parser.add_argument("--queue-path", default=None,
+                        help="queue-backend database (default: "
+                             "queue.sqlite inside the cache dir)")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="durable run store; async /v1/grid runs "
+                             "survive daemon restarts (default: in-memory)")
     parser.add_argument("--cache-dir", default=".cache",
                         help="shared job cache ('' disables caching)")
     parser.add_argument("--max-batch", type=int, default=64,
@@ -421,6 +460,9 @@ def serve(argv=None) -> int:
         dataset_length=args.length,
         cache_dir=args.cache_dir or None,
         max_workers=args.workers,
+        backend=args.backend,
+        queue_path=args.queue_path,
+        store_path=args.store,
         job_timeout=args.timeout,
         job_retries=args.retries,
         keep_going=not args.fail_fast,

@@ -1,5 +1,6 @@
 """Tests for the disk cache."""
 
+import multiprocessing
 import os
 import pickle
 
@@ -145,6 +146,39 @@ def test_corrupt_removal_race_is_suppressed(tmp_path, monkeypatch):
 
     monkeypatch.setattr(cache_module.os, "remove", racing_remove)
     assert cache.get_or_compute("k", lambda: 7) == 7
+
+
+def _cache_race_worker(directory, entries, iterations):
+    """Hammer one shared cache directory with overlapping put/get."""
+    cache = DiskCache(directory)
+    for _ in range(iterations):
+        for key, expected in entries:
+            cache.put(key, expected)
+            value = cache.get(key, MISSING)
+            # the value for a key never varies, so any visible state is
+            # either absent or exactly the expected payload
+            assert value == expected, f"{key}: read {value!r}"
+
+
+def test_concurrent_processes_share_one_cache_dir(tmp_path):
+    """Queue workers and the scheduler all write the same DiskCache; the
+    atomic tmp-then-rename protocol must never expose partial entries."""
+    entries = [(f"key-{i}", {"i": i, "payload": list(range(i * 10))})
+               for i in range(6)]
+    processes = [multiprocessing.Process(
+        target=_cache_race_worker, args=(str(tmp_path), entries, 25))
+        for _ in range(4)]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=120)
+    assert [process.exitcode for process in processes] == [0] * 4
+
+    fresh = DiskCache(str(tmp_path))
+    for key, expected in entries:
+        assert fresh.get(key) == expected
+    assert not [name for name in os.listdir(tmp_path)
+                if name.endswith(".tmp")]
 
 
 def test_failed_put_leaves_no_temporary_file(tmp_path):

@@ -1,0 +1,135 @@
+"""JobQueue semantics: claims, leases, heartbeats, reclaim, guards."""
+
+import pickle
+
+from repro.runtime.queue import JobQueue
+
+
+def _queue(tmp_path):
+    return JobQueue(str(tmp_path / "queue.sqlite"))
+
+
+def _submit(queue, key="job-1", attempt=1, deps=()):
+    queue.submit(key, "add", pickle.dumps({"key": key}), tuple(deps),
+                 attempt, 5.0)
+
+
+def test_submit_claim_complete_collect(tmp_path):
+    queue = _queue(tmp_path)
+    _submit(queue, deps=("dep-a", "dep-b"))
+    claim = queue.claim("w1", lease_s=10.0)
+    assert claim.key == "job-1"
+    assert claim.deps == ("dep-a", "dep-b")
+    assert claim.attempt == 1
+    assert claim.timeout_s == 5.0
+    assert pickle.loads(claim.spec) == {"key": "job-1"}
+
+    assert queue.complete("job-1", "w1", execute_s=0.5, queue_wait_s=0.1)
+    rows = queue.collect()
+    assert [(r.key, r.status, r.outcome) for r in rows] == [
+        ("job-1", "done", "ok")]
+    assert rows[0].execute_s == 0.5
+    # collect drains: terminal rows are gone afterwards
+    assert queue.collect() == []
+    assert queue.counts() == {}
+
+
+def test_claim_is_exclusive_and_fifo(tmp_path):
+    queue = _queue(tmp_path)
+    _submit(queue, "job-1")
+    _submit(queue, "job-2")
+    first = queue.claim("w1", 10.0)
+    second = queue.claim("w2", 10.0)
+    assert (first.key, second.key) == ("job-1", "job-2")  # oldest first
+    assert queue.claim("w3", 10.0) is None  # drained
+
+
+def test_fail_records_outcome_and_error(tmp_path):
+    queue = _queue(tmp_path)
+    _submit(queue)
+    queue.claim("w1", 10.0)
+    assert queue.fail("job-1", "w1", "timeout", "JobTimeoutError('slow')")
+    (row,) = queue.collect()
+    assert (row.status, row.outcome) == ("failed", "timeout")
+    assert row.error == "JobTimeoutError('slow')"
+
+
+def test_heartbeat_extends_lease(tmp_path):
+    queue = _queue(tmp_path)
+    _submit(queue)
+    queue.claim("w1", lease_s=0.05)
+    assert queue.heartbeat("job-1", "w1", lease_s=60.0)
+    # the extended lease is not expired even well past the original one
+    import time
+    assert queue.reclaim_expired(now=time.time() + 1.0) == []
+
+
+def test_expired_lease_is_reclaimed_as_lost(tmp_path):
+    queue = _queue(tmp_path)
+    _submit(queue)
+    claim = queue.claim("w1", lease_s=0.0)  # expires immediately
+    assert claim is not None
+    assert queue.reclaim_expired() == ["job-1"]
+    (row,) = queue.collect()
+    assert (row.status, row.outcome) == ("lost", "lost")
+    assert "lease expired" in row.error
+    assert "w1" in row.error
+
+
+def test_stale_owner_writes_are_guarded(tmp_path):
+    """A reclaimed worker's heartbeat/complete/fail must be no-ops."""
+    queue = _queue(tmp_path)
+    _submit(queue)
+    queue.claim("w1", lease_s=0.0)
+    queue.reclaim_expired()
+    # w1 comes back from the dead: every write is refused
+    assert not queue.heartbeat("job-1", "w1", 10.0)
+    assert not queue.complete("job-1", "w1", 0.1)
+    assert not queue.fail("job-1", "w1", "error", "boom")
+    (row,) = queue.collect()
+    assert row.status == "lost"  # the reclaim verdict stood
+
+
+def test_resubmit_requeues_a_lost_job(tmp_path):
+    queue = _queue(tmp_path)
+    _submit(queue, attempt=1)
+    queue.claim("w1", lease_s=0.0)
+    queue.reclaim_expired()
+    queue.collect()
+    _submit(queue, attempt=1)  # scheduler requeue after a "lost" event
+    claim = queue.claim("w2", 10.0)
+    assert claim is not None and claim.key == "job-1"
+    assert queue.complete("job-1", "w2", 0.1)
+
+
+def test_cancel_pending_spares_running(tmp_path):
+    queue = _queue(tmp_path)
+    _submit(queue, "job-1")
+    _submit(queue, "job-2")
+    queue.claim("w1", 10.0)
+    assert queue.cancel_pending() == 1  # only job-2 was still pending
+    assert queue.counts() == {"running": 1}
+
+
+def test_reset_drops_everything(tmp_path):
+    queue = _queue(tmp_path)
+    _submit(queue, "job-1")
+    _submit(queue, "job-2")
+    queue.claim("w1", 10.0)
+    queue.reset()
+    assert queue.counts() == {}
+    assert queue.claim("w1", 10.0) is None
+
+
+def test_two_handles_share_one_file(tmp_path):
+    """Parent and worker open the queue independently (same path)."""
+    path = str(tmp_path / "queue.sqlite")
+    producer, worker = JobQueue(path), JobQueue(path)
+    producer.submit("job-1", "add", b"spec", (), 1, None)
+    claim = worker.claim("w1", 10.0)
+    assert claim is not None and claim.key == "job-1"
+    assert worker.complete("job-1", "w1", 0.2)
+    (row,) = producer.collect()
+    assert row.status == "done"
+    producer.close()
+    worker.close()

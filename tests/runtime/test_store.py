@@ -1,0 +1,85 @@
+"""RunStore lifecycle: create, finish, restart recovery, persistence."""
+
+from repro.runtime.store import RunStore
+
+
+def test_create_and_get_roundtrip():
+    store = RunStore()  # memory store
+    store.create("run-1", cells=4, request={"type": "GridRequest"})
+    run = store.get("run-1")
+    assert run.run_id == "run-1"
+    assert run.status == "pending"
+    assert run.cells == 4
+    assert run.request == {"type": "GridRequest"}
+    assert run.manifest is None
+    assert run.failures == [] and run.records == []
+    assert store.get("missing") is None
+
+
+def test_finish_records_payloads():
+    store = RunStore()
+    store.create("run-1", cells=2)
+    store.set_status("run-1", "running")
+    assert store.get("run-1").status == "running"
+    store.finish("run-1", "done", manifest={"total": 2},
+                 failures=[{"code": "job_failed"}],
+                 records=[{"dataset": "ETTm1"}, {"dataset": "Weather"}])
+    run = store.get("run-1")
+    assert run.status == "done"
+    assert run.manifest == {"total": 2}
+    assert run.failures == [{"code": "job_failed"}]
+    assert [r["dataset"] for r in run.records] == ["ETTm1", "Weather"]
+
+
+def test_file_store_survives_reopen(tmp_path):
+    path = str(tmp_path / "runs.sqlite")
+    store = RunStore(path)
+    store.create("run-1", cells=1)
+    store.finish("run-1", "done", records=[{"dataset": "ETTm1"}])
+    store.close()
+
+    reopened = RunStore(path)
+    run = reopened.get("run-1")
+    assert run.status == "done"
+    assert run.records == [{"dataset": "ETTm1"}]
+    assert reopened.run_ids() == ["run-1"]
+    reopened.close()
+
+
+def test_mark_interrupted_flips_only_live_runs(tmp_path):
+    path = str(tmp_path / "runs.sqlite")
+    store = RunStore(path)
+    store.create("run-pending", cells=1)
+    store.create("run-running", cells=1, status="running")
+    store.create("run-done", cells=1)
+    store.finish("run-done", "done")
+    store.close()
+
+    # "daemon restart": a fresh process-equivalent opens the same file
+    rebooted = RunStore(path)
+    interrupted = rebooted.mark_interrupted()
+    assert sorted(interrupted) == ["run-pending", "run-running"]
+    assert rebooted.get("run-pending").status == "interrupted"
+    assert rebooted.get("run-running").status == "interrupted"
+    assert rebooted.get("run-done").status == "done"  # terminal untouched
+    # idempotent: a second boot finds nothing live
+    assert rebooted.mark_interrupted() == []
+    rebooted.close()
+
+
+def test_run_ids_and_count_ordering():
+    store = RunStore()
+    assert store.count() == 0
+    store.create("run-a", cells=1)
+    store.create("run-b", cells=1)
+    assert store.count() == 2
+    assert store.run_ids() == ["run-a", "run-b"]
+
+
+def test_create_same_id_replaces():
+    store = RunStore()
+    store.create("run-1", cells=1)
+    store.finish("run-1", "failed", failures=[{"code": "x"}])
+    store.create("run-1", cells=3)  # resubmission under the same id
+    run = store.get("run-1")
+    assert (run.status, run.cells, run.failures) == ("pending", 3, [])

@@ -1,0 +1,55 @@
+"""Daemon-restart durability: run state outlives the serving process.
+
+Async ``/v1/grid`` runs are persisted in the :class:`RunStore`; a second
+server booted on the same store path must keep answering
+``/v1/runs/{id}`` for runs it never executed, and must flip runs that
+were live when the previous daemon died to a terminal ``interrupted``.
+"""
+
+from repro.api import GridRequest
+from repro.core.config import EvaluationConfig
+from repro.runtime.store import RunStore
+from repro.server.app import ReproServer
+from repro.server.client import ReproClient
+
+
+def _config(tmp_path, **overrides):
+    base = dict(datasets=("ETTm1",), models=("GBoost",),
+                compressors=("PMC",), error_bounds=(0.1,),
+                dataset_length=1_200, input_length=48, horizon=12,
+                eval_stride=12, deep_seeds=1, simple_seeds=1,
+                cache_dir=str(tmp_path / "cache"), keep_going=True,
+                store_path=str(tmp_path / "runs.sqlite"))
+    base.update(overrides)
+    return EvaluationConfig(**base)
+
+
+def test_finished_run_resolvable_after_restart(tmp_path):
+    with ReproServer(_config(tmp_path), port=0) as first:
+        client = ReproClient(port=first.port)
+        submitted = client.grid(GridRequest())
+        done = client.wait_for_run(submitted.run_id, timeout=300.0)
+        assert done.status == "done"
+
+    # a brand-new daemon process-equivalent: empty in-memory run table
+    with ReproServer(_config(tmp_path), port=0) as second:
+        client = ReproClient(port=second.port)
+        after = client.run_status(submitted.run_id)
+        assert after.status == "done"
+        assert after.records == done.records  # byte-identical payloads
+        assert after.manifest == done.manifest
+        assert after.failures == ()
+
+
+def test_live_run_marked_interrupted_on_boot(tmp_path):
+    # simulate a daemon that died mid-run: its store row says "running"
+    store = RunStore(str(tmp_path / "runs.sqlite"))
+    store.create("run-live", cells=3, status="running")
+    store.close()
+
+    with ReproServer(_config(tmp_path), port=0) as server:
+        client = ReproClient(port=server.port)
+        status = client.run_status("run-live")
+        assert status.status == "interrupted"
+        assert status.records == ()
+        assert status.manifest is None
