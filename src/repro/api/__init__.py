@@ -20,9 +20,10 @@ Evaluation` façade (legacy methods translated into requests), the
 """
 
 from repro.api.codec import API_TYPES, decode, dumps, encode, loads
-from repro.api.errors import (ApiError, ErrorEnvelope, ValidationError,
-                              envelope_from_failure, envelope_from_job_error,
-                              skipped_envelope)
+from repro.api.errors import (OVERLOADED, TIMEOUT, ApiError, ErrorEnvelope,
+                              ValidationError, envelope_from_failure,
+                              envelope_from_job_error, overloaded_envelope,
+                              skipped_envelope, timeout_envelope)
 from repro.api.requests import (API_VERSION, CompressRequest, ForecastRequest,
                                 GridRequest, TraceRequest)
 from repro.api.responses import (CompressResponse, ForecastResponse,
@@ -44,8 +45,10 @@ __all__ = [
     "GridRequest",
     "GridSubmitResponse",
     "HealthResponse",
+    "OVERLOADED",
     "RunStatusResponse",
     "SCHEMAS",
+    "TIMEOUT",
     "TraceRequest",
     "TraceResponse",
     "ValidationError",
@@ -55,7 +58,9 @@ __all__ = [
     "envelope_from_failure",
     "envelope_from_job_error",
     "loads",
+    "overloaded_envelope",
     "skipped_envelope",
+    "timeout_envelope",
     "validate",
     "validate_payload",
 ]

@@ -26,6 +26,12 @@ from repro.runtime.executor import FailureRecord, JobError
 VALIDATION = "validation"
 NOT_FOUND = "not_found"
 INTERNAL = "internal"
+#: the server shed this request under overload (HTTP 429 + Retry-After);
+#: the work was NOT started — a retry after backoff is safe and expected
+OVERLOADED = "overloaded"
+#: the caller's wait expired before the batch resolved (HTTP 504); the
+#: request is cancelled server-side and will not occupy a batch slot
+TIMEOUT = "timeout"
 
 
 @dataclass(frozen=True)
@@ -88,3 +94,14 @@ def skipped_envelope(kind: str, key: str, description: str = ""
     return ErrorEnvelope(kind=kind, key=key,
                          message="skipped: upstream dependency failed",
                          attempts=0, description=description)
+
+
+def overloaded_envelope(key: str, message: str) -> ErrorEnvelope:
+    """Envelope for a request shed by backpressure (never executed)."""
+    return ErrorEnvelope(kind=OVERLOADED, key=key, message=message,
+                         attempts=0)
+
+
+def timeout_envelope(key: str, message: str) -> ErrorEnvelope:
+    """Envelope for a caller whose wait expired before its batch ran."""
+    return ErrorEnvelope(kind=TIMEOUT, key=key, message=message)

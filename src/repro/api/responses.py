@@ -127,3 +127,5 @@ class HealthResponse:
     uptime_s: float = 0.0
     #: grid runs currently tracked (any state)
     runs: int = 0
+    #: grid runs still pending/running — the admission-control population
+    inflight_runs: int = 0

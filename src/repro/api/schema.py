@@ -96,7 +96,7 @@ SCHEMAS: dict[str, dict] = {
     "HealthResponse": _tagged(
         ["status", "version"],
         {"status": _STRING, "version": _INTEGER, "uptime_s": _NUMBER,
-         "runs": _INTEGER}),
+         "runs": _INTEGER, "inflight_runs": _INTEGER}),
     "ErrorEnvelope": _tagged(
         ["kind", "key", "message"],
         {"kind": _STRING, "key": _STRING, "message": _STRING,

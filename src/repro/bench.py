@@ -34,6 +34,7 @@ attribute lookup" guarantee (DESIGN.md §11).
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import time
@@ -100,6 +101,25 @@ def best_of(function: Callable[[], object], repeats: int) -> float:
         function()
         best = min(best, WALL() - start)
     return best
+
+
+def percentiles(samples: list[float],
+                points: tuple[float, ...] = (50.0, 95.0, 99.0)
+                ) -> dict[str, float]:
+    """Exact nearest-rank percentiles of raw samples, keyed ``"p50"`` etc.
+
+    Shared by the serving benchmark (``repro.server.loadgen``), which
+    gates latency SLOs on the tails: nearest-rank never interpolates, so
+    a reported p99 is always a latency some request actually saw.
+    """
+    if not samples:
+        return {f"p{point:g}": float("nan") for point in points}
+    ordered = sorted(samples)
+    result = {}
+    for point in points:
+        rank = max(1, math.ceil(point / 100.0 * len(ordered)))
+        result[f"p{point:g}"] = ordered[min(rank, len(ordered)) - 1]
+    return result
 
 
 def _compressor_pair(method: str):

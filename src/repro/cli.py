@@ -27,6 +27,14 @@ Subcommands:
   regression gate that exits 1 when a kernel drops below ``--min-speedup``,
   a kernel/scalar payload mismatch is detected, or the disabled-mode
   observability overhead exceeds its ceiling.
+- ``repro-eval loadgen --port 8321 --rate 50 --duration 10 --check`` —
+  open-loop load generation (Poisson arrivals, configurable
+  compress/forecast/grid mix or a replayed trace) against a live
+  ``repro-serve``, reporting p50/p95/p99 latency, throughput, shed and
+  error rates, batch occupancy, and cache hit ratio into
+  ``BENCH_serve.json``; ``--check`` gates the SLO block the way
+  ``bench --check`` gates kernel speedups.  ``--self-host`` boots an
+  ephemeral in-process daemon to drive instead.
 - ``repro-eval trace RUN_DIR`` — summarize a run directory written by
   ``grid --trace`` (or ``bench --trace``): manifest counts, span tree,
   slowest jobs, failure hotspots, merged metrics.
@@ -176,6 +184,54 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--id", default=None, dest="worker_id",
                         help="worker id stamped on leases "
                              "(default: host-pid)")
+
+    loadgen = commands.add_parser(
+        "loadgen", help="open-loop load generation + SLO gate against a "
+                        "live repro-serve (writes BENCH_serve.json)")
+    loadgen.add_argument("--host", default="127.0.0.1",
+                         help="target daemon host")
+    loadgen.add_argument("--port", type=int, default=8321,
+                         help="target daemon port")
+    loadgen.add_argument("--self-host", action="store_true",
+                         help="boot an ephemeral in-process repro-serve "
+                              "on a free port instead of targeting "
+                              "--host/--port")
+    loadgen.add_argument("--duration", type=float, default=10.0,
+                         help="seconds of scheduled arrivals")
+    loadgen.add_argument("--rate", type=float, default=50.0,
+                         help="Poisson arrival rate (requests/second)")
+    loadgen.add_argument("--clients", type=int, default=16,
+                         help="client threads firing the schedule")
+    loadgen.add_argument("--mix", nargs="+", metavar="KIND=WEIGHT",
+                         default=["compress=0.90", "forecast=0.08",
+                                  "grid=0.02"],
+                         help="request mix over compress/forecast/grid")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="schedule RNG seed (same seed = same load)")
+    loadgen.add_argument("--timeout", type=float, default=30.0,
+                         help="per-request client timeout in seconds")
+    loadgen.add_argument("--replay", default=None, metavar="FILE",
+                         help="JSONL trace to replay instead of the "
+                              "synthesized mix (endpoint+payload lines)")
+    loadgen.add_argument("--length", type=int, default=None,
+                         help="series length stamped on synthesized "
+                              "requests (None = server default)")
+    loadgen.add_argument("--no-warmup", action="store_true",
+                         help="skip the cache-warming pre-pass")
+    loadgen.add_argument("--output", default="BENCH_serve.json",
+                         help="path for the JSON report ('' skips "
+                              "writing)")
+    loadgen.add_argument("--check", action="store_true",
+                         help="exit 1 when the report misses its SLOs "
+                              "(p99, throughput, error/shed rates)")
+    loadgen.add_argument("--max-p99-ms", type=float, default=5_000.0,
+                         help="SLO: p99 latency ceiling")
+    loadgen.add_argument("--min-throughput", type=float, default=1.0,
+                         help="SLO: completed-request throughput floor")
+    loadgen.add_argument("--max-error-rate", type=float, default=0.0,
+                         help="SLO: non-shed failure fraction ceiling")
+    loadgen.add_argument("--max-shed-rate", type=float, default=1.0,
+                         help="SLO: shed (429) fraction ceiling")
 
     trace = commands.add_parser(
         "trace", help="summarize a run directory written by grid --trace")
@@ -416,6 +472,76 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_mix(entries: list[str]) -> tuple[tuple[str, float], ...]:
+    """``compress=0.9 forecast=0.1`` → the loadgen mix tuple."""
+    from repro.server.loadgen import ENDPOINTS
+
+    mix = []
+    for entry in entries:
+        kind, _, weight = entry.partition("=")
+        if kind not in ENDPOINTS or not weight:
+            raise SystemExit(
+                f"error: bad --mix entry {entry!r} (expected KIND=WEIGHT "
+                f"with KIND in {', '.join(ENDPOINTS)})")
+        mix.append((kind, float(weight)))
+    return tuple(mix)
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    from repro.bench import write_report
+    from repro.server.loadgen import (LoadgenConfig, SloConfig,
+                                      check_serve_report, run_loadgen,
+                                      self_hosted)
+
+    config = LoadgenConfig(
+        duration_s=args.duration, rate_hz=args.rate, clients=args.clients,
+        mix=_parse_mix(args.mix), seed=args.seed, timeout_s=args.timeout,
+        replay=args.replay, warmup=not args.no_warmup,
+        slo=SloConfig(max_p99_ms=args.max_p99_ms,
+                      min_throughput_rps=args.min_throughput,
+                      max_error_rate=args.max_error_rate,
+                      max_shed_rate=args.max_shed_rate))
+    if args.self_host:
+        with self_hosted(length=args.length or 512) as server:
+            report = run_loadgen(config, host=server.host, port=server.port,
+                                 length=args.length, progress=print)
+    else:
+        report = run_loadgen(config, host=args.host, port=args.port,
+                             length=args.length, progress=print)
+
+    totals, latency = report["totals"], report["latency_ms"]
+    print(f"sent {totals['sent']}  ok {totals['ok']}  "
+          f"shed {totals['shed']}  timeouts {totals['timeouts']}  "
+          f"errors {totals['errors']}")
+    print(f"latency p50 {latency['p50']:.1f}ms  p95 {latency['p95']:.1f}ms  "
+          f"p99 {latency['p99']:.1f}ms  max {latency['max']:.1f}ms")
+    print(f"throughput {totals['throughput_rps']:.1f} rps "
+          f"(offered {totals['offered_rps']:.1f} rps)")
+    server_stats = report["server"]
+    if server_stats.get("batch_occupancy_mean") is not None:
+        print(f"batches {server_stats['batches']:.0f}  occupancy mean "
+              f"{server_stats['batch_occupancy_mean']:.1f} / max "
+              f"{server_stats['batch_occupancy_max']:.0f}  cache hit ratio "
+              f"{server_stats['cache_hit_ratio']}")
+    if args.output:
+        write_report(report, args.output)
+        print(f"report written to {args.output}")
+    failures = check_serve_report(report)
+    if failures:
+        for failure in failures:
+            print(f"regression: {failure}",
+                  file=sys.stderr if args.check else sys.stdout)
+        if args.check:
+            return 1
+    elif args.check:
+        print("check passed: all SLOs met "
+              f"(p99 <= {args.max_p99_ms:g}ms, throughput >= "
+              f"{args.min_throughput:g} rps, error rate <= "
+              f"{args.max_error_rate:g}, shed rate <= "
+              f"{args.max_shed_rate:g})")
+    return 0
+
+
 def _command_worker(args: argparse.Namespace) -> int:
     """Attach one queue worker to a live run (elastic scale-up).
 
@@ -483,6 +609,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_grid(args)
     if args.command == "bench":
         return _command_bench(args)
+    if args.command == "loadgen":
+        return _command_loadgen(args)
     if args.command == "worker":
         return _command_worker(args)
     if args.command == "trace":

@@ -56,6 +56,27 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else math.nan
 
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile from the fixed bucket ladder.
+
+        Walks the cumulative counts to the bucket where rank ``q * count``
+        falls and returns its upper bound, clamped to the observed
+        min/max — an upper estimate whose resolution is one bucket step
+        (a factor of ``sqrt(10)``).  Exact for the tails the SLO gates
+        care about when observations cluster within a bucket.
+        """
+        if self.count == 0:
+            return math.nan
+        target = max(1.0, q * self.count)
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= target:
+                bound = (BUCKET_BOUNDS[index]
+                         if index < len(BUCKET_BOUNDS) else self.maximum)
+                return min(max(bound, self.minimum), self.maximum)
+        return self.maximum
+
     def merge(self, other: "Histogram") -> "Histogram":
         """A new histogram holding both operands' observations."""
         merged = Histogram()
@@ -144,6 +165,16 @@ class MetricsRegistry:
             self.counters.clear()
             self.histograms.clear()
             return snapshot
+
+
+def quantile_from_dict(data: dict[str, Any], q: float) -> float:
+    """Quantile estimate straight from a ``Histogram.to_dict`` payload.
+
+    The shape ``/v1/metricz`` serves — lets clients (the loadgen SLO
+    harness) read tail latencies and batch-occupancy percentiles off the
+    wire without reconstructing registries.
+    """
+    return Histogram.from_dict(data).quantile(q)
 
 
 def merge_snapshots(snapshots: list[dict[str, Any]]) -> dict[str, Any]:

@@ -11,6 +11,9 @@ façade and the ``repro-eval`` CLI:
   concurrent requests into single task-graph submissions;
 - :mod:`repro.server.client` — the :class:`ReproClient` typed test
   client (``http.client``-based);
+- :mod:`repro.server.loadgen` — the open-loop load generator and SLO
+  harness behind ``repro-eval loadgen`` (Poisson arrivals, latency
+  percentiles, shed/error accounting, ``BENCH_serve.json``);
 - :mod:`repro.server.smoke` — the end-to-end smoke drive CI runs
   (``python -m repro.server.smoke``).
 """
@@ -18,11 +21,19 @@ façade and the ``repro-eval`` CLI:
 from repro.server.app import ReproServer, serve
 from repro.server.batching import MicroBatcher
 from repro.server.client import ReproClient, ServerError
+from repro.server.loadgen import (LoadgenConfig, SloConfig,
+                                  check_serve_report, run_loadgen,
+                                  self_hosted)
 
 __all__ = [
+    "LoadgenConfig",
     "MicroBatcher",
     "ReproClient",
     "ReproServer",
     "ServerError",
+    "SloConfig",
+    "check_serve_report",
+    "run_loadgen",
+    "self_hosted",
     "serve",
 ]

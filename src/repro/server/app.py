@@ -31,6 +31,16 @@ The service degrades, it does not hang: with ``keep_going`` (the
 structured ``503`` envelope while batch siblings still get their
 results; fail-fast configs envelope the whole batch with the
 ``JobError``'s kind/key.
+
+And it sheds, it does not queue forever: the batch queues are bounded
+(``--max-queue``) and async grid runs are admission-controlled
+(``--max-inflight-runs``) — excess load is answered immediately with a
+structured ``overloaded`` envelope as HTTP 429 plus a ``Retry-After``
+header, counted in ``server.shed``.  A request whose wait expires is
+cancelled server-side (it never occupies a batch slot) and answered
+with a ``timeout`` envelope as HTTP 504.  Terminal grid runs beyond
+``--max-tracked-runs`` are evicted from memory; their polls keep
+answering from the durable run store.
 """
 
 from __future__ import annotations
@@ -47,8 +57,9 @@ from typing import Any
 
 import repro.obs as obs
 from repro.api.codec import decode, encode
-from repro.api.errors import (NOT_FOUND, ApiError, ErrorEnvelope,
-                              ValidationError, envelope_from_job_error)
+from repro.api.errors import (NOT_FOUND, OVERLOADED, TIMEOUT, ApiError,
+                              ErrorEnvelope, ValidationError,
+                              envelope_from_job_error, overloaded_envelope)
 from repro.api.requests import (API_VERSION, CompressRequest, ForecastRequest,
                                 GridRequest, TraceRequest)
 from repro.api.responses import (ForecastResponse, GridSubmitResponse,
@@ -81,6 +92,63 @@ class _HttpServer(ThreadingHTTPServer):
     block_on_close = True
 
 
+#: statuses after which a run's worker thread is gone for good
+_TERMINAL_STATES = ("done", "failed", "interrupted")
+
+
+class _MetricsTail:
+    """Incremental metric-snapshot reader over an append-only trace sink.
+
+    ``/v1/metricz`` used to re-read and re-parse the whole trace JSONL on
+    every scrape — O(file) per call, unbounded under sustained traffic.
+    Flushed metric records are append-only, and the histogram/counter
+    merge is associative, so the fold over everything already consumed
+    can be cached: each scrape seeks to a byte-offset high-water mark,
+    parses only whole new lines (a writer may be mid-append; the partial
+    tail is left for the next scrape), and folds them into the running
+    merge.  A truncated or replaced file (size below the high-water mark)
+    resets the cache and re-reads from the start.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._offset = 0
+        self._list_index = 0
+        self._merged: dict | None = None
+
+    def totals(self, sink, registry) -> dict[str, Any]:
+        """Merged totals of every flushed snapshot plus the live registry."""
+        with self._lock:
+            fresh = self._read_new(sink)
+            if fresh:
+                consumed = ([self._merged] if self._merged else []) + fresh
+                self._merged = merge_snapshots(consumed)
+            snapshots = [self._merged] if self._merged else []
+            if registry is not None:
+                snapshots = snapshots + [registry.snapshot()]
+            return merge_snapshots(snapshots)
+
+    def _read_new(self, sink) -> list[dict]:
+        if isinstance(sink, ListSink):
+            records = sink.records[self._list_index:]
+            self._list_index += len(records)
+        elif isinstance(sink, JsonlSink) and os.path.exists(sink.path):
+            with open(sink.path, "rb") as stream:
+                stream.seek(0, os.SEEK_END)
+                if stream.tell() < self._offset:
+                    self._offset = 0
+                    self._merged = None
+                stream.seek(self._offset)
+                chunk = stream.read()
+            cut = chunk.rfind(b"\n") + 1
+            self._offset += cut
+            records = [json.loads(line) for line in chunk[:cut].splitlines()
+                       if line.strip()]
+        else:
+            return []
+        return [r for r in records if r.get("type") == "metrics"]
+
+
 @dataclass
 class _GridRun:
     """One async grid run tracked by the server."""
@@ -106,7 +174,10 @@ class ReproServer:
 
     def __init__(self, config=None, host: str = "127.0.0.1", port: int = 0,
                  max_batch: int = 64, batch_window_s: float = 0.01,
-                 request_timeout_s: float = 600.0) -> None:
+                 request_timeout_s: float = 600.0,
+                 max_queue: int | None = 1024, max_inflight_runs: int = 16,
+                 max_tracked_runs: int = 256,
+                 retry_after_s: int = 1) -> None:
         from repro.server.batching import MicroBatcher
 
         # remember the ambient obs state so stop() can restore it — the
@@ -132,12 +203,21 @@ class ReproServer:
                       ", ".join(interrupted))
         self._compress_batcher = MicroBatcher(
             "compress", self._execute_compress, max_batch=max_batch,
-            max_wait_s=batch_window_s)
+            max_wait_s=batch_window_s, max_queue=max_queue)
         self._forecast_batcher = MicroBatcher(
             "forecast", self._execute_forecast, max_batch=max_batch,
-            max_wait_s=batch_window_s)
+            max_wait_s=batch_window_s, max_queue=max_queue)
+        #: admission control: /v1/grid submissions over this many live
+        #: (pending/running) runs are shed with 429 + Retry-After
+        self.max_inflight_runs = max(1, max_inflight_runs)
+        #: terminal runs kept in memory; older ones are evicted (the
+        #: durable RunStore keeps answering their polls)
+        self.max_tracked_runs = max(1, max_tracked_runs)
+        #: seconds advertised in the Retry-After header of a 429
+        self.retry_after_s = max(1, int(retry_after_s))
         self._runs: dict[str, _GridRun] = {}
         self._runs_lock = threading.Lock()
+        self._metrics_tail = _MetricsTail()
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._started_at = WALL()
@@ -212,7 +292,20 @@ class ReproServer:
         run = _GridRun(run_id=run_id, request=request,
                        cells=len(self.service.grid_requests(request)))
         with self._runs_lock:
+            # admission control: check + insert atomically so concurrent
+            # submissions cannot both squeeze under the cap
+            inflight = sum(1 for tracked in self._runs.values()
+                           if tracked.status not in _TERMINAL_STATES)
+            if inflight >= self.max_inflight_runs:
+                obs_metrics.inc("server.shed")
+                obs_metrics.inc("server.shed.grid")
+                raise ApiError(overloaded_envelope(
+                    "grid",
+                    f"{inflight} grid runs already in flight (cap "
+                    f"{self.max_inflight_runs}); retry after backoff"),
+                    status=429)
             self._runs[run_id] = run
+            obs_metrics.set_gauge("server.grid.inflight", inflight + 1)
         self.store.create(run_id, cells=run.cells, request=encode(request))
         # build the ack before starting the worker: the run may already be
         # "running" by the time this returns, but the submission itself is
@@ -249,7 +342,27 @@ class ReproServer:
                           failures=[encode(f) for f in run.failures],
                           records=[encode(r) for r in run.records])
         self._note_cache_ratio()
+        self._evict_runs()
         run.done.set()
+
+    def _evict_runs(self) -> None:
+        """Drop the oldest terminal runs beyond the tracking window.
+
+        ``_runs`` used to grow without bound — every completed grid run
+        (records and all) stayed in daemon memory forever.  Terminal runs
+        beyond ``max_tracked_runs`` are evicted here (dict insertion
+        order = submission order, so the oldest go first); their polls
+        fall through to the durable :class:`RunStore` in
+        :meth:`run_status`.  Live runs are never evicted.
+        """
+        with self._runs_lock:
+            terminal = [run_id for run_id, run in self._runs.items()
+                        if run.status in _TERMINAL_STATES]
+            overflow = len(terminal) - self.max_tracked_runs
+            if overflow > 0:
+                for run_id in terminal[:overflow]:
+                    del self._runs[run_id]
+                obs_metrics.inc("server.runs.evicted", overflow)
 
     def run_status(self, run_id: str) -> RunStatusResponse:
         with self._runs_lock:
@@ -279,29 +392,23 @@ class ReproServer:
         Executor runs flush metric deltas into the trace sink; merging
         those flushed records with the registry's live snapshot counts
         every increment exactly once (the fixed-bucket histogram merge is
-        associative, so the fold order is irrelevant).
+        associative, so the fold order is irrelevant).  The sink is read
+        incrementally — only lines past the cached byte-offset high-water
+        mark are parsed per scrape (see :class:`_MetricsTail`), so
+        ``/v1/metricz`` stays O(new data), not O(file).
         """
-        snapshots: list[dict] = []
         tracer = obs_trace.active()
         sink = tracer.sink if tracer is not None else None
-        if isinstance(sink, ListSink):
-            records = list(sink.records)
-        elif isinstance(sink, JsonlSink) and os.path.exists(sink.path):
-            with open(sink.path, encoding="utf-8") as stream:
-                records = [json.loads(line) for line in stream if line.strip()]
-        else:
-            records = []
-        snapshots += [r for r in records if r.get("type") == "metrics"]
-        registry = obs_metrics.active()
-        if registry is not None:
-            snapshots.append(registry.snapshot())
-        return merge_snapshots(snapshots)
+        return self._metrics_tail.totals(sink, obs_metrics.active())
 
     def health(self) -> HealthResponse:
         with self._runs_lock:
             runs = len(self._runs)
+            inflight = sum(1 for run in self._runs.values()
+                           if run.status not in _TERMINAL_STATES)
         return HealthResponse(status="ok", version=API_VERSION,
-                              uptime_s=WALL() - self._started_at, runs=runs)
+                              uptime_s=WALL() - self._started_at, runs=runs,
+                              inflight_runs=inflight)
 
 
 def _make_handler(server: ReproServer) -> type[BaseHTTPRequestHandler]:
@@ -324,6 +431,9 @@ def _make_handler(server: ReproServer) -> type[BaseHTTPRequestHandler]:
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
             self.send_header("Connection", "close")
+            if status == 429:
+                # shed responses always tell the client when to come back
+                self.send_header("Retry-After", str(server.retry_after_s))
             self.end_headers()
             self.wfile.write(body)
             self.close_connection = True
@@ -405,9 +515,12 @@ def _make_handler(server: ReproServer) -> type[BaseHTTPRequestHandler]:
             result = batcher.submit(request,
                                     timeout=server.request_timeout_s)
             if isinstance(result, ErrorEnvelope):
-                # the cell failed (or was skipped): a structured 503, not
-                # a hang — batch siblings are unaffected
-                return 503, encode(result)
+                # structured degradation, never a hang: a shed request is
+                # 429 (+ Retry-After), an expired wait 504, a failed cell
+                # 503 — batch siblings are unaffected either way
+                status = {OVERLOADED: 429, TIMEOUT: 504}.get(result.kind,
+                                                             503)
+                return status, encode(result)
             return 200, encode(result)
 
     return Handler
@@ -444,6 +557,22 @@ def serve(argv=None) -> int:
     parser.add_argument("--batch-window", type=float, default=0.01,
                         help="seconds to wait for batch-mates after the "
                              "first request arrives")
+    parser.add_argument("--max-queue", type=int, default=1024,
+                        help="bounded batch-queue depth per family; "
+                             "submissions over it are shed with 429 "
+                             "(0 = unbounded, never shed)")
+    parser.add_argument("--max-inflight-runs", type=int, default=16,
+                        help="async /v1/grid admission cap; submissions "
+                             "over it are shed with 429")
+    parser.add_argument("--max-tracked-runs", type=int, default=256,
+                        help="terminal grid runs kept in memory; older "
+                             "ones fall through to the run store")
+    parser.add_argument("--retry-after", type=int, default=1,
+                        help="seconds advertised in the Retry-After "
+                             "header of a 429")
+    parser.add_argument("--request-timeout", type=float, default=600.0,
+                        help="seconds a request may wait in a batch "
+                             "queue before a 504")
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-job attempt timeout in seconds")
     parser.add_argument("--retries", type=int, default=0,
@@ -470,7 +599,12 @@ def serve(argv=None) -> int:
     )
     server = ReproServer(config, host=args.host, port=args.port,
                          max_batch=args.max_batch,
-                         batch_window_s=args.batch_window)
+                         batch_window_s=args.batch_window,
+                         request_timeout_s=args.request_timeout,
+                         max_queue=args.max_queue or None,
+                         max_inflight_runs=args.max_inflight_runs,
+                         max_tracked_runs=args.max_tracked_runs,
+                         retry_after_s=args.retry_after)
     server.start()
     print(f"repro-serve v{API_VERSION} listening on "
           f"http://{server.host}:{server.port}/v1/healthz "

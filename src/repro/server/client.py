@@ -52,9 +52,15 @@ class ReproClient:
 
     # -- transport -------------------------------------------------------------
 
-    def request_raw(self, method: str, path: str,
-                    payload: dict | None = None) -> tuple[int, bytes]:
-        """One HTTP exchange; returns (status, raw body) without decoding."""
+    def request_full(self, method: str, path: str,
+                     payload: dict | None = None
+                     ) -> tuple[int, dict[str, str], bytes]:
+        """One HTTP exchange; returns (status, headers, raw body).
+
+        The headers matter to backpressure-aware clients: a 429 carries
+        ``Retry-After``, which the loadgen harness (and any well-behaved
+        caller) honours before resubmitting shed work.
+        """
         connection = http.client.HTTPConnection(self.host, self.port,
                                                 timeout=self.timeout)
         try:
@@ -64,9 +70,16 @@ class ReproClient:
             headers = {"Content-Type": "application/json"} if body else {}
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
-            return response.status, response.read()
+            return (response.status, dict(response.getheaders()),
+                    response.read())
         finally:
             connection.close()
+
+    def request_raw(self, method: str, path: str,
+                    payload: dict | None = None) -> tuple[int, bytes]:
+        """One HTTP exchange; returns (status, raw body) without decoding."""
+        status, _, body = self.request_full(method, path, payload)
+        return status, body
 
     def _request(self, method: str, path: str,
                  payload: dict | None = None) -> Any:

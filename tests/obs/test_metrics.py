@@ -7,7 +7,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.obs import metrics
-from repro.obs.metrics import Histogram, MetricsRegistry, merge_snapshots
+from repro.obs.metrics import (Histogram, MetricsRegistry, merge_snapshots,
+                               quantile_from_dict)
 
 
 @pytest.fixture(autouse=True)
@@ -86,6 +87,33 @@ def test_empty_histogram_round_trips_through_dict():
     assert math.isnan(restored.mean)
     merged = restored.merge(Histogram())
     assert merged.count == 0
+
+
+def test_quantile_is_clamped_to_observed_range():
+    histogram = Histogram()
+    for value in (1.0, 1.0, 1.0, 100.0):
+        histogram.observe(value)
+    # the median bucket's upper bound can't exceed what was observed
+    assert 1.0 <= histogram.quantile(0.5) <= 100.0
+    assert histogram.quantile(1.0) == 100.0
+    # within one bucket, every quantile collapses to the observed value
+    single = Histogram()
+    single.observe(2.0)
+    for q in (0.5, 0.95, 0.99):
+        assert single.quantile(q) == 2.0
+
+
+def test_quantile_of_empty_histogram_is_nan():
+    assert math.isnan(Histogram().quantile(0.99))
+
+
+def test_quantile_from_dict_matches_object_form():
+    histogram = Histogram()
+    for value in (0.01, 0.1, 1.0, 10.0):
+        histogram.observe(value)
+    data = histogram.to_dict()
+    for q in (0.5, 0.95, 0.99):
+        assert quantile_from_dict(data, q) == histogram.quantile(q)
 
 
 def _fill(values):

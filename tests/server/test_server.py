@@ -9,18 +9,27 @@ Covers the serving-layer guarantees:
   503 envelope while batch siblings still succeed;
 - async grid: submit returns a run id immediately, polling reaches
   ``done`` with records + manifest, unknown ids are structured 404s;
-- malformed payloads are structured 400s, unknown routes 404s.
+- malformed payloads are structured 400s, unknown routes 404s;
+- overload sheds: saturated batch queues answer 429 + ``Retry-After``
+  immediately, expired waits answer 504, nobody rides out the full
+  client timeout;
+- terminal grid runs are evicted from memory beyond the tracking window
+  and keep answering their polls from the durable run store;
+- ``/v1/metricz`` parses the trace sink incrementally (byte-offset
+  high-water mark), not the whole file per scrape.
 """
 
 import concurrent.futures
 import json
+import threading
+import time
 
 import pytest
 
 from repro.api import (API_VERSION, CompressRequest, CompressResponse,
                        ErrorEnvelope, ForecastRequest, GridRequest, encode)
 from repro.core.config import EvaluationConfig
-from repro.server.app import ReproServer
+from repro.server.app import ReproServer, _MetricsTail
 from repro.server.client import ReproClient, ServerError
 
 
@@ -173,3 +182,180 @@ def test_metricz_counts_requests_and_cache_ratio(client):
     assert totals["counters"]["server.requests"] >= 2
     assert "server.cache.hit_ratio" in totals["gauges"]
     assert totals["counters"].get("server.status.200", 0) >= 1
+
+
+# -- backpressure / load shedding ---------------------------------------------
+
+
+def test_saturated_batch_queue_sheds_429_with_retry_after():
+    entered = threading.Event()
+    release = threading.Event()
+    with ReproServer(_config(), port=0, batch_window_s=0.0, max_batch=1,
+                     max_queue=1, request_timeout_s=1.0,
+                     retry_after_s=3) as server:
+        original = server._compress_batcher._execute
+
+        def wedge(requests):
+            entered.set()
+            release.wait(15.0)
+            return original(requests)
+
+        server._compress_batcher._execute = wedge
+        client = ReproClient(port=server.port, timeout=30.0)
+        payload = encode(CompressRequest("ETTm1", "PMC", 0.1, part="full"))
+        started = time.monotonic()
+        try:
+            with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+                futures = [pool.submit(client.request_full, "POST",
+                                       "/v1/compress", payload)
+                           for _ in range(8)]
+                outcomes = [f.result() for f in futures]
+            elapsed = time.monotonic() - started
+        finally:
+            release.set()
+    statuses = [status for status, _, _ in outcomes]
+    # the wedged head-of-line request expires into a structured 504 ...
+    assert 504 in statuses
+    # ... and with one batch slot + one queue slot, the rest are shed
+    assert statuses.count(429) >= 5
+    assert all(status in (200, 429, 504) for status in statuses)
+    # shed responses advertise when to come back
+    shed_headers = [headers for status, headers, _ in outcomes
+                    if status == 429]
+    assert all(headers.get("Retry-After") == "3"
+               for headers in shed_headers)
+    # the backpressure bar: nobody waited anywhere near the 30s client
+    # budget — sheds were immediate, expiries bounded by the 1s server one
+    assert elapsed < 10.0
+    # both failure shapes are structured envelopes with distinct kinds
+    kinds = {json.loads(body)["kind"] for status, _, body in outcomes
+             if status in (429, 504)}
+    assert kinds == {"overloaded", "timeout"}
+
+
+def test_grid_admission_control_sheds_429():
+    with ReproServer(_config(), port=0, max_inflight_runs=1) as server:
+        client = ReproClient(port=server.port)
+        first = client.grid(GridRequest())
+        # the first run is in flight; a second submission is refused
+        status, headers, body = client.request_full(
+            "POST", "/v1/grid", encode(GridRequest()))
+        assert status == 429
+        assert headers.get("Retry-After") == "1"
+        envelope = json.loads(body)
+        assert envelope["kind"] == "overloaded"
+        assert "in flight" in envelope["message"]
+        assert client.healthz().inflight_runs == 1
+        # once the first run finishes, admission reopens
+        client.wait_for_run(first.run_id, timeout=300.0)
+        assert client.healthz().inflight_runs == 0
+        second = client.grid(GridRequest(methods=("SWING",)))
+        client.wait_for_run(second.run_id, timeout=300.0)
+
+
+# -- run eviction + store fall-through ----------------------------------------
+
+
+def test_terminal_runs_evict_to_the_store():
+    with ReproServer(_config(), port=0, max_tracked_runs=1) as server:
+        client = ReproClient(port=server.port)
+        first = client.grid(GridRequest(methods=("PMC",)))
+        client.wait_for_run(first.run_id, timeout=300.0)
+        second = client.grid(GridRequest(methods=("SWING",)))
+        client.wait_for_run(second.run_id, timeout=300.0)
+        # the older terminal run left daemon memory ...
+        assert client.healthz().runs == 1
+        with server._runs_lock:
+            assert first.run_id not in server._runs
+            assert second.run_id in server._runs
+        assert client.metricz()["counters"]["server.runs.evicted"] >= 1
+        # ... but its poll falls through to the durable store, records
+        # and manifest included
+        recovered = client.run_status(first.run_id)
+        assert recovered.status == "done"
+        assert len(recovered.records) == first.cells
+        assert recovered.manifest["total"] > 0
+        # unknown ids still 404 (the fall-through is not a wildcard)
+        with pytest.raises(ServerError) as excinfo:
+            client.run_status("nope")
+        assert excinfo.value.status == 404
+
+
+# -- incremental /v1/metricz ---------------------------------------------------
+
+
+def _metric_line(counter, amount):
+    return json.dumps({"type": "metrics",
+                       "counters": {counter: amount},
+                       "gauges": {}, "histograms": {}})
+
+
+def test_metrics_tail_reads_only_new_bytes(tmp_path):
+    from repro.obs.trace import JsonlSink
+
+    sink = JsonlSink(str(tmp_path / "trace.jsonl"))
+    tail = _MetricsTail()
+    with open(sink.path, "w", encoding="utf-8") as stream:
+        stream.write(_metric_line("jobs", 2) + "\n")
+        stream.write(json.dumps({"type": "span", "name": "x"}) + "\n")
+    totals = tail.totals(sink, None)
+    assert totals["counters"] == {"jobs": 2}
+    offset_after_first = tail._offset
+    assert offset_after_first > 0
+
+    # appending advances the high-water mark; prior bytes are not re-read
+    with open(sink.path, "a", encoding="utf-8") as stream:
+        stream.write(_metric_line("jobs", 3) + "\n")
+    totals = tail.totals(sink, None)
+    assert totals["counters"] == {"jobs": 5}
+    assert tail._offset > offset_after_first
+
+    # a scrape with nothing new consumes nothing and repeats the fold
+    offset = tail._offset
+    assert tail.totals(sink, None)["counters"] == {"jobs": 5}
+    assert tail._offset == offset
+
+
+def test_metrics_tail_leaves_partial_lines_for_the_next_scrape(tmp_path):
+    from repro.obs.trace import JsonlSink
+
+    sink = JsonlSink(str(tmp_path / "trace.jsonl"))
+    tail = _MetricsTail()
+    complete = _metric_line("jobs", 1) + "\n"
+    partial = _metric_line("jobs", 10)
+    with open(sink.path, "w", encoding="utf-8") as stream:
+        stream.write(complete + partial[:10])  # a writer mid-append
+    totals = tail.totals(sink, None)
+    assert totals["counters"] == {"jobs": 1}
+    assert tail._offset == len(complete.encode())
+    # the append completes; only then is the line consumed
+    with open(sink.path, "a", encoding="utf-8") as stream:
+        stream.write(partial[10:] + "\n")
+    assert tail.totals(sink, None)["counters"] == {"jobs": 11}
+
+
+def test_metrics_tail_resets_on_truncation(tmp_path):
+    from repro.obs.trace import JsonlSink
+
+    sink = JsonlSink(str(tmp_path / "trace.jsonl"))
+    tail = _MetricsTail()
+    with open(sink.path, "w", encoding="utf-8") as stream:
+        stream.write(_metric_line("jobs", 7) + "\n")
+        stream.write(_metric_line("jobs", 5) + "\n")
+    assert tail.totals(sink, None)["counters"] == {"jobs": 12}
+    # the file is replaced with a shorter one: cache resets, no stale fold
+    with open(sink.path, "w", encoding="utf-8") as stream:
+        stream.write(_metric_line("jobs", 1) + "\n")
+    assert tail.totals(sink, None)["counters"] == {"jobs": 1}
+
+
+def test_metricz_is_exact_across_incremental_scrapes(client):
+    first = client.metricz()
+    client.compress(CompressRequest("ETTm1", "PMC", 0.1, part="full"))
+    second = client.metricz()
+    client.compress(CompressRequest("ETTm1", "PMC", 0.1, part="full"))
+    third = client.metricz()
+    counts = [totals["counters"].get("server.requests", 0)
+              for totals in (first, second, third)]
+    # monotone and counting every request exactly once across scrapes
+    assert counts[0] < counts[1] < counts[2]
