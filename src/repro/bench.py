@@ -1,10 +1,12 @@
-"""Micro-benchmark engine for the compression kernels.
+"""Micro-benchmark engine for the compression and forecasting kernels.
 
 The vectorized kernels in ``repro.compression.kernels`` (and the
 table-driven Huffman paths in ``repro.encoding.huffman``) are only worth
 their complexity while they stay measurably faster than the scalar
-reference implementations they shadow.  This module measures that margin
-and freezes it into a machine-readable baseline:
+reference implementations they shadow — and the same holds for the fused
+forecasting kernels in ``repro.forecasting.nn.kernels``, the shared-work
+ARIMA fit, and the zero-copy columnar cache format.  This module measures
+those margins and freezes them into machine-readable baselines:
 
 - :func:`run_bench` times kernel vs scalar ``compress`` (and ``decompress``)
   for PMC, Swing, and SZ on an ETTm1-like synthetic series across a sweep
@@ -17,6 +19,12 @@ and freezes it into a machine-readable baseline:
   empty when every kernel beats its scalar reference by the configured
   margin — which the ``repro-eval bench --check`` CLI (and the CI
   ``bench-smoke`` job) use as an exit-code gate.
+- :func:`run_forecasting_bench` does the same for the forecasting hot
+  path (``--suite forecasting`` → ``BENCH_forecasting.json``): per-model
+  fit/predict timings with kernels on vs off, byte-identity of the
+  produced forecasts, and DiskCache put / cold zero-copy get / memory-hit
+  timings, gated by :func:`check_forecasting_report` against the honest
+  per-model floors in :data:`FORECASTING_SPEEDUP_FLOORS` (DESIGN.md §15).
 
 Timings use the observability span clock (``repro.obs.trace.WALL``, i.e.
 ``time.perf_counter``) and keep the *minimum* over ``repeats`` runs:
@@ -49,8 +57,26 @@ from repro.obs.trace import WALL
 
 DEFAULT_ERROR_BOUNDS = (0.01, 0.05, 0.1)
 DEFAULT_OUTPUT = "BENCH_compression.json"
+DEFAULT_FORECASTING_OUTPUT = "BENCH_forecasting.json"
 DEFAULT_MAX_OBS_OVERHEAD_PERCENT = 2.0
 SCHEMA_VERSION = 1
+
+#: per-model speedup floors for ``--suite forecasting --check``.  The
+#: achievable factor is set by where each model's step time lives (DESIGN.md
+#: §15): GRU spends it in per-cell Python the kernels fuse away, DLinear and
+#: NBeats split between fusable graph overhead and memory-bound Adam traffic,
+#: and the attention models are BLAS-bound already, so their floor only
+#: guards against regression.  Floors sit below the typical measured speedup
+#: (see BENCH_forecasting.json) to absorb shared-machine noise;
+#: ``--min-speedup`` scales them uniformly.
+FORECASTING_SPEEDUP_FLOORS = {
+    "DLinear": 1.25,
+    "GRU": 2.0,
+    "NBeats": 1.15,
+    "Transformer": 0.9,
+    "Informer": 0.9,
+    "Arima": 1.5,
+}
 
 
 @dataclass(frozen=True)
@@ -288,6 +314,215 @@ def run_bench(config: BenchConfig | None = None,
         "grid_cell": grid_cell,
         "obs_overhead": obs_overhead,
     }
+
+
+# -- forecasting suite --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ForecastingBenchConfig:
+    """Knobs for the forecasting-kernel benchmark.
+
+    ``length``/``epochs``/``repeats`` trade precision for wall time exactly
+    like the compression suite; the CI ``bench-forecasting-smoke`` job
+    shrinks them and gates only on the (scaled) per-model floors.
+    """
+
+    length: int = 1_200
+    arima_length: int = 6_000
+    epochs: int = 3
+    repeats: int = 3
+    models: tuple[str, ...] = ("DLinear", "GRU", "NBeats", "Transformer",
+                               "Informer", "Arima")
+    min_speedup: float = 1.0  # multiplier applied to the per-model floors
+    cache_length: int = 200_000  # samples in the cache-timing payload
+
+    def to_dict(self) -> dict:
+        return {
+            "length": self.length,
+            "arima_length": self.arima_length,
+            "epochs": self.epochs,
+            "repeats": self.repeats,
+            "models": list(self.models),
+            "min_speedup": self.min_speedup,
+            "cache_length": self.cache_length,
+        }
+
+
+def _forecaster_pair(model: str, config: ForecastingBenchConfig):
+    """Kernel and scalar-reference instances of ``model`` for the bench."""
+    from repro.forecasting.arima import ArimaForecaster
+    from repro.forecasting.dlinear import DLinearForecaster
+    from repro.forecasting.gru import GRUForecaster
+    from repro.forecasting.informer import InformerForecaster
+    from repro.forecasting.nbeats import NBeatsForecaster
+    from repro.forecasting.transformer import TransformerForecaster
+
+    if model == "Arima":
+        return (ArimaForecaster(seasonal_period=96, use_kernel=True),
+                ArimaForecaster(seasonal_period=96, use_kernel=False))
+    classes = {"DLinear": DLinearForecaster, "GRU": GRUForecaster,
+               "NBeats": NBeatsForecaster, "Transformer": TransformerForecaster,
+               "Informer": InformerForecaster}
+    cls = classes[model]
+    # The cheap models get proportionally more epochs (mirroring their
+    # larger production budgets, e.g. DLinear defaults to 40 epochs vs 15)
+    # so one-time setup — scaling, windowing, network init — does not
+    # drown the per-step time the kernels actually change.
+    epochs = config.epochs * (4 if model in ("DLinear", "NBeats") else 1)
+    return (cls(epochs=epochs, use_kernel=True),
+            cls(epochs=epochs, use_kernel=False))
+
+
+def _forecast_fixture(length: int) -> tuple:
+    """Synthetic train series plus held-out windows and their positions."""
+    from repro.datasets import synthetic
+
+    values = synthetic.ettm1(length=length).target_series.values
+    split = int(length * 0.8)
+    train, rest = values[:split], values[split:]
+    window = 96
+    starts = range(0, len(rest) - (window + 24), 7)
+    windows = np.stack([rest[i:i + window] for i in starts])
+    positions = np.array([split + i for i in starts], dtype=np.float64)
+    return train, rest, windows, positions
+
+
+def bench_forecaster(model: str, config: ForecastingBenchConfig) -> dict:
+    """Time kernel vs scalar fit/predict for one model.
+
+    Like :func:`bench_method`, equivalence is checked on the fly: the two
+    paths must produce byte-identical forecasts (and, for the deep models,
+    identical validation histories), or the cell is marked non-identical
+    and ``--check`` fails — a speedup over a different answer is not a
+    speedup.
+    """
+    length = config.arima_length if model == "Arima" else config.length
+    train, rest, windows, positions = _forecast_fixture(length)
+    outputs = {}
+    timings = {}
+    for use_kernel, forecaster in zip((True, False),
+                                      _forecaster_pair(model, config)):
+        timings[(use_kernel, "fit")] = best_of(
+            lambda f=forecaster: f.fit(train, rest), config.repeats)
+        timings[(use_kernel, "predict")] = best_of(
+            lambda f=forecaster: f.predict(windows, positions), config.repeats)
+        outputs[use_kernel] = (
+            forecaster.predict(windows, positions).tobytes(),
+            getattr(forecaster, "validation_history", None))
+    fit_kernel = timings[(True, "fit")]
+    fit_scalar = timings[(False, "fit")]
+    predict_kernel = timings[(True, "predict")]
+    predict_scalar = timings[(False, "predict")]
+    return {
+        "model": model,
+        "kernel_fit_ms": round(fit_kernel * 1e3, 3),
+        "scalar_fit_ms": round(fit_scalar * 1e3, 3),
+        "fit_speedup": round(fit_scalar / fit_kernel, 2),
+        "kernel_predict_ms": round(predict_kernel * 1e3, 3),
+        "scalar_predict_ms": round(predict_scalar * 1e3, 3),
+        "predict_speedup": round(predict_scalar / predict_kernel, 2),
+        "windows": len(windows),
+        "forecasts_identical": outputs[True] == outputs[False],
+        "floor": FORECASTING_SPEEDUP_FLOORS.get(model, 1.0),
+    }
+
+
+def bench_cache(config: ForecastingBenchConfig) -> dict:
+    """Cache put / cold (zero-copy) get / memory-layer get timings."""
+    import tempfile
+
+    from repro.compression.base import CompressionResult
+    from repro.core.cache import DiskCache
+    from repro.datasets.timeseries import TimeSeries
+
+    rng = np.random.default_rng(0)
+    series = TimeSeries(rng.standard_normal(config.cache_length))
+    value = CompressionResult("BENCH", 0.1, series, series,
+                              b"\x00" * 4096, b"\x00" * 2048, 1)
+    with tempfile.TemporaryDirectory() as directory:
+        cache = DiskCache(directory)
+        put_s = best_of(lambda: cache.put("bench", value), config.repeats)
+        cold_s = float("inf")
+        for _ in range(max(1, config.repeats)):
+            cache.clear_memory()
+            start = WALL()
+            loaded = cache.get("bench")
+            cold_s = min(cold_s, WALL() - start)
+        memory_s = best_of(lambda: cache.get("bench"), config.repeats)
+        # the zero-copy contract: array payloads come back as views over
+        # the file mapping, not as deserialized copies
+        base = loaded.original.values
+        while isinstance(base, np.ndarray) and base.base is not None:
+            base = base.base
+        zero_copy = not isinstance(base, np.ndarray)
+    return {
+        "payload_values": config.cache_length,
+        "put_ms": round(put_s * 1e3, 3),
+        "get_cold_ms": round(cold_s * 1e3, 3),
+        "get_memory_ms": round(memory_s * 1e3, 4),
+        "zero_copy": zero_copy,
+    }
+
+
+def run_forecasting_bench(config: ForecastingBenchConfig | None = None,
+                          progress: Callable[[str], None] | None = None
+                          ) -> dict:
+    """Run the forecasting suite and return the report dictionary."""
+    config = config or ForecastingBenchConfig()
+    say = progress or (lambda message: None)
+    models: dict[str, dict] = {}
+    for model in config.models:
+        with obs_trace.span("bench.forecaster", model=model):
+            cell = bench_forecaster(model, config)
+        say(f"{model:12s} fit kernel {cell['kernel_fit_ms']:9.1f}ms  "
+            f"scalar {cell['scalar_fit_ms']:9.1f}ms  "
+            f"speedup {cell['fit_speedup']:5.2f}x "
+            f"(floor {cell['floor']:.2f}x)  "
+            f"predict {cell['predict_speedup']:5.2f}x  "
+            f"identical={cell['forecasts_identical']}")
+        models[model] = cell
+    say("cache ...")
+    with obs_trace.span("bench.cache"):
+        cache = bench_cache(config)
+    say(f"cache: put {cache['put_ms']:.2f}ms  cold get "
+        f"{cache['get_cold_ms']:.2f}ms  memory get "
+        f"{cache['get_memory_ms']:.4f}ms  zero_copy={cache['zero_copy']}")
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": "forecasting",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": machine_metadata(),
+        "config": config.to_dict(),
+        "models": models,
+        "cache": cache,
+    }
+
+
+def check_forecasting_report(report: dict,
+                             min_speedup: float | None = None) -> list[str]:
+    """Regression messages for a forecasting report.
+
+    ``min_speedup`` multiplies every per-model floor (1.0 = the committed
+    floors; CI smoke runs pass a smaller factor because tiny fixtures
+    under-state the kernels' advantage).
+    """
+    if min_speedup is None:
+        min_speedup = float(report.get("config", {}).get("min_speedup", 1.0))
+    failures: list[str] = []
+    for model, cell in report.get("models", {}).items():
+        floor = float(cell.get("floor", 1.0)) * min_speedup
+        if cell["fit_speedup"] < floor:
+            failures.append(
+                f"{model}: kernel fit speedup {cell['fit_speedup']:.2f}x "
+                f"below floor {floor:.2f}x")
+        if not cell.get("forecasts_identical", False):
+            failures.append(f"{model}: kernel/scalar forecasts differ")
+    cache = report.get("cache")
+    if cache is not None and not cache.get("zero_copy", False):
+        failures.append("cache: cold get returned a copied array instead of "
+                        "a memory-mapped view")
+    return failures
 
 
 def check_report(report: dict, min_speedup: float | None = None) -> list[str]:

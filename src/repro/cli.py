@@ -142,22 +142,44 @@ def build_parser() -> argparse.ArgumentParser:
                            "DIR/manifest.json (default DIR: .trace)")
 
     bench = commands.add_parser(
-        "bench", help="benchmark compression kernels vs scalar references")
-    bench.add_argument("--length", type=int, default=20_000,
-                       help="synthetic series length to compress")
-    bench.add_argument("--repeats", type=int, default=5,
-                       help="best-of-N repetitions per timing")
+        "bench", help="benchmark the vectorized kernels vs their scalar "
+                      "references (compression or forecasting suite)")
+    bench.add_argument("--suite", choices=("compression", "forecasting"),
+                       default="compression",
+                       help="compression: compressor kernels -> "
+                            "BENCH_compression.json; forecasting: "
+                            "model fit/predict kernels + zero-copy cache "
+                            "-> BENCH_forecasting.json")
+    bench.add_argument("--length", type=int, default=None,
+                       help="synthetic series length (default: 20000 for "
+                            "compression, 1200 for forecasting)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="best-of-N repetitions per timing "
+                            "(default: 5 compression, 3 forecasting)")
     bench.add_argument("--error-bounds", type=float, nargs="+",
                        default=[0.01, 0.05, 0.1])
     bench.add_argument("--grid-length", type=int, default=2_000,
-                       help="series length for the end-to-end grid cell")
-    bench.add_argument("--output", default="BENCH_compression.json",
-                       help="path for the JSON report ('' skips writing)")
+                       help="series length for the end-to-end grid cell "
+                            "(compression suite)")
+    bench.add_argument("--epochs", type=int, default=3,
+                       help="training epochs per fit timing "
+                            "(forecasting suite)")
+    bench.add_argument("--arima-length", type=int, default=6_000,
+                       help="series length for the Arima fit timing "
+                            "(forecasting suite)")
+    bench.add_argument("--models", nargs="+", default=None,
+                       help="forecasting-suite models to bench "
+                            "(default: all)")
+    bench.add_argument("--output", default=None,
+                       help="path for the JSON report ('' skips writing; "
+                            "default: the suite's committed baseline name)")
     bench.add_argument("--check", action="store_true",
-                       help="exit 1 if any kernel misses --min-speedup or "
-                            "a kernel/scalar payload mismatch is detected")
+                       help="exit 1 if any kernel misses its speedup floor "
+                            "or a kernel/scalar mismatch is detected")
     bench.add_argument("--min-speedup", type=float, default=1.0,
-                       help="compress speedup floor enforced by --check")
+                       help="compression: compress speedup floor; "
+                            "forecasting: multiplier on the per-model "
+                            "floors enforced by --check")
     bench.add_argument("--max-obs-overhead", type=float, default=None,
                        help="ceiling (percent) on disabled-mode "
                             "observability overhead enforced by --check")
@@ -436,29 +458,54 @@ def _finish_trace(trace_dir: str | None) -> None:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
-    from repro.bench import (DEFAULT_MAX_OBS_OVERHEAD_PERCENT, BenchConfig,
-                             check_report, run_bench, write_report)
+    from repro.bench import (DEFAULT_FORECASTING_OUTPUT,
+                             DEFAULT_MAX_OBS_OVERHEAD_PERCENT, DEFAULT_OUTPUT,
+                             BenchConfig, ForecastingBenchConfig,
+                             check_forecasting_report, check_report,
+                             run_bench, run_forecasting_bench, write_report)
 
-    config = BenchConfig(length=args.length, repeats=args.repeats,
-                         error_bounds=tuple(args.error_bounds),
-                         grid_length=args.grid_length,
-                         min_speedup=args.min_speedup,
-                         max_obs_overhead_percent=(
-                             args.max_obs_overhead
-                             if args.max_obs_overhead is not None
-                             else DEFAULT_MAX_OBS_OVERHEAD_PERCENT))
     if args.trace:
         import os
 
         import repro.obs as obs
 
         obs.configure(trace_path=os.path.join(args.trace, "trace.jsonl"))
-    report = run_bench(config, progress=print)
+    if args.suite == "forecasting":
+        config = ForecastingBenchConfig(
+            length=args.length or 1_200,
+            arima_length=args.arima_length,
+            epochs=args.epochs,
+            repeats=args.repeats or 3,
+            models=(tuple(args.models) if args.models
+                    else ForecastingBenchConfig.models),
+            min_speedup=args.min_speedup)
+        report = run_forecasting_bench(config, progress=print)
+        failures = check_forecasting_report(report, args.min_speedup)
+        output = (args.output if args.output is not None
+                  else DEFAULT_FORECASTING_OUTPUT)
+        passed = (f"check passed: every model cleared its floor x "
+                  f"{args.min_speedup:.2f}, forecasts identical, cached "
+                  f"arrays served zero-copy")
+    else:
+        config = BenchConfig(length=args.length or 20_000,
+                             repeats=args.repeats or 5,
+                             error_bounds=tuple(args.error_bounds),
+                             grid_length=args.grid_length,
+                             min_speedup=args.min_speedup,
+                             max_obs_overhead_percent=(
+                                 args.max_obs_overhead
+                                 if args.max_obs_overhead is not None
+                                 else DEFAULT_MAX_OBS_OVERHEAD_PERCENT))
+        report = run_bench(config, progress=print)
+        failures = check_report(report, args.min_speedup)
+        output = args.output if args.output is not None else DEFAULT_OUTPUT
+        passed = (f"check passed: all kernels >= {args.min_speedup:.2f}x "
+                  f"over scalar, payloads identical, obs overhead within "
+                  f"{report['obs_overhead']['max_percent']:.1f}%")
     _finish_trace(args.trace)
-    if args.output:
-        write_report(report, args.output)
-        print(f"report written to {args.output}")
-    failures = check_report(report, args.min_speedup)
+    if output:
+        write_report(report, output)
+        print(f"report written to {output}")
     if failures:
         for failure in failures:
             print(f"regression: {failure}",
@@ -466,9 +513,7 @@ def _command_bench(args: argparse.Namespace) -> int:
         if args.check:
             return 1
     elif args.check:
-        print(f"check passed: all kernels >= {args.min_speedup:.2f}x "
-              f"over scalar, payloads identical, obs overhead within "
-              f"{report['obs_overhead']['max_percent']:.1f}%")
+        print(passed)
     return 0
 
 

@@ -61,6 +61,17 @@ def _fourier_design(positions: np.ndarray, period: int, terms: int
     return np.column_stack(columns)
 
 
+def _stage1_innovations(w: np.ndarray, long_lag: int) -> np.ndarray:
+    """Innovation estimates from the Hannan-Rissanen long autoregression."""
+    n = len(w)
+    rows = np.column_stack([np.ones(n - long_lag)]
+                           + [w[long_lag - i:n - i] for i in range(1, long_lag + 1)])
+    coefficients, *_ = np.linalg.lstsq(rows, w[long_lag:], rcond=None)
+    innovations = np.zeros(n)
+    innovations[long_lag:] = w[long_lag:] - rows @ coefficients
+    return innovations
+
+
 def _fit_order(w: np.ndarray, positions: np.ndarray, order: tuple[int, int, int],
                period: int, terms: int) -> _FittedArima | None:
     p, d, q = order
@@ -73,11 +84,7 @@ def _fit_order(w: np.ndarray, positions: np.ndarray, order: tuple[int, int, int]
         long_lag = max(10, p + q + 3)
         if n <= long_lag + 5:
             return None
-        rows = np.column_stack([np.ones(n - long_lag)]
-                               + [w[long_lag - i:n - i] for i in range(1, long_lag + 1)])
-        coefficients, *_ = np.linalg.lstsq(rows, w[long_lag:], rcond=None)
-        innovations = np.zeros(n)
-        innovations[long_lag:] = w[long_lag:] - rows @ coefficients
+        innovations = _stage1_innovations(w, long_lag)
     else:
         innovations = np.zeros(n)
     # Stage 2: joint regression with AR lags, MA lags, and Fourier columns.
@@ -107,6 +114,41 @@ def _fit_order(w: np.ndarray, positions: np.ndarray, order: tuple[int, int, int]
                         fourier_coefficients, sigma2, float(aic))
 
 
+def _fit_order_shared(w: np.ndarray, order: tuple[int, int, int],
+                      innovations: np.ndarray | None,
+                      fourier_full: np.ndarray, terms: int
+                      ) -> tuple[float, np.ndarray, float] | None:
+    """Stage-2 regression for one order over precomputed shared inputs.
+
+    The kernel fit path evaluates every candidate order against work shared
+    across orders: the differenced series ``w``, the stage-1 innovation
+    estimates (identical for every order with the same ``(d, long_lag)``
+    because the long autoregression ignores ``p`` and ``q``), and the full
+    Fourier design over all of ``positions`` — sliced per order instead of
+    recomputed, which is byte-identical because the angle arithmetic is
+    elementwise and ``np.sin``/``np.cos`` are value-deterministic (pinned by
+    the equivalence tests).  Stationarity is NOT checked here; the caller
+    defers it so ``np.roots`` runs only on candidates that could actually
+    win selection.  Returns ``(aic, coefficients, sigma2)`` or None.
+    """
+    p, d, q = order
+    n = len(w)
+    start = max(p, q, 10 if q else p)
+    target = w[start:]
+    design = [np.ones(len(target))]
+    design += [w[start - i:n - i] for i in range(1, p + 1)]
+    design += [innovations[start - j:n - j] for j in range(1, q + 1)]
+    columns = np.column_stack(design + ([fourier_full[start:]] if terms else []))
+    coefficients, *_ = np.linalg.lstsq(columns, target, rcond=None)
+    residuals = target - columns @ coefficients
+    sigma2 = float(np.mean(residuals ** 2))
+    if not np.isfinite(sigma2) or sigma2 <= 0:
+        return None
+    k = columns.shape[1] + 1  # + variance
+    aic = len(target) * np.log(sigma2) + 2 * k
+    return float(aic), coefficients, sigma2
+
+
 class ArimaForecaster(Forecaster):
     """AIC-selected ARIMA(p, d, q) with Fourier seasonal regressors."""
 
@@ -117,13 +159,16 @@ class ArimaForecaster(Forecaster):
     def __init__(self, input_length: int = 96, horizon: int = 24,
                  seed: int = 0, seasonal_period: int = 0,
                  fourier_terms: int = 2,
-                 orders: tuple[tuple[int, int, int], ...] = _DEFAULT_ORDERS
-                 ) -> None:
+                 orders: tuple[tuple[int, int, int], ...] = _DEFAULT_ORDERS,
+                 use_kernel: bool = True) -> None:
         super().__init__(input_length, horizon, seed)
         self.seasonal_period = int(seasonal_period)
         # Fourier terms only make sense with a usable period.
         self.fourier_terms = fourier_terms if 1 < self.seasonal_period <= 4096 else 0
         self.orders = orders
+        #: share per-d work across candidate orders and vectorize the predict
+        #: filter (byte-identical to the scalar reference; see test_kernels)
+        self.use_kernel = use_kernel
         self._model: _FittedArima | None = None
 
     def fit(self, train: np.ndarray, validation: np.ndarray) -> None:
@@ -132,6 +177,14 @@ class ArimaForecaster(Forecaster):
         value_range = float(np.ptp(train)) or 1.0
         self._clip = (float(train.min()) - 2.0 * value_range,
                       float(train.max()) + 2.0 * value_range)
+        best = (self._fit_kernel(train) if self.use_kernel
+                else self._fit_reference(train))
+        if best is None:
+            raise ValueError("Arima: training series too short for any order")
+        self._model = best
+        self._fitted = True
+
+    def _fit_reference(self, train: np.ndarray) -> _FittedArima | None:
         best: _FittedArima | None = None
         for order in self.orders:
             d = order[1]
@@ -141,10 +194,62 @@ class ArimaForecaster(Forecaster):
                                 self.fourier_terms)
             if fitted is not None and (best is None or fitted.aic < best.aic):
                 best = fitted
-        if best is None:
-            raise ValueError("Arima: training series too short for any order")
-        self._model = best
-        self._fitted = True
+        return best
+
+    def _fit_kernel(self, train: np.ndarray) -> _FittedArima | None:
+        """Candidate-order sweep with per-d work shared across orders.
+
+        The reference loop redoes, for every order: the differencing, the
+        stage-1 long autoregression, and the Fourier design.  All three
+        depend only on ``d`` (the long AR also on ``long_lag``, which is
+        constant for small ``p + q``), so they are computed once per key
+        here and reused — the exact same arrays flow into the exact same
+        stage-2 calls, so every candidate's coefficients and AIC are
+        byte-identical to the reference.  The stationarity check is
+        deferred: candidates are sorted by ``(aic, submission index)`` and
+        walked until the first stationary one, which reproduces the
+        reference's strict ``<`` first-wins selection while running
+        ``np.roots`` on one candidate in the common case instead of twelve.
+        """
+        period = max(self.seasonal_period, 1)
+        terms = self.fourier_terms
+        diffs: dict[int, np.ndarray] = {}
+        fouriers: dict[int, np.ndarray] = {}
+        stage1: dict[tuple[int, int], np.ndarray] = {}
+        candidates: list[tuple[float, int, np.ndarray, float,
+                               tuple[int, int, int]]] = []
+        for index, order in enumerate(self.orders):
+            p, d, q = order
+            if d not in diffs:
+                diffs[d] = np.diff(train, d) if d else train
+                positions = np.arange(d, len(train), dtype=np.float64)
+                fouriers[d] = _fourier_design(positions, period, terms)
+            w = diffs[d]
+            n = len(w)
+            if n <= max(p, q, 1) + 2 * (p + q + 2 * terms + 1):
+                continue
+            innovations = None
+            if q > 0:
+                long_lag = max(10, p + q + 3)
+                if n <= long_lag + 5:
+                    continue
+                key = (d, long_lag)
+                if key not in stage1:
+                    stage1[key] = _stage1_innovations(w, long_lag)
+                innovations = stage1[key]
+            shared = _fit_order_shared(w, order, innovations, fouriers[d], terms)
+            if shared is not None:
+                aic, coefficients, sigma2 = shared
+                candidates.append((aic, index, coefficients, sigma2, order))
+        for aic, _, coefficients, sigma2, order in sorted(
+                candidates, key=lambda entry: (entry[0], entry[1])):
+            p, _, q = order
+            ar = coefficients[1:1 + p]
+            if _is_stationary(ar):
+                return _FittedArima(order, float(coefficients[0]), ar,
+                                    coefficients[1 + p:1 + p + q],
+                                    coefficients[1 + p + q:], sigma2, aic)
+        return None
 
     @property
     def order(self) -> tuple[int, int, int]:
@@ -179,13 +284,30 @@ class ArimaForecaster(Forecaster):
         base = deterministic(ticks)
         innovations = np.zeros((batch, m))
         start = max(p, q)
-        for t in range(start, m):
-            prediction = base[:, t].copy()
+        if self.use_kernel and m > start:
+            # The AR part of the filter has no recurrence (it only reads the
+            # observed ``differenced``), so it vectorizes across t.  Each
+            # element still sees the reference's exact addition order:
+            # base, then AR terms in lag order, then MA terms in lag order.
+            partial = base[:, start:].copy()
             for i in range(1, p + 1):
-                prediction += model.ar[i - 1] * differenced[:, t - i]
-            for j in range(1, q + 1):
-                prediction += model.ma[j - 1] * innovations[:, t - j]
-            innovations[:, t] = differenced[:, t] - prediction
+                partial += model.ar[i - 1] * differenced[:, start - i:m - i]
+            if q == 0:
+                innovations[:, start:] = differenced[:, start:] - partial
+            else:
+                for t in range(start, m):
+                    prediction = partial[:, t - start].copy()
+                    for j in range(1, q + 1):
+                        prediction += model.ma[j - 1] * innovations[:, t - j]
+                    innovations[:, t] = differenced[:, t] - prediction
+        else:
+            for t in range(start, m):
+                prediction = base[:, t].copy()
+                for i in range(1, p + 1):
+                    prediction += model.ar[i - 1] * differenced[:, t - i]
+                for j in range(1, q + 1):
+                    prediction += model.ma[j - 1] * innovations[:, t - j]
+                innovations[:, t] = differenced[:, t] - prediction
 
         # Recursive h-step forecast with future innovations set to zero.
         history = np.concatenate([differenced, np.zeros((batch, self.horizon))],

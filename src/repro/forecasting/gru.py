@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.forecasting.deep import DeepForecaster
+from repro.forecasting.nn import kernels
 from repro.forecasting.nn.layers import GRUCell, Linear, Module
 from repro.forecasting.nn.tensor import Tensor, concatenate
 
@@ -27,8 +28,15 @@ class _GRUNetwork(Module):
     def forward(self, x: Tensor) -> Tensor:
         batch, length = x.shape
         state = Tensor(np.zeros((batch, self.hidden)))
-        for t in range(length):
-            state = self.encoder(x[:, t:t + 1], state)
+        if kernels.enabled() and not (x.requires_grad or state.requires_grad):
+            # whole encoder sweep as a single graph node
+            state = kernels.fused_gru_sequence(
+                x, state, self.encoder.gates.weight, self.encoder.gates.bias,
+                self.encoder.candidate.weight, self.encoder.candidate.bias,
+                self.hidden)
+        else:
+            for t in range(length):
+                state = self.encoder(x[:, t:t + 1], state)
         outputs = []
         step_input = x[:, -1:]
         for _ in range(self.horizon):

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.forecasting.deep import DeepForecaster
+from repro.forecasting.nn import kernels
 from repro.forecasting.nn.layers import Linear, Module
 from repro.forecasting.nn.tensor import Tensor
 
@@ -28,8 +29,13 @@ class _Block(Module):
 
     def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
         hidden = x
-        for layer in self.stack:
-            hidden = layer(hidden).relu()
+        if kernels.enabled():
+            for layer in self.stack:
+                hidden = kernels.fused_linear_relu(hidden, layer.weight,
+                                                   layer.bias)
+        else:
+            for layer in self.stack:
+                hidden = layer(hidden).relu()
         return self.backcast_head(hidden), self.forecast_head(hidden)
 
 
@@ -42,11 +48,29 @@ class _NBeatsNetwork(Module):
         self.horizon = horizon
 
     def forward(self, x: Tensor) -> Tensor:
+        if kernels.enabled():
+            return self._forward_fused(x)
         residual = x
         forecast: Tensor | None = None
         for block in self.blocks:
             backcast, block_forecast = block(residual)
             residual = residual - backcast
+            forecast = (block_forecast if forecast is None
+                        else forecast + block_forecast)
+        return forecast
+
+    def _forward_fused(self, x: Tensor) -> Tensor:
+        residual = x
+        forecast: Tensor | None = None
+        last = len(self.blocks) - 1
+        for index, block in enumerate(self.blocks):
+            # The last block's backcast is dead in the reference graph (the
+            # final residual has no consumer), so the fused path skips it.
+            backcast, block_forecast = kernels.fused_nbeats_block(
+                residual, block.stack, block.backcast_head,
+                block.forecast_head, skip_backcast=index == last)
+            if index != last:
+                residual = residual - backcast
             forecast = (block_forecast if forecast is None
                         else forecast + block_forecast)
         return forecast

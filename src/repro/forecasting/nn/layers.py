@@ -6,6 +6,7 @@ import math
 
 import numpy as np
 
+from repro.forecasting.nn import kernels
 from repro.forecasting.nn.tensor import Tensor, concatenate
 
 
@@ -95,6 +96,8 @@ class Linear(Module):
                      if bias else None)
 
     def forward(self, x: Tensor) -> Tensor:
+        if kernels.enabled():
+            return kernels.fused_linear(x, self.weight, self.bias)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
@@ -147,6 +150,10 @@ class GRUCell(Module):
         self.candidate = Linear(input_size + hidden_size, hidden_size, rng)
 
     def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        if kernels.enabled():
+            return kernels.fused_gru_cell(
+                x, hidden, self.gates.weight, self.gates.bias,
+                self.candidate.weight, self.candidate.bias, self.hidden_size)
         joined = concatenate([x, hidden], axis=-1)
         gates = self.gates(joined).sigmoid()
         update = gates[..., : self.hidden_size]

@@ -12,9 +12,35 @@ full broadcasting support.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Sequence
+from contextlib import contextmanager
 
 import numpy as np
+
+
+class _GraphState(threading.local):
+    def __init__(self) -> None:
+        self.build = True
+
+
+_graph_state = _GraphState()
+
+
+@contextmanager
+def no_grad():
+    """Skip graph construction within the block (forward values unchanged).
+
+    Used by the inference paths: child tensors are still created with the
+    exact same data, but carry no parents or backward closures, so pure
+    forward passes stop paying for bookkeeping they never replay.
+    """
+    previous = _graph_state.build
+    _graph_state.build = False
+    try:
+        yield
+    finally:
+        _graph_state.build = previous
 
 
 def _unbroadcast(gradient: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -50,7 +76,8 @@ class Tensor:
     def _make_child(self, data: np.ndarray, parents: Sequence["Tensor"],
                     backward: Callable[[np.ndarray], None]) -> "Tensor":
         child = Tensor(data)
-        child.requires_grad = any(p.requires_grad for p in parents)
+        child.requires_grad = (_graph_state.build
+                               and any(p.requires_grad for p in parents))
         if child.requires_grad:
             child._parents = tuple(parents)
             child._backward = backward
@@ -331,7 +358,8 @@ def concatenate(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
                 tensor._accumulate(piece)
 
     child = Tensor(out_data)
-    child.requires_grad = any(t.requires_grad for t in tensors)
+    child.requires_grad = (_graph_state.build
+                           and any(t.requires_grad for t in tensors))
     if child.requires_grad:
         child._parents = tuple(tensors)
         child._backward = backward
@@ -350,7 +378,8 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                 tensor._accumulate(np.squeeze(piece, axis=axis))
 
     child = Tensor(out_data)
-    child.requires_grad = any(t.requires_grad for t in tensors)
+    child.requires_grad = (_graph_state.build
+                           and any(t.requires_grad for t in tensors))
     if child.requires_grad:
         child._parents = tuple(tensors)
         child._backward = backward

@@ -8,12 +8,14 @@ restoring the best parameters.
 from __future__ import annotations
 
 from collections.abc import Callable
+from contextlib import nullcontext
 
 import numpy as np
 
+from repro.forecasting.nn import kernels
 from repro.forecasting.nn.layers import Module
 from repro.forecasting.nn.optim import Adam
-from repro.forecasting.nn.tensor import Tensor, mse_loss
+from repro.forecasting.nn.tensor import Tensor, mse_loss, no_grad
 from repro.obs import metrics as obs_metrics
 
 
@@ -42,25 +44,32 @@ def fit_model(model: Module,
     """
     if len(train_x) == 0:
         raise ValueError("training requires at least one window")
-    optimizer = Adam(model.parameters(), learning_rate=learning_rate)
+    parameters = model.parameters()
+    optimizer = Adam(parameters, learning_rate=learning_rate)
     best_loss = float("inf")
     best_state = model.state()
     bad_epochs = 0
     history: list[float] = []
+    # Metric work (per-batch gradient norms included) is skipped entirely
+    # when observability is off; the disabled path costs one flag check.
     metered = obs_metrics.enabled()
     for _ in range(epochs):
         model.train()
         order = rng.permutation(len(train_x))
         grad_norm = 0.0
         batches = 0
+        fused = kernels.enabled()
         for begin in range(0, len(order), batch_size):
             batch = order[begin:begin + batch_size]
             optimizer.zero_grad()
             prediction = forward(train_x[batch])
-            loss = mse_loss(prediction, train_y[batch])
+            if fused:
+                loss = kernels.fused_mse_loss(prediction, train_y[batch])
+            else:
+                loss = mse_loss(prediction, train_y[batch])
             loss.backward()
             if metered:
-                grad_norm += gradient_norm(model.parameters())
+                grad_norm += gradient_norm(parameters)
                 batches += 1
             optimizer.step()
         validation_loss = evaluate(forward, model, val_x, val_y, batch_size)
@@ -91,9 +100,11 @@ def evaluate(forward: Callable[[np.ndarray], Tensor], model: Module,
         return float("nan")
     model.eval()
     total = 0.0
-    for begin in range(0, len(x), batch_size):
-        prediction = forward(x[begin:begin + batch_size]).data
-        total += float(np.sum((prediction - y[begin:begin + batch_size]) ** 2))
+    with no_grad() if kernels.enabled() else nullcontext():
+        for begin in range(0, len(x), batch_size):
+            prediction = forward(x[begin:begin + batch_size]).data
+            total += float(
+                np.sum((prediction - y[begin:begin + batch_size]) ** 2))
     return total / y.size
 
 
@@ -101,6 +112,7 @@ def predict_in_batches(forward: Callable[[np.ndarray], Tensor], model: Module,
                        x: np.ndarray, batch_size: int = 256) -> np.ndarray:
     """Run ``forward`` over ``x`` in chunks and return a plain array."""
     model.eval()
-    outputs = [forward(x[begin:begin + batch_size]).data
-               for begin in range(0, len(x), batch_size)]
+    with no_grad() if kernels.enabled() else nullcontext():
+        outputs = [forward(x[begin:begin + batch_size]).data
+                   for begin in range(0, len(x), batch_size)]
     return np.concatenate(outputs, axis=0)

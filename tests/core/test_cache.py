@@ -191,3 +191,162 @@ def test_failed_put_leaves_no_temporary_file(tmp_path):
                 if name.endswith(".tmp")]
     # the existing entry is untouched
     assert DiskCache(str(tmp_path)).get("good") == 1
+
+
+# -- columnar zero-copy format ------------------------------------------------
+
+
+def _result_value(length=512):
+    from repro.compression.base import CompressionResult
+    from repro.datasets.timeseries import TimeSeries
+
+    series = TimeSeries(np.arange(length, dtype=np.float64), start=7,
+                        interval=30, name="col")
+    return CompressionResult("PMC", 0.1, series, series, b"payload",
+                             b"gzipped", 3)
+
+
+def _mmap_backed(array):
+    base = array
+    while isinstance(base, np.ndarray) and base.base is not None:
+        base = base.base
+    return not isinstance(base, np.ndarray)  # an mmap object, not an array
+
+
+def test_array_payloads_served_without_pickle(tmp_path, monkeypatch):
+    """The zero-copy contract: a cached CompressionResult (arrays, bytes,
+    scalars) must load with no ``pickle.loads`` call anywhere on the read
+    path."""
+    import repro.core.cache as cache_module
+
+    DiskCache(str(tmp_path)).put("k", _result_value())
+
+    def poisoned(*args, **kwargs):
+        raise AssertionError("pickle.loads on the zero-copy read path")
+
+    monkeypatch.setattr(cache_module.pickle, "loads", poisoned)
+    value = DiskCache(str(tmp_path)).get("k")
+    assert value.method == "PMC"
+    assert value.payload == b"payload" and value.compressed == b"gzipped"
+    assert value.original.start == 7 and value.original.name == "col"
+    assert value.original.values[5] == 5.0
+
+
+def test_cached_arrays_are_memmap_views(tmp_path):
+    DiskCache(str(tmp_path)).put("k", _result_value())
+    value = DiskCache(str(tmp_path)).get("k")
+    assert _mmap_backed(value.original.values)
+    assert not value.original.values.flags.writeable
+    assert np.array_equal(value.decompressed.values,
+                          np.arange(512, dtype=np.float64))
+
+
+def test_nested_containers_roundtrip(tmp_path):
+    value = {"records": [_result_value(16)], "grid": (1, 2.5, None, "x"),
+             "flags": {"nested": True}}
+    DiskCache(str(tmp_path)).put("k", value)
+    loaded = DiskCache(str(tmp_path)).get("k")
+    assert loaded["grid"] == (1, 2.5, None, "x")
+    assert loaded["flags"] == {"nested": True}
+    assert loaded["records"][0].num_segments == 3
+
+
+def test_numpy_scalars_keep_their_type(tmp_path):
+    DiskCache(str(tmp_path)).put("k", {"i": np.int64(7), "f": np.float32(1.5)})
+    loaded = DiskCache(str(tmp_path)).get("k")
+    assert type(loaded["i"]) is np.int64 and loaded["i"] == 7
+    assert type(loaded["f"]) is np.float32 and loaded["f"] == np.float32(1.5)
+
+
+def test_legacy_pickle_entry_still_reads(tmp_path):
+    """Entries written before the columnar format stay readable."""
+    cache = DiskCache(str(tmp_path))
+    with open(cache._path("k"), "wb") as handle:
+        pickle.dump({"legacy": np.arange(4)}, handle)
+    loaded = DiskCache(str(tmp_path)).get("k")
+    assert np.array_equal(loaded["legacy"], np.arange(4))
+
+
+def test_unknown_format_version_recomputed(tmp_path):
+    """A future-format entry is treated as corrupt, not misparsed."""
+    import json
+    import struct
+
+    from repro.core.cache import _MAGIC
+
+    cache = DiskCache(str(tmp_path))
+    header = json.dumps({"version": 99, "tree": {"s": 1}, "columns": []})
+    with open(cache._path("k"), "wb") as handle:
+        handle.write(_MAGIC + struct.pack("<Q", len(header))
+                     + header.encode())
+    assert cache.get_or_compute("k", lambda: "recomputed") == "recomputed"
+    assert DiskCache(str(tmp_path)).get("k") == "recomputed"
+
+
+def test_truncated_columnar_entry_recomputed(tmp_path):
+    cache = DiskCache(str(tmp_path))
+    cache.put("k", _result_value())
+    path = cache._path("k")
+    with open(path, "rb") as handle:
+        payload = handle.read()
+    for cut in (4, 20, len(payload) - 100):
+        with open(path, "wb") as handle:
+            handle.write(payload[:cut])
+        fresh = DiskCache(str(tmp_path))
+        assert fresh.get("k", MISSING) is MISSING
+        cache.put("k", _result_value())  # restore for the next cut
+
+
+def test_memory_hit_touches_no_filesystem(tmp_path, monkeypatch):
+    """A warm get must return before any path/stat/open work."""
+    import repro.core.cache as cache_module
+
+    cache = DiskCache(str(tmp_path))
+    cache.put("k", 42)
+
+    def exploding(*args, **kwargs):
+        raise AssertionError("filesystem access on a memory hit")
+
+    monkeypatch.setattr(cache_module.os.path, "exists", exploding)
+    monkeypatch.setattr(cache_module.hashlib, "sha1", exploding)
+    assert cache.get("k") == 42
+
+
+def test_bytes_read_metric_counts_disk_reads(tmp_path):
+    from repro.obs import metrics
+
+    cache = DiskCache(str(tmp_path))
+    cache.put("k", _result_value())
+    size = os.path.getsize(cache._path("k"))
+    registry = metrics.enable(metrics.MetricsRegistry())
+    try:
+        fresh = DiskCache(str(tmp_path))
+        fresh.get("k")   # disk read
+        fresh.get("k")   # memory hit: no additional bytes
+        assert registry.counters["cache.bytes_read"] == size
+        assert registry.counters["cache.hit_disk"] == 1
+        assert registry.counters["cache.hit_memory"] == 1
+    finally:
+        metrics.disable()
+
+
+def _mmap_reader_worker(directory, queue):
+    cache = DiskCache(directory)
+    value = cache.get("shared")
+    queue.put((_mmap_backed(value.original.values),
+               float(value.original.values.sum())))
+
+
+def test_cross_process_reads_are_memmap_backed(tmp_path):
+    """Another process (a queue worker) reads the same entry as a mapped
+    view over the shared file, not a deserialized copy."""
+    DiskCache(str(tmp_path)).put("shared", _result_value(256))
+    queue = multiprocessing.Queue()
+    process = multiprocessing.Process(target=_mmap_reader_worker,
+                                      args=(str(tmp_path), queue))
+    process.start()
+    mapped, total = queue.get(timeout=60)
+    process.join(timeout=60)
+    assert process.exitcode == 0
+    assert mapped
+    assert total == float(np.arange(256).sum())

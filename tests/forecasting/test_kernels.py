@@ -1,0 +1,154 @@
+"""Kernel/scalar equivalence suite for the forecasting hot path.
+
+Every deep model routes its forward/backward through the fused kernels in
+``repro.forecasting.nn.kernels`` by default (``use_kernel=True``), and
+ARIMA shares per-d work across candidate orders; both keep the original
+per-window / per-order code as the scalar reference.  These tests pin the
+two paths to each other in the strongest form: byte-identical forecasts
+(and validation histories, and selected ARIMA orders) across synthetic
+datasets and compression error bounds, plus a hypothesis property for the
+CSS innovation recursion and a pin of the Fourier slice-stability the
+ARIMA kernel relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import PMC
+from repro.datasets import synthetic
+from repro.forecasting import (ArimaForecaster, DLinearForecaster,
+                               GRUForecaster, InformerForecaster,
+                               NBeatsForecaster, TransformerForecaster)
+from repro.forecasting.arima import _FittedArima, _fourier_design
+
+INPUT, HORIZON = 24, 8
+
+DEEP_FACTORIES = {
+    "DLinear": lambda flag: DLinearForecaster(
+        input_length=INPUT, horizon=HORIZON, kernel=9, epochs=6,
+        use_kernel=flag),
+    "GRU": lambda flag: GRUForecaster(
+        input_length=INPUT, horizon=HORIZON, hidden=8, epochs=3,
+        max_train_windows=150, use_kernel=flag),
+    "NBeats": lambda flag: NBeatsForecaster(
+        input_length=INPUT, horizon=HORIZON, hidden=16, blocks=2, layers=2,
+        epochs=4, use_kernel=flag),
+    "Transformer": lambda flag: TransformerForecaster(
+        input_length=INPUT, horizon=HORIZON, epochs=2, label_length=8,
+        max_train_windows=100, use_kernel=flag),
+    "Informer": lambda flag: InformerForecaster(
+        input_length=INPUT, horizon=HORIZON, epochs=2, label_length=8,
+        max_train_windows=100, use_kernel=flag),
+}
+
+DATASET_GENERATORS = [synthetic.ettm1, synthetic.solar]
+#: None = raw series; numbers = PMC error bounds applied to the series,
+#: whose piecewise-constant reconstructions historically stress both the
+#: autograd paths (flat gradients) and ARIMA's stationarity rejection
+BOUNDS = [None, 0.1]
+
+
+def training_series(generator, bound):
+    series = generator(length=700).target_series
+    if bound is not None:
+        series = PMC().compress(series, bound).decompressed
+    return series.values
+
+
+def forecast_windows(values):
+    tail = values[-120:]
+    starts = range(0, len(tail) - (INPUT + HORIZON), 5)
+    windows = np.stack([tail[i:i + INPUT] for i in starts])
+    positions = np.array([len(values) - 120 + i for i in starts],
+                         dtype=np.float64)
+    return windows, positions
+
+
+@pytest.mark.parametrize("generator", DATASET_GENERATORS,
+                         ids=lambda g: g.__name__)
+@pytest.mark.parametrize("bound", BOUNDS, ids=["raw", "eps0.1"])
+@pytest.mark.parametrize("name", sorted(DEEP_FACTORIES))
+def test_deep_models_byte_identical(name, generator, bound):
+    values = training_series(generator, bound)
+    train, validation = values[:550], values[550:]
+    windows, _ = forecast_windows(values)
+    outputs = {}
+    for flag in (True, False):
+        forecaster = DEEP_FACTORIES[name](flag)
+        forecaster.fit(train, validation)
+        outputs[flag] = (forecaster.predict(windows).tobytes(),
+                         forecaster.validation_history)
+    assert outputs[True][0] == outputs[False][0]
+    assert outputs[True][1] == outputs[False][1]
+
+
+@pytest.mark.parametrize("generator", DATASET_GENERATORS,
+                         ids=lambda g: g.__name__)
+@pytest.mark.parametrize("bound", BOUNDS, ids=["raw", "eps0.1"])
+def test_arima_byte_identical(generator, bound):
+    values = training_series(generator, bound)
+    train, validation = values[:550], values[550:]
+    windows, positions = forecast_windows(values)
+    outputs = {}
+    for flag in (True, False):
+        forecaster = ArimaForecaster(input_length=INPUT, horizon=HORIZON,
+                                     seasonal_period=96, use_kernel=flag)
+        forecaster.fit(train, validation)
+        outputs[flag] = (forecaster.order, forecaster._model.aic,
+                         forecaster.predict(windows, positions).tobytes())
+    assert outputs[True] == outputs[False]
+
+
+def test_fourier_design_slice_stable():
+    """The ARIMA kernel slices one precomputed Fourier design per d where
+    the reference recomputes it from ``positions[start:]``; equality of the
+    produced bits for every start is the assumption that makes the shared
+    design byte-identical."""
+    for period, terms in ((96, 2), (24, 3), (7, 1)):
+        positions = np.arange(0, 1500, dtype=np.float64)
+        full = _fourier_design(positions, period, terms)
+        for start in (1, 2, 3, 7, 10, 11, 13):
+            sliced = _fourier_design(positions[start:], period, terms)
+            assert full[start:].tobytes() == sliced.tobytes()
+
+
+def _arima_pair(model: _FittedArima, input_length: int):
+    pair = []
+    for flag in (True, False):
+        forecaster = ArimaForecaster(input_length=input_length,
+                                     horizon=HORIZON, seasonal_period=0,
+                                     use_kernel=flag)
+        forecaster._model = model
+        forecaster._fitted = True
+        forecaster._clip = (-1e12, 1e12)
+        pair.append(forecaster)
+    return pair
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p=st.integers(0, 3),
+    d=st.integers(0, 1),
+    q=st.integers(0, 1),
+    constant=st.floats(-1.0, 1.0),
+    coefficients=st.lists(st.floats(-0.6, 0.6), min_size=4, max_size=4),
+    data=st.data(),
+)
+def test_css_recursion_property(p, d, q, constant, coefficients, data):
+    """The vectorized in-window innovation filter is byte-identical to the
+    scalar recursion for arbitrary (p, d, q) and window contents."""
+    model = _FittedArima(
+        order=(p, d, q), constant=constant,
+        ar=np.asarray(coefficients[:p]), ma=np.asarray(coefficients[3:3 + q]),
+        fourier=np.empty(0), sigma2=1.0, aic=0.0)
+    length = 16
+    rows = data.draw(st.integers(1, 4))
+    values = data.draw(st.lists(
+        st.floats(-100.0, 100.0), min_size=rows * length,
+        max_size=rows * length))
+    windows = np.asarray(values, dtype=np.float64).reshape(rows, length)
+    kernel, scalar = _arima_pair(model, length)
+    assert (kernel.predict(windows).tobytes()
+            == scalar.predict(windows).tobytes())
