@@ -24,11 +24,15 @@ from repro.api.errors import (OVERLOADED, TIMEOUT, ApiError, ErrorEnvelope,
                               ValidationError, envelope_from_failure,
                               envelope_from_job_error, overloaded_envelope,
                               skipped_envelope, timeout_envelope)
-from repro.api.requests import (API_VERSION, CompressRequest, ForecastRequest,
-                                GridRequest, TraceRequest)
+from repro.api.requests import (API_VERSION, STREAM_METHODS, CompressRequest,
+                                ForecastRequest, GridRequest,
+                                StreamCloseRequest, StreamOpenRequest,
+                                StreamPushRequest, TraceRequest)
 from repro.api.responses import (CompressResponse, ForecastResponse,
                                  GridSubmitResponse, HealthResponse,
-                                 RunStatusResponse, TraceResponse)
+                                 RunStatusResponse, StreamOpenResponse,
+                                 StreamPushResponse, StreamSegment,
+                                 StreamStatusResponse, TraceResponse)
 from repro.api.schema import SCHEMAS, validate, validate_payload
 from repro.api.service import ApiService
 
@@ -48,6 +52,14 @@ __all__ = [
     "OVERLOADED",
     "RunStatusResponse",
     "SCHEMAS",
+    "STREAM_METHODS",
+    "StreamCloseRequest",
+    "StreamOpenRequest",
+    "StreamOpenResponse",
+    "StreamPushRequest",
+    "StreamPushResponse",
+    "StreamSegment",
+    "StreamStatusResponse",
     "TIMEOUT",
     "TraceRequest",
     "TraceResponse",

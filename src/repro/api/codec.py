@@ -26,17 +26,24 @@ from typing import Any
 
 from repro.api.errors import ErrorEnvelope, ValidationError
 from repro.api.requests import (API_VERSION, CompressRequest, ForecastRequest,
-                                GridRequest, TraceRequest)
+                                GridRequest, StreamCloseRequest,
+                                StreamOpenRequest, StreamPushRequest,
+                                TraceRequest)
 from repro.api.responses import (CompressResponse, ForecastResponse,
                                  GridSubmitResponse, HealthResponse,
-                                 RunStatusResponse, TraceResponse)
+                                 RunStatusResponse, StreamOpenResponse,
+                                 StreamPushResponse, StreamSegment,
+                                 StreamStatusResponse, TraceResponse)
 from repro.api.schema import validate_payload
 
 #: every type that may cross the wire, by payload tag
 API_TYPES: dict[str, type] = {cls.__name__: cls for cls in (
     CompressRequest, ForecastRequest, GridRequest, TraceRequest,
+    StreamOpenRequest, StreamPushRequest, StreamCloseRequest,
     CompressResponse, ForecastResponse, GridSubmitResponse,
     RunStatusResponse, TraceResponse, HealthResponse, ErrorEnvelope,
+    StreamSegment, StreamOpenResponse, StreamPushResponse,
+    StreamStatusResponse,
 )}
 
 

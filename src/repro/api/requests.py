@@ -11,6 +11,12 @@ Every frontend speaks these four dataclasses:
   service's :class:`~repro.core.config.EvaluationConfig` defaults;
 - :class:`TraceRequest` — summarize a recorded run directory.
 
+The live-streaming surface adds three more: :class:`StreamOpenRequest`
+creates one ``/v1/stream`` session (streaming compressor, bound, rolling
+forecaster, horizon), :class:`StreamPushRequest` feeds it a chunk of
+ticks, and :class:`StreamCloseRequest` flushes and ends it (optionally
+carrying the final ticks).
+
 Requests are frozen and carry no behaviour beyond :meth:`validate`, which
 checks *semantics* (known dataset/method/model names, valid split parts,
 sane numeric ranges) and raises :class:`~repro.api.errors.ValidationError`
@@ -23,12 +29,14 @@ objects and hand them to :class:`~repro.api.service.ApiService`.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.api.errors import ValidationError
 from repro.compression.registry import LOSSY_METHODS
 from repro.datasets.registry import DATASET_NAMES
 from repro.forecasting.registry import MODEL_NAMES
+from repro.forecasting.rolling import STREAM_MODEL_NAMES
 
 #: wire version stamped into every encoded payload ("v" field)
 API_VERSION = 1
@@ -41,6 +49,9 @@ PARTS: tuple[str, ...] = ("train", "validation", "test", "full")
 
 #: method label of uncompressed baseline forecasts
 RAW = "RAW"
+
+#: streaming-capable compression methods (the online encoders)
+STREAM_METHODS: tuple[str, ...] = ("PMC", "SWING")
 
 
 def _check(condition: bool, message: str, key: str) -> None:
@@ -145,6 +156,78 @@ class GridRequest:
                f"seeds must be positive, got {self.seeds}", "seeds")
         _check(self.length is None or self.length > 0,
                f"length must be positive, got {self.length}", "length")
+        return self
+
+
+def _check_ticks(values, key: str) -> None:
+    for index, value in enumerate(values):
+        _check(isinstance(value, (int, float)) and not isinstance(value, bool)
+               and math.isfinite(value),
+               f"{key}[{index}] must be a finite number, got {value!r}", key)
+
+
+@dataclass(frozen=True)
+class StreamOpenRequest:
+    """Open one live ``/v1/stream`` session."""
+
+    #: streaming compression method ("PMC" or "SWING")
+    method: str
+    error_bound: float
+    #: cap on emitted segment lengths (the 16-bit wire default)
+    max_segment_length: int = 0xFFFF
+    #: rolling forecaster refreshed as segments close
+    forecaster: str = "Naive"
+    #: values per rolling forecast
+    horizon: int = 24
+    #: refresh the forecast every K closed segments (0 = never)
+    forecast_every: int = 8
+    #: idle seconds before the server may expire the session
+    #: (None = the server's default TTL)
+    ttl_s: float | None = None
+
+    def validate(self) -> "StreamOpenRequest":
+        _check(self.method in STREAM_METHODS,
+               f"unknown streaming method {self.method!r} "
+               f"(choose from {', '.join(STREAM_METHODS)})", "method")
+        _check(self.error_bound >= 0.0,
+               f"error_bound must be >= 0, got {self.error_bound}",
+               "error_bound")
+        _check(1 <= self.max_segment_length <= 0xFFFF,
+               f"max_segment_length must be in [1, 65535], "
+               f"got {self.max_segment_length}", "max_segment_length")
+        _check(self.forecaster in STREAM_MODEL_NAMES,
+               f"unknown rolling forecaster {self.forecaster!r} "
+               f"(choose from {', '.join(STREAM_MODEL_NAMES)})", "forecaster")
+        _check(self.horizon > 0,
+               f"horizon must be positive, got {self.horizon}", "horizon")
+        _check(self.forecast_every >= 0,
+               f"forecast_every must be >= 0, got {self.forecast_every}",
+               "forecast_every")
+        _check(self.ttl_s is None or self.ttl_s > 0,
+               f"ttl_s must be positive, got {self.ttl_s}", "ttl_s")
+        return self
+
+
+@dataclass(frozen=True)
+class StreamPushRequest:
+    """One chunk of ticks for an open stream session."""
+
+    values: tuple[float, ...]
+
+    def validate(self) -> "StreamPushRequest":
+        _check(len(self.values) > 0, "values must be non-empty", "values")
+        _check_ticks(self.values, "values")
+        return self
+
+
+@dataclass(frozen=True)
+class StreamCloseRequest:
+    """Flush and end a stream session (may carry the final ticks)."""
+
+    values: tuple[float, ...] = ()
+
+    def validate(self) -> "StreamCloseRequest":
+        _check_ticks(self.values, "values")
         return self
 
 

@@ -13,7 +13,7 @@ legacy surface stable while every frontend shares one contract.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.api.errors import ErrorEnvelope
 
@@ -115,6 +115,92 @@ class TraceResponse:
 
     run_dir: str
     lines: tuple[str, ...] = ()
+
+
+#: segment kinds a stream session may emit
+STREAM_SEGMENT_KINDS: tuple[str, ...] = ("constant", "linear")
+
+
+@dataclass(frozen=True)
+class StreamSegment:
+    """One closed error-bounded segment on the wire.
+
+    ``params`` is ``(value,)`` for a constant (PMC) segment and
+    ``(slope, intercept)`` for a linear (Swing) one — the exact float64
+    state of the server-side encoder, so :meth:`to_segment` rebuilds the
+    in-memory segment bit-for-bit (the equivalence suite's byte-identity
+    claim crosses the wire through this type).
+    """
+
+    kind: str
+    length: int
+    params: tuple[float, ...]
+
+    @classmethod
+    def from_segment(cls, segment: Any) -> "StreamSegment":
+        from repro.compression.streaming import segment_to_wire
+
+        kind, length, params = segment_to_wire(segment)
+        return cls(kind=kind, length=length, params=params)
+
+    def to_segment(self) -> Any:
+        """The in-memory ConstantSegment/LinearSegment this encodes."""
+        from repro.compression.streaming import segment_from_wire
+
+        return segment_from_wire(self.kind, self.length, self.params)
+
+
+@dataclass(frozen=True)
+class StreamOpenResponse:
+    """Acknowledgement of ``POST /v1/stream`` — the session's identity."""
+
+    session_id: str
+    #: the effective session configuration, echoed back
+    method: str
+    error_bound: float
+    max_segment_length: int
+    forecaster: str
+    horizon: int
+    forecast_every: int
+    #: idle seconds before the server may expire the session
+    ttl_s: float
+
+
+@dataclass(frozen=True)
+class StreamPushResponse:
+    """Outcome of one push (or close) on a stream session."""
+
+    session_id: str
+    #: ticks accepted by THIS request
+    pushed: int
+    #: ticks accepted over the session's lifetime
+    ticks: int
+    #: segments closed by this request, in stream order
+    segments: tuple[StreamSegment, ...] = ()
+    #: segments closed over the session's lifetime
+    segments_total: int = 0
+    #: the rolling forecast, when this request refreshed it
+    forecast: tuple[float, ...] = ()
+    #: segments_total at the time of the last refresh (None = never)
+    forecast_at: int | None = None
+    #: True once the session is closed (final flush included)
+    closed: bool = False
+
+
+@dataclass(frozen=True)
+class StreamStatusResponse:
+    """State of one stream session (``GET /v1/stream/{id}``)."""
+
+    session_id: str
+    ticks: int
+    segments_total: int
+    #: whether the session is resident in memory (False = snapshotted)
+    resident: bool
+    #: seconds since the session was last touched
+    idle_s: float
+    method: str
+    forecaster: str
+    horizon: int
 
 
 @dataclass(frozen=True)

@@ -68,6 +68,16 @@ SCHEMAS: dict[str, dict] = {
          "seeds": _NULL_INT, "length": _NULL_INT}),
     "TraceRequest": _tagged(
         ["run_dir"], {"run_dir": _STRING, "top": _INTEGER}),
+    "StreamOpenRequest": _tagged(
+        ["method", "error_bound"],
+        {"method": _STRING, "error_bound": _NUMBER,
+         "max_segment_length": _INTEGER, "forecaster": _STRING,
+         "horizon": _INTEGER, "forecast_every": _INTEGER,
+         "ttl_s": {"type": ["number", "null"]}}),
+    "StreamPushRequest": _tagged(
+        ["values"], {"values": _array(_NUMBER)}),
+    "StreamCloseRequest": _tagged(
+        [], {"values": _array(_NUMBER)}),
     "CompressResponse": _tagged(
         ["dataset", "method", "error_bound", "part", "compressed_size",
          "compression_ratio", "num_segments"],
@@ -93,6 +103,29 @@ SCHEMAS: dict[str, dict] = {
          "records": _array({"$ref": "ForecastResponse"})}),
     "TraceResponse": _tagged(
         ["run_dir"], {"run_dir": _STRING, "lines": _array(_STRING)}),
+    "StreamSegment": _tagged(
+        ["kind", "length", "params"],
+        {"kind": {"enum": ["constant", "linear"]}, "length": _INTEGER,
+         "params": _array(_NUMBER)}),
+    "StreamOpenResponse": _tagged(
+        ["session_id", "method", "error_bound", "max_segment_length",
+         "forecaster", "horizon", "forecast_every", "ttl_s"],
+        {"session_id": _STRING, "method": _STRING, "error_bound": _NUMBER,
+         "max_segment_length": _INTEGER, "forecaster": _STRING,
+         "horizon": _INTEGER, "forecast_every": _INTEGER, "ttl_s": _NUMBER}),
+    "StreamPushResponse": _tagged(
+        ["session_id", "pushed", "ticks"],
+        {"session_id": _STRING, "pushed": _INTEGER, "ticks": _INTEGER,
+         "segments": _array({"$ref": "StreamSegment"}),
+         "segments_total": _INTEGER, "forecast": _array(_NUMBER),
+         "forecast_at": _NULL_INT, "closed": _BOOLEAN}),
+    "StreamStatusResponse": _tagged(
+        ["session_id", "ticks", "segments_total", "resident", "idle_s",
+         "method", "forecaster", "horizon"],
+        {"session_id": _STRING, "ticks": _INTEGER,
+         "segments_total": _INTEGER, "resident": _BOOLEAN,
+         "idle_s": _NUMBER, "method": _STRING, "forecaster": _STRING,
+         "horizon": _INTEGER}),
     "HealthResponse": _tagged(
         ["status", "version"],
         {"status": _STRING, "version": _INTEGER, "uptime_s": _NUMBER,

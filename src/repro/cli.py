@@ -29,7 +29,7 @@ Subcommands:
   observability overhead exceeds its ceiling.
 - ``repro-eval loadgen --port 8321 --rate 50 --duration 10 --check`` —
   open-loop load generation (Poisson arrivals, configurable
-  compress/forecast/grid mix or a replayed trace) against a live
+  compress/forecast/grid/stream mix or a replayed trace) against a live
   ``repro-serve``, reporting p50/p95/p99 latency, throughput, shed and
   error rates, batch occupancy, and cache hit ratio into
   ``BENCH_serve.json``; ``--check`` gates the SLO block the way
@@ -227,7 +227,8 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--mix", nargs="+", metavar="KIND=WEIGHT",
                          default=["compress=0.90", "forecast=0.08",
                                   "grid=0.02"],
-                         help="request mix over compress/forecast/grid")
+                         help="request mix over "
+                              "compress/forecast/grid/stream")
     loadgen.add_argument("--seed", type=int, default=0,
                          help="schedule RNG seed (same seed = same load)")
     loadgen.add_argument("--timeout", type=float, default=30.0,

@@ -18,6 +18,7 @@ boundaries is identical on both paths.
 from __future__ import annotations
 
 import math
+import struct
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -92,11 +93,37 @@ class OnlineCompressor(ABC):
         """All segments closed so far."""
         return list(self._closed_segments)
 
+    def snapshot(self) -> dict:
+        """The open-window state, as JSON-safe scalars.
+
+        The snapshot captures everything needed to continue the stream —
+        the configuration plus the subclass's window state — but NOT the
+        segments already closed: those were handed to the caller as they
+        closed, so a restored encoder resumes mid-window and keeps
+        emitting exactly the segments the uninterrupted encoder would
+        (pinned by the round-trip tests).  Non-finite floats (the ±inf
+        cone bounds of a fresh window) survive both JSON (Python's
+        literal extension) and the columnar cache format.
+        """
+        return {
+            "algorithm": type(self).__name__,
+            "error_bound": self.error_bound,
+            "max_segment_length": self.max_segment_length,
+            "finished": self._finished,
+            "state": self._state_snapshot(),
+        }
+
     @abstractmethod
     def _push(self, value: float) -> None: ...
 
     @abstractmethod
     def _flush(self) -> None: ...
+
+    @abstractmethod
+    def _state_snapshot(self) -> dict: ...
+
+    @abstractmethod
+    def _restore_state(self, state: dict) -> None: ...
 
     def _extend_array(self, values) -> np.ndarray:
         """Coerce ``extend`` input to float64, enforcing push's lifecycle."""
@@ -158,6 +185,17 @@ class OnlinePMC(OnlineCompressor):
 
     def _flush(self) -> None:
         self._close()
+
+    def _state_snapshot(self) -> dict:
+        return {"count": self._count, "base": self._base,
+                "total": self._total, "lo": self._lo, "hi": self._hi}
+
+    def _restore_state(self, state: dict) -> None:
+        self._count = int(state["count"])
+        self._base = float(state["base"])
+        self._total = float(state["total"])
+        self._lo = float(state["lo"])
+        self._hi = float(state["hi"])
 
     def extend(self, values) -> list:
         """Vectorized bulk feed via the chunked PMC scan kernel."""
@@ -224,6 +262,17 @@ class OnlineSwing(OnlineCompressor):
     def _flush(self) -> None:
         self._close()
 
+    def _state_snapshot(self) -> dict:
+        return {"anchor": self._anchor, "run": self._run,
+                "slope_lo": self._slope_lo, "slope_hi": self._slope_hi}
+
+    def _restore_state(self, state: dict) -> None:
+        anchor = state["anchor"]
+        self._anchor = None if anchor is None else float(anchor)
+        self._run = int(state["run"])
+        self._slope_lo = float(state["slope_lo"])
+        self._slope_hi = float(state["slope_hi"])
+
     def extend(self, values) -> list:
         """Vectorized bulk feed via the chunked Swing cone kernel."""
         array = self._extend_array(values)
@@ -254,3 +303,73 @@ def reconstruct(segments: list) -> np.ndarray:
     if not segments:
         return np.empty(0)
     return np.concatenate([segment.reconstruct() for segment in segments])
+
+
+#: snapshot "algorithm" tag -> streaming encoder class
+STREAMING_ALGORITHMS: dict[str, type[OnlineCompressor]] = {
+    "OnlinePMC": OnlinePMC,
+    "OnlineSwing": OnlineSwing,
+}
+
+
+def restore_compressor(snapshot: dict) -> OnlineCompressor:
+    """Rebuild an encoder from :meth:`OnlineCompressor.snapshot`.
+
+    The restored encoder continues the stream exactly where the snapshot
+    left it: feeding it the remaining values closes the same segments,
+    with the same payload bytes, as the uninterrupted encoder would.
+    """
+    cls = STREAMING_ALGORITHMS.get(snapshot.get("algorithm"))
+    if cls is None:
+        raise ValueError(
+            f"unknown streaming algorithm {snapshot.get('algorithm')!r}")
+    encoder = cls(float(snapshot["error_bound"]),
+                  int(snapshot["max_segment_length"]))
+    encoder._finished = bool(snapshot["finished"])
+    encoder._restore_state(snapshot["state"])
+    return encoder
+
+
+_CONSTANT = struct.Struct("<Qd")
+_LINEAR = struct.Struct("<Qdd")
+
+
+def segments_payload(segments) -> bytes:
+    """Canonical bytes of a segment sequence, for byte-identity checks.
+
+    One tagged record per segment — ``b"C"`` + length + float64 value for
+    constants, ``b"L"`` + length + float64 slope + intercept for lines —
+    so two segment streams are equal iff their payloads are equal, with
+    no float-repr ambiguity.  The equivalence suite compares a streamed
+    session against a local batch ``extend`` through this function.
+    """
+    parts: list[bytes] = []
+    for segment in segments:
+        if isinstance(segment, ConstantSegment):
+            parts.append(b"C" + _CONSTANT.pack(segment.length, segment.value))
+        elif isinstance(segment, LinearSegment):
+            parts.append(b"L" + _LINEAR.pack(segment.length, segment.slope,
+                                             segment.intercept))
+        else:
+            raise TypeError(f"not a streaming segment: {segment!r}")
+    return b"".join(parts)
+
+
+def segment_to_wire(segment) -> tuple[str, int, tuple[float, ...]]:
+    """One segment as its wire triple ``(kind, length, params)``."""
+    if isinstance(segment, ConstantSegment):
+        return "constant", segment.length, (segment.value,)
+    if isinstance(segment, LinearSegment):
+        return "linear", segment.length, (segment.slope, segment.intercept)
+    raise TypeError(f"not a streaming segment: {segment!r}")
+
+
+def segment_from_wire(kind: str, length: int, params
+                      ) -> ConstantSegment | LinearSegment:
+    """Rebuild a segment from its wire triple (inverse of the above)."""
+    values = tuple(float(p) for p in params)
+    if kind == "constant" and len(values) == 1:
+        return ConstantSegment(int(length), values[0])
+    if kind == "linear" and len(values) == 2:
+        return LinearSegment(int(length), values[0], values[1])
+    raise ValueError(f"malformed wire segment ({kind!r}, {length}, {params})")

@@ -83,6 +83,10 @@ class MemoryCache:
     def put(self, key: str, value: Any) -> None:
         self._store[key] = value
 
+    def remove(self, key: str) -> None:
+        """Forget ``key`` entirely; a no-op when it was never stored."""
+        self._store.pop(key, None)
+
 
 # -- columnar on-disk format --------------------------------------------------
 #
@@ -349,6 +353,21 @@ class DiskCache:
             os.replace(temporary, self._path(key))
         self._memory[key] = value
         _metric_inc("cache.put")
+
+    def remove(self, key: str) -> None:
+        """Drop ``key`` from memory AND disk; a no-op on a miss.
+
+        Most cache entries are content-addressed and immutable, so they
+        never need removal — but stream-session snapshots are mutable
+        state keyed by session id, and a discarded or expired session
+        must not be restorable from a stale snapshot.  Removal is
+        race-safe: another process deleting the same file first is fine.
+        """
+        self._memory.pop(key, None)
+        if self.directory is not None:
+            with contextlib.suppress(FileNotFoundError):
+                os.remove(self._path(key))
+        _metric_inc("cache.remove")
 
     def get_or_compute(self, key: str, compute: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, computing it on a miss."""

@@ -1,0 +1,166 @@
+"""Rolling forecasters for live streaming sessions.
+
+The registry models (:mod:`repro.forecasting.registry`) are batch
+learners: they fit on a training split of windows and predict from a
+window matrix — the wrong shape (and the wrong cost) for a per-session
+forecaster that must absorb one tick chunk at a time, forecast in O(1),
+and snapshot into a handful of floats so an evicted session restores
+bit-for-bit.  This module provides that shape: tiny online recurrences
+updated from the *reconstructed* (error-bounded) segment values a
+session's compressor closes — the paper's question of forecasting on
+decompressed data, asked at the serving edge.
+
+Every forecaster is deterministic, keeps O(1) float state, and
+round-trips through ``snapshot()`` / :func:`restore_forecaster` exactly:
+a restored forecaster emits byte-identical forecasts to the
+uninterrupted one (pinned by the session round-trip tests).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class RollingForecaster(ABC):
+    """An O(1)-state online forecaster over a stream of values."""
+
+    #: registry name (class attribute, mirrors ``Forecaster.name``)
+    name = "Rolling"
+
+    def __init__(self) -> None:
+        self._seen = 0
+
+    def update(self, values) -> None:
+        """Absorb a chunk of observed (reconstructed) values, in order."""
+        for value in values:
+            self._update(float(value))
+            self._seen += 1
+
+    def forecast(self, horizon: int) -> tuple[float, ...]:
+        """The next ``horizon`` values; empty before any observation."""
+        if horizon < 1:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        if self._seen == 0:
+            return ()
+        return tuple(self._forecast(horizon))
+
+    def snapshot(self) -> dict:
+        """JSON-safe state; inverse of :func:`restore_forecaster`."""
+        return {"model": self.name, "seen": self._seen,
+                "state": self._state_snapshot()}
+
+    @abstractmethod
+    def _update(self, value: float) -> None: ...
+
+    @abstractmethod
+    def _forecast(self, horizon: int) -> list[float]: ...
+
+    @abstractmethod
+    def _state_snapshot(self) -> dict: ...
+
+    @abstractmethod
+    def _restore_state(self, state: dict) -> None: ...
+
+
+class NaiveRolling(RollingForecaster):
+    """Repeat the last observed value — the random-walk baseline."""
+
+    name = "Naive"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last = 0.0
+
+    def _update(self, value: float) -> None:
+        self._last = value
+
+    def _forecast(self, horizon: int) -> list[float]:
+        return [self._last] * horizon
+
+    def _state_snapshot(self) -> dict:
+        return {"last": self._last}
+
+    def _restore_state(self, state: dict) -> None:
+        self._last = float(state["last"])
+
+
+class DriftRolling(RollingForecaster):
+    """Extrapolate the mean historical slope from the last value.
+
+    The classic drift method: step ``h`` forecasts ``last + h * (last -
+    first) / (n - 1)``, which needs only three floats of state.
+    """
+
+    name = "Drift"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._first = 0.0
+        self._last = 0.0
+
+    def _update(self, value: float) -> None:
+        if self._seen == 0:
+            self._first = value
+        self._last = value
+
+    def _forecast(self, horizon: int) -> list[float]:
+        slope = ((self._last - self._first) / (self._seen - 1)
+                 if self._seen > 1 else 0.0)
+        return [self._last + slope * step
+                for step in range(1, horizon + 1)]
+
+    def _state_snapshot(self) -> dict:
+        return {"first": self._first, "last": self._last}
+
+    def _restore_state(self, state: dict) -> None:
+        self._first = float(state["first"])
+        self._last = float(state["last"])
+
+
+class SesRolling(RollingForecaster):
+    """Simple exponential smoothing with a fixed alpha (flat forecast)."""
+
+    name = "SES"
+
+    #: smoothing factor; fixed (not fitted) so the update stays O(1)
+    alpha = 0.3
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._level = 0.0
+
+    def _update(self, value: float) -> None:
+        if self._seen == 0:
+            self._level = value
+        else:
+            self._level = self.alpha * value + (1 - self.alpha) * self._level
+
+    def _forecast(self, horizon: int) -> list[float]:
+        return [self._level] * horizon
+
+    def _state_snapshot(self) -> dict:
+        return {"level": self._level}
+
+    def _restore_state(self, state: dict) -> None:
+        self._level = float(state["level"])
+
+
+#: name -> class, the streaming-session forecaster registry
+STREAM_MODELS: dict[str, type[RollingForecaster]] = {
+    cls.name: cls for cls in (NaiveRolling, DriftRolling, SesRolling)
+}
+
+#: names accepted by StreamOpenRequest.forecaster
+STREAM_MODEL_NAMES: tuple[str, ...] = tuple(STREAM_MODELS)
+
+
+def restore_forecaster(snapshot: dict) -> RollingForecaster:
+    """Rebuild a forecaster from :meth:`RollingForecaster.snapshot`."""
+    cls = STREAM_MODELS.get(snapshot.get("model"))
+    if cls is None:
+        raise ValueError(
+            f"unknown rolling forecaster {snapshot.get('model')!r}")
+    forecaster = cls()
+    forecaster._seen = int(snapshot["seen"])
+    forecaster._restore_state(snapshot["state"])
+    return forecaster

@@ -16,7 +16,17 @@ thread per connection, no new dependencies) exposing the typed API:
   envelopes, and the completed records once done;
 - ``POST /v1/trace`` — renders a recorded run directory;
 - ``GET /v1/healthz`` / ``GET /v1/metricz`` — liveness and the merged
-  server metric totals (batch occupancy, queue waits, cache hit ratio).
+  server metric totals (batch occupancy, queue waits, cache hit ratio);
+- ``POST /v1/stream`` + ``/v1/stream/{id}[/push|/close|/ingest]`` —
+  live streaming sessions: per-session online compression + rolling
+  forecasts, managed by the :class:`~repro.server.sessions.
+  SessionManager` (admission-bounded via ``--max-sessions``, TTL/LRU
+  evicted, snapshot-restored through the shared ``DiskCache``).
+  ``/ingest`` speaks chunked NDJSON both ways: each request line is a
+  JSON array of ticks, each response line the tagged
+  ``StreamPushResponse`` it produced, interleaved as segments close —
+  and a client that vanishes mid-request has its session torn down
+  immediately, not at TTL.
 
 Every response body is a tagged API payload (or an
 :class:`~repro.api.errors.ErrorEnvelope` with a 4xx/5xx status), produced
@@ -46,10 +56,12 @@ answering from the durable run store.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
 import threading
+import urllib.parse
 import uuid
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -61,7 +73,9 @@ from repro.api.errors import (NOT_FOUND, OVERLOADED, TIMEOUT, ApiError,
                               ErrorEnvelope, ValidationError,
                               envelope_from_job_error, overloaded_envelope)
 from repro.api.requests import (API_VERSION, CompressRequest, ForecastRequest,
-                                GridRequest, TraceRequest)
+                                GridRequest, StreamCloseRequest,
+                                StreamOpenRequest, StreamPushRequest,
+                                TraceRequest)
 from repro.api.responses import (ForecastResponse, GridSubmitResponse,
                                  HealthResponse, RunStatusResponse)
 from repro.api.schema import validate_payload
@@ -94,6 +108,9 @@ class _HttpServer(ThreadingHTTPServer):
 
 #: statuses after which a run's worker thread is gone for good
 _TERMINAL_STATES = ("done", "failed", "interrupted")
+
+#: sentinel payload: the route already wrote its own (streamed) response
+_STREAMED: Any = object()
 
 
 class _MetricsTail:
@@ -177,8 +194,12 @@ class ReproServer:
                  request_timeout_s: float = 600.0,
                  max_queue: int | None = 1024, max_inflight_runs: int = 16,
                  max_tracked_runs: int = 256,
-                 retry_after_s: int = 1) -> None:
+                 retry_after_s: int = 1, max_sessions: int = 256,
+                 session_ttl_s: float = 3600.0,
+                 max_resident_sessions: int | None = None,
+                 session_sweep_s: float = 10.0) -> None:
         from repro.server.batching import MicroBatcher
+        from repro.server.sessions import SessionManager
 
         # remember the ambient obs state so stop() can restore it — the
         # service configures tracing when config.trace_dir is set, and the
@@ -215,6 +236,14 @@ class ReproServer:
         self.max_tracked_runs = max(1, max_tracked_runs)
         #: seconds advertised in the Retry-After header of a 429
         self.retry_after_s = max(1, int(retry_after_s))
+        #: live /v1/stream sessions: admission-bounded, TTL/LRU evicted,
+        #: snapshot-restored through the service's shared cache (so a
+        #: daemon restart with the same cache dir keeps every session)
+        self.sessions = SessionManager(cache=self.service.cache,
+                                       max_sessions=max_sessions,
+                                       ttl_s=session_ttl_s,
+                                       max_resident=max_resident_sessions)
+        self._session_sweep_s = max(0.1, float(session_sweep_s))
         self._runs: dict[str, _GridRun] = {}
         self._runs_lock = threading.Lock()
         self._metrics_tail = _MetricsTail()
@@ -238,6 +267,7 @@ class ReproServer:
         self._thread = threading.Thread(target=self._httpd.serve_forever,
                                         name="repro-serve", daemon=True)
         self._thread.start()
+        self.sessions.start_sweeper(self._session_sweep_s)
         self._started_at = WALL()
         _log.info("repro-serve listening on %s:%d", self.host, self.port)
         return self
@@ -251,6 +281,7 @@ class ReproServer:
         if self._thread is not None:
             self._thread.join(timeout=10.0)
             self._thread = None
+        self.sessions.stop_sweeper()
         self._compress_batcher.close()
         self._forecast_batcher.close()
         self.store.close()
@@ -438,10 +469,12 @@ def _make_handler(server: ReproServer) -> type[BaseHTTPRequestHandler]:
             self.wfile.write(body)
             self.close_connection = True
 
-        def _read_request(self, expect: type):
+        def _read_request(self, expect: type, optional: bool = False):
             length = int(self.headers.get("Content-Length") or 0)
             raw = self.rfile.read(length) if length else b""
             if not raw:
+                if optional:
+                    return expect().validate()
                 raise ValidationError("empty request body", key="body")
             try:
                 payload = json.loads(raw)
@@ -469,7 +502,8 @@ def _make_handler(server: ReproServer) -> type[BaseHTTPRequestHandler]:
                 status_holder["status"] = status
                 if span.enabled:
                     span.tag(status=status)
-                self._send_payload(status, payload)
+                if payload is not _STREAMED:
+                    self._send_payload(status, payload)
             obs_metrics.inc(f"server.status.{status_holder['status']}")
 
         def do_GET(self) -> None:  # noqa: N802 — http.server contract
@@ -506,9 +540,161 @@ def _make_handler(server: ReproServer) -> type[BaseHTTPRequestHandler]:
             if method == "POST" and route == ("trace",):
                 request = self._read_request(TraceRequest)
                 return 200, encode(server.service.trace(request))
+            if route and route[0] == "stream":
+                return self._route_stream(method, route, path)
             raise ApiError(ErrorEnvelope(
                 kind=NOT_FOUND, key=path,
                 message=f"no route for {method} {path!r}"), status=404)
+
+        # -- streaming sessions --------------------------------------------
+
+        def _route_stream(self, method: str, route: tuple,
+                          path: str) -> tuple[int, dict]:
+            sessions = server.sessions
+            if method == "POST" and len(route) == 1:
+                request = self._read_request(StreamOpenRequest)
+                return 201, encode(sessions.open(request))
+            if method == "GET" and len(route) == 2:
+                return 200, encode(sessions.status(route[1]))
+            if method == "POST" and len(route) == 3:
+                session_id, action = route[1], route[2]
+                if action == "push":
+                    request = self._read_request(StreamPushRequest)
+                    return 200, encode(
+                        sessions.push(session_id, request.values))
+                if action == "close":
+                    request = self._read_request(StreamCloseRequest,
+                                                 optional=True)
+                    return 200, encode(
+                        sessions.close(session_id, request.values))
+                if action == "ingest":
+                    return self._stream_ingest(session_id)
+            raise ApiError(ErrorEnvelope(
+                kind=NOT_FOUND, key=path,
+                message=f"no route for {method} {path!r}"), status=404)
+
+        def _stream_ingest(self, session_id: str) -> tuple[int, Any]:
+            """Chunked NDJSON ingestion: ticks in, tagged payloads out.
+
+            Request lines are JSON arrays of ticks (or tagged
+            ``StreamPushRequest`` payloads); each produces one tagged
+            ``StreamPushResponse`` line in the chunked response, written
+            as it is computed — segments and rolling forecasts arrive
+            while the client is still sending.  ``?close=1`` flushes and
+            ends the session after the last line.
+
+            The disconnect contract: once the response is streaming, a
+            client that vanishes (reset, half-close, stall past the
+            request timeout) gets its session DISCARDED immediately —
+            the reservation never lingers until TTL.
+            """
+            sessions = server.sessions
+            query = urllib.parse.parse_qs(
+                urllib.parse.urlsplit(self.path).query)
+            close_after = query.get("close", ["0"])[-1] not in ("0", "",
+                                                                "false")
+            # existence/expiry check BEFORE committing to a streamed
+            # response: an unknown session is still a plain 404 payload
+            sessions.status(session_id)
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Transfer-Encoding", "chunked")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.close_connection = True
+            status = 200
+            try:
+                self.connection.settimeout(server.request_timeout_s)
+                for line in self._body_lines():
+                    response = sessions.push(session_id,
+                                             self._ingest_values(line))
+                    self._write_chunk(encode(response))
+                if close_after:
+                    self._write_chunk(encode(sessions.close(session_id)))
+                self._write_chunk(None)
+            except (OSError, ConnectionError):
+                # the client is gone mid-request: tear the session down
+                # NOW — stranding its state until TTL is the bug this
+                # path exists to prevent
+                if sessions.discard(session_id):
+                    obs_metrics.inc("server.stream.disconnects")
+                status = 499
+            except ApiError as error:
+                status = error.status
+                with contextlib.suppress(OSError, ConnectionError):
+                    self._write_chunk(encode(error.envelope))
+                    self._write_chunk(None)
+            return status, _STREAMED
+
+        def _ingest_values(self, line: bytes):
+            """The tick values one ingest line carries."""
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValidationError(f"invalid ingest line: {error}",
+                                      key="body") from error
+            if isinstance(payload, dict):
+                request = decode(payload, expect=StreamPushRequest)
+                return request.validate().values
+            if isinstance(payload, list):
+                request = StreamPushRequest(values=tuple(payload))
+                return request.validate().values
+            raise ValidationError(
+                "each ingest line must be a JSON array of ticks or a "
+                "StreamPushRequest payload", key="body")
+
+        def _body_lines(self):
+            """Yield NDJSON lines from the (chunked or sized) body."""
+            transfer = (self.headers.get("Transfer-Encoding") or "").lower()
+            buffer = b""
+            if "chunked" in transfer:
+                # http.server does NOT decode chunked framing; parse the
+                # <hex-size>\r\n<bytes>\r\n records ourselves
+                while True:
+                    size_line = self.rfile.readline(65536)
+                    if not size_line:
+                        raise ConnectionError("EOF inside chunked body")
+                    try:
+                        size = int(size_line.split(b";", 1)[0].strip(), 16)
+                    except ValueError:
+                        raise ConnectionError(
+                            f"malformed chunk size {size_line!r}") from None
+                    if size == 0:
+                        while True:  # drain optional trailers
+                            trailer = self.rfile.readline(65536)
+                            if trailer in (b"\r\n", b"\n", b""):
+                                break
+                        break
+                    chunk = self.rfile.read(size)
+                    if len(chunk) != size:
+                        raise ConnectionError("EOF inside a chunk")
+                    if self.rfile.read(2) != b"\r\n":
+                        raise ConnectionError("missing chunk terminator")
+                    buffer += chunk
+                    while b"\n" in buffer:
+                        line, buffer = buffer.split(b"\n", 1)
+                        if line.strip():
+                            yield line
+            else:
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length)
+                if len(body) != length:
+                    raise ConnectionError("EOF inside the request body")
+                for line in body.splitlines():
+                    if line.strip():
+                        yield line
+            if buffer.strip():
+                yield buffer
+
+        def _write_chunk(self, payload: dict | None) -> None:
+            """Write one chunked-encoding frame (None = the terminator)."""
+            if payload is None:
+                self.wfile.write(b"0\r\n\r\n")
+            else:
+                data = json.dumps(payload, sort_keys=True,
+                                  separators=(",", ":")).encode() + b"\n"
+                self.wfile.write(b"%x\r\n%s\r\n" % (len(data), data))
+            self.wfile.flush()
 
         def _batched(self, batcher, expect: type) -> tuple[int, dict]:
             request = self._read_request(expect)
@@ -570,6 +756,19 @@ def serve(argv=None) -> int:
     parser.add_argument("--retry-after", type=int, default=1,
                         help="seconds advertised in the Retry-After "
                              "header of a 429")
+    parser.add_argument("--max-sessions", type=int, default=256,
+                        help="live /v1/stream session admission cap; "
+                             "opens over it are shed with 429")
+    parser.add_argument("--session-ttl", type=float, default=3600.0,
+                        help="idle seconds before a stream session "
+                             "expires (wall clock; survives restarts)")
+    parser.add_argument("--max-resident-sessions", type=int, default=None,
+                        help="stream sessions kept in memory; beyond it "
+                             "the least-recently-used are evicted to "
+                             "their cache snapshots (default: all)")
+    parser.add_argument("--session-sweep", type=float, default=10.0,
+                        help="seconds between TTL sweeps of idle stream "
+                             "sessions")
     parser.add_argument("--request-timeout", type=float, default=600.0,
                         help="seconds a request may wait in a batch "
                              "queue before a 504")
@@ -604,7 +803,11 @@ def serve(argv=None) -> int:
                          max_queue=args.max_queue or None,
                          max_inflight_runs=args.max_inflight_runs,
                          max_tracked_runs=args.max_tracked_runs,
-                         retry_after_s=args.retry_after)
+                         retry_after_s=args.retry_after,
+                         max_sessions=args.max_sessions,
+                         session_ttl_s=args.session_ttl,
+                         max_resident_sessions=args.max_resident_sessions,
+                         session_sweep_s=args.session_sweep)
     server.start()
     print(f"repro-serve v{API_VERSION} listening on "
           f"http://{server.host}:{server.port}/v1/healthz "

@@ -17,16 +17,20 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 import time
 from typing import Any
 
 from repro.api.codec import decode, encode
 from repro.api.errors import ErrorEnvelope
 from repro.api.requests import (CompressRequest, ForecastRequest, GridRequest,
-                                TraceRequest)
+                                StreamCloseRequest, StreamOpenRequest,
+                                StreamPushRequest, TraceRequest)
 from repro.api.responses import (CompressResponse, ForecastResponse,
                                  GridSubmitResponse, HealthResponse,
-                                 RunStatusResponse, TraceResponse)
+                                 RunStatusResponse, StreamOpenResponse,
+                                 StreamPushResponse, StreamStatusResponse,
+                                 TraceResponse)
 from repro.obs.trace import WALL
 
 
@@ -140,3 +144,98 @@ class ReproClient:
 
     def trace(self, request: TraceRequest) -> TraceResponse:
         return self._request("POST", "/v1/trace", encode(request))
+
+    # -- streaming sessions ----------------------------------------------------
+
+    def stream_open(self, request: StreamOpenRequest) -> StreamOpenResponse:
+        """Open a live session; returns its id + effective config."""
+        return self._request("POST", "/v1/stream", encode(request))
+
+    def stream_push(self, session_id: str, values) -> StreamPushResponse:
+        """Push one chunk of ticks; returns the segments it closed."""
+        request = StreamPushRequest(values=tuple(float(v) for v in values))
+        return self._request("POST", f"/v1/stream/{session_id}/push",
+                             encode(request))
+
+    def stream_close(self, session_id: str,
+                     values=()) -> StreamPushResponse:
+        """Flush and end a session (optionally with the final ticks)."""
+        request = StreamCloseRequest(values=tuple(float(v) for v in values))
+        return self._request("POST", f"/v1/stream/{session_id}/close",
+                             encode(request))
+
+    def stream_status(self, session_id: str) -> StreamStatusResponse:
+        return self._request("GET", f"/v1/stream/{session_id}")
+
+    def stream_ingest(self, session_id: str, chunks,
+                      close: bool = False) -> list[StreamPushResponse]:
+        """Drive ``/v1/stream/{id}/ingest`` over one chunked request.
+
+        Each chunk (a sequence of ticks) becomes one NDJSON line in a
+        chunked-transfer request; the server answers with one tagged
+        ``StreamPushResponse`` line per chunk, interleaved as they are
+        processed.  ``http.client`` cannot read a response while a
+        chunked request is still being written, so this helper speaks
+        raw sockets: it writes every line, terminates the request, then
+        drains the streamed response — safe because the server's events
+        accumulate in the socket buffer meanwhile (loopback-sized
+        volumes; a firehose client should read concurrently).
+        """
+        path = f"/v1/stream/{session_id}/ingest"
+        if close:
+            path += "?close=1"
+        head = (f"POST {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Content-Type: application/x-ndjson\r\n"
+                "Transfer-Encoding: chunked\r\n"
+                "Connection: close\r\n\r\n")
+        with socket.create_connection((self.host, self.port),
+                                      timeout=self.timeout) as sock:
+            sock.sendall(head.encode())
+            for chunk in chunks:
+                data = (json.dumps([float(v) for v in chunk])
+                        + "\n").encode()
+                sock.sendall(b"%x\r\n%s\r\n" % (len(data), data))
+            sock.sendall(b"0\r\n\r\n")
+            raw = b""
+            while True:
+                block = sock.recv(65536)
+                if not block:
+                    break
+                raw += block
+        return self._parse_ingest_response(raw)
+
+    @staticmethod
+    def _parse_ingest_response(raw: bytes) -> list[StreamPushResponse]:
+        """Decode a chunked NDJSON ingest response into typed payloads."""
+        header, _, body = raw.partition(b"\r\n\r\n")
+        status_line = header.split(b"\r\n", 1)[0].decode("latin-1")
+        status = int(status_line.split()[1]) if len(
+            status_line.split()) > 1 else 0
+        if b"chunked" in header.lower():
+            text = b""
+            while body:
+                size_line, _, body = body.partition(b"\r\n")
+                try:
+                    size = int(size_line.split(b";", 1)[0].strip(), 16)
+                except ValueError:
+                    break
+                if size == 0:
+                    break
+                text += body[:size]
+                body = body[size + 2:]  # skip the chunk's CRLF
+        else:
+            text = body
+        events: list[StreamPushResponse] = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            obj = decode(json.loads(line))
+            if isinstance(obj, ErrorEnvelope):
+                raise ServerError(status if status >= 400 else 500, obj,
+                                  line.decode("utf-8", errors="replace"))
+            events.append(obj)
+        if status >= 400:
+            raise ServerError(status, None, raw[:200].decode(
+                "utf-8", errors="replace"))
+        return events

@@ -17,12 +17,16 @@ sending it: queueing delay inside the harness counts against the server,
 the way a real user's wait would.
 
 The request mix is configurable — ``compress`` / ``forecast`` (the
-micro-batched endpoints) and ``grid`` (async submit) — and either
-*synthesized* over the dataset/method/model registries (a small pool of
-overlapping signatures, so micro-batching and content-addressed caching
-both matter, like real traffic) or *replayed* from a JSONL trace file
-(``{"endpoint": "compress", "payload": {...tagged request...}}`` per
-line, cycled over the schedule).
+micro-batched endpoints), ``grid`` (async submit), and ``stream``
+(whole live sessions: open, a fixed chunk sequence of pushes, close —
+one *scheduled arrival per session*, its latency measured open-to-close)
+— and either *synthesized* over the dataset/method/model registries (a
+small pool of overlapping signatures, so micro-batching and
+content-addressed caching both matter, like real traffic) or *replayed*
+from a JSONL trace file (``{"endpoint": "compress", "payload":
+{...tagged request...}}`` per line — for ``stream`` the payload is
+``{"open": {...tagged StreamOpenRequest...}, "chunks": [[...], ...]}``
+— cycled over the schedule).
 
 The report carries:
 
@@ -52,7 +56,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from repro.api.codec import encode
-from repro.api.requests import (CompressRequest, ForecastRequest, GridRequest)
+from repro.api.requests import (CompressRequest, ForecastRequest, GridRequest,
+                                StreamCloseRequest, StreamOpenRequest,
+                                StreamPushRequest)
 from repro.api.schema import validate_payload
 from repro.bench import machine_metadata, percentiles
 from repro.compression.registry import LOSSY_METHODS
@@ -64,9 +70,10 @@ from repro.server.client import ReproClient
 DEFAULT_OUTPUT = "BENCH_serve.json"
 SCHEMA_VERSION = 1
 
-#: request kind -> endpoint path
+#: request kind -> endpoint path ("stream" drives a whole session
+#: against /v1/stream + its per-session push/close sub-paths)
 ENDPOINTS = {"compress": "/v1/compress", "forecast": "/v1/forecast",
-             "grid": "/v1/grid"}
+             "grid": "/v1/grid", "stream": "/v1/stream"}
 
 #: default mix: batched endpoints dominate, a trickle of async grids
 DEFAULT_MIX: tuple[tuple[str, float], ...] = (
@@ -146,7 +153,40 @@ def synthesized_pools(length: int | None = None) -> dict[str, list[dict]]:
     grid = [encode(GridRequest(datasets=(DATASET_NAMES[0],),
                                models=("GBoost",), methods=("PMC",),
                                error_bounds=(0.1,), seeds=1, length=length))]
-    return {"compress": compress, "forecast": forecast, "grid": grid}
+    return {"compress": compress, "forecast": forecast, "grid": grid,
+            "stream": stream_specs()}
+
+
+def stream_specs(sessions: int = 4, chunks: int = 6,
+                 chunk_ticks: int = 32) -> list[dict]:
+    """Deterministic stream-session specs for the ``stream`` kind.
+
+    Each spec is one whole session: an open payload (PMC/Swing at two
+    bounds, a short Naive forecast cadence) plus a fixed random-walk
+    tick sequence split into chunks.  Values are seeded per spec, so a
+    rerun offers byte-identical sessions.
+    """
+    specs: list[dict] = []
+    settings = [("PMC", 0.05), ("SWING", 0.05), ("PMC", 0.1),
+                ("SWING", 0.1)]
+    for index in range(sessions):
+        method, bound = settings[index % len(settings)]
+        rng = random.Random(9_000 + index)
+        level = 20.0
+        tick_chunks: list[list[float]] = []
+        for _ in range(chunks):
+            chunk: list[float] = []
+            for _ in range(chunk_ticks):
+                level += rng.gauss(0.0, 0.1)
+                chunk.append(round(level, 6))
+            tick_chunks.append(chunk)
+        specs.append({
+            "open": encode(StreamOpenRequest(
+                method=method, error_bound=bound, forecaster="Naive",
+                horizon=8, forecast_every=4)),
+            "chunks": tick_chunks,
+        })
+    return specs
 
 
 def load_replay(path: str) -> list[tuple[str, dict]]:
@@ -162,7 +202,21 @@ def load_replay(path: str) -> list[tuple[str, dict]]:
                 raise ValueError(f"{path}:{number}: unknown endpoint "
                                  f"{kind!r} (choose from "
                                  f"{', '.join(ENDPOINTS)})")
-            payload = validate_payload(record["payload"])
+            payload = record["payload"]
+            if kind == "stream":
+                # a session spec: tagged open payload + plain tick chunks
+                if not isinstance(payload, dict):
+                    raise ValueError(f"{path}:{number}: stream payload "
+                                     "must be an object")
+                validate_payload(payload.get("open"))
+                chunks = payload.get("chunks")
+                if not (isinstance(chunks, list) and chunks
+                        and all(isinstance(c, list) for c in chunks)):
+                    raise ValueError(f"{path}:{number}: stream payload "
+                                     "needs a non-empty 'chunks' list of "
+                                     "tick arrays")
+            else:
+                validate_payload(payload)
             items.append((kind, payload))
     if not items:
         raise ValueError(f"{path}: replay trace holds no requests")
@@ -224,6 +278,32 @@ def _classify(status: int) -> str:
     return "error"
 
 
+def _drive_stream(client: ReproClient, spec: dict
+                  ) -> tuple[int, str, str | None]:
+    """One whole stream session: open, push every chunk, close.
+
+    The session counts as ONE scheduled arrival; its outcome is the
+    first non-2xx answer (a shed open is a clean ``shed``, matching the
+    admission contract) and its latency runs open-to-close — the
+    user-visible cost of streaming a series through the daemon.
+    """
+    status, headers, body = client.request_full("POST", ENDPOINTS["stream"],
+                                                spec["open"])
+    if not 200 <= status < 300:
+        return status, _classify(status), headers.get("Retry-After")
+    session_id = json.loads(body)["session_id"]
+    for chunk in spec["chunks"]:
+        status, headers, _ = client.request_full(
+            "POST", f"/v1/stream/{session_id}/push",
+            encode(StreamPushRequest(values=tuple(chunk))))
+        if not 200 <= status < 300:
+            return status, _classify(status), headers.get("Retry-After")
+    status, headers, _ = client.request_full(
+        "POST", f"/v1/stream/{session_id}/close",
+        encode(StreamCloseRequest()))
+    return status, _classify(status), headers.get("Retry-After")
+
+
 def _fire(client: ReproClient, work: queue_module.Queue, start: float,
           results: list[dict], lock: threading.Lock) -> None:
     """One client thread: pop scheduled work, wait for its arrival, fire."""
@@ -237,10 +317,14 @@ def _fire(client: ReproClient, work: queue_module.Queue, start: float,
             time.sleep(delay)
         sent_at = WALL()
         try:
-            status, headers, _ = client.request_full(
-                "POST", ENDPOINTS[kind], payload)
-            outcome = _classify(status)
-            retry_after = headers.get("Retry-After")
+            if kind == "stream":
+                status, outcome, retry_after = _drive_stream(client,
+                                                             payload)
+            else:
+                status, headers, _ = client.request_full(
+                    "POST", ENDPOINTS[kind], payload)
+                outcome = _classify(status)
+                retry_after = headers.get("Retry-After")
         except Exception as error:  # noqa: BLE001 — a dead socket is data
             status, outcome, retry_after = 0, "error", None
             _ = error
@@ -293,6 +377,11 @@ def _server_stats(before: dict, after: dict) -> dict:
         "batch_occupancy_p95": None,
         "cache_hit_ratio": after.get("gauges", {}).get(
             "server.cache.hit_ratio"),
+        "stream_opened": _counter(after, "server.stream.opened")
+        - _counter(before, "server.stream.opened"),
+        "stream_segments": _counter(after, "server.stream.segments")
+        - _counter(before, "server.stream.segments"),
+        "stream_live": after.get("gauges", {}).get("server.stream.live"),
     }
     if occupancy and occupancy["count"] > 0:
         stats["batches"] = occupancy["count"]
@@ -351,7 +440,9 @@ def _warm(client: ReproClient, schedule: list[tuple[float, str, dict]],
     """Serially fire each distinct batched payload once (cache warm)."""
     seen: set[str] = set()
     for _, kind, payload in schedule:
-        if kind == "grid":  # a warmup grid would create a real run
+        if kind in ("grid", "stream"):
+            # a warmup grid would create a real run, a warmup stream a
+            # real session — and stream latency has no cold cache to warm
             continue
         key = json.dumps(payload, sort_keys=True)
         if key in seen:
@@ -481,7 +572,9 @@ def self_hosted(length: int = 512, max_batch: int = 64,
                 batch_window_s: float = 0.01, max_queue: int | None = 1024,
                 max_inflight_runs: int = 16,
                 request_timeout_s: float = 60.0,
-                cache_dir: str | None = None) -> Iterator[Any]:
+                cache_dir: str | None = None, max_sessions: int = 256,
+                session_ttl_s: float = 3600.0,
+                max_resident_sessions: int | None = None) -> Iterator[Any]:
     """Boot an ephemeral in-process ``repro-serve`` to load-test against.
 
     Still exercises real sockets — the daemon binds a real port and the
@@ -501,5 +594,7 @@ def self_hosted(length: int = 512, max_batch: int = 64,
     with ReproServer(config, port=0, max_batch=max_batch,
                      batch_window_s=batch_window_s, max_queue=max_queue,
                      max_inflight_runs=max_inflight_runs,
-                     request_timeout_s=request_timeout_s) as server:
+                     request_timeout_s=request_timeout_s,
+                     max_sessions=max_sessions, session_ttl_s=session_ttl_s,
+                     max_resident_sessions=max_resident_sessions) as server:
         yield server

@@ -8,9 +8,11 @@ import pytest
 from repro.api import (API_TYPES, API_VERSION, CompressRequest,
                        CompressResponse, ErrorEnvelope, ForecastRequest,
                        ForecastResponse, GridRequest, GridSubmitResponse,
-                       HealthResponse, RunStatusResponse, TraceRequest,
-                       TraceResponse, ValidationError, decode, dumps, encode,
-                       loads)
+                       HealthResponse, RunStatusResponse, StreamCloseRequest,
+                       StreamOpenRequest, StreamOpenResponse,
+                       StreamPushRequest, StreamPushResponse, StreamSegment,
+                       StreamStatusResponse, TraceRequest, TraceResponse,
+                       ValidationError, decode, dumps, encode, loads)
 
 EXAMPLES = [
     CompressRequest("ETTm1", "PMC", 0.1, part="test", length=512),
@@ -35,6 +37,19 @@ EXAMPLES = [
     HealthResponse("ok", API_VERSION, uptime_s=1.5, runs=2),
     ErrorEnvelope("compress", "compress-ff00", "ValueError('x')",
                   attempts=3, description="compress(...)"),
+    StreamOpenRequest("PMC", 0.1, max_segment_length=64, forecaster="Drift",
+                      horizon=12, forecast_every=4, ttl_s=30.0),
+    StreamPushRequest(values=(1.0, 2.5, -3.25)),
+    StreamCloseRequest(values=(9.0,)),
+    StreamSegment("linear", 7, (0.5, 1.0)),
+    StreamOpenResponse("ab12cd34", "PMC", 0.1, 64, "Drift", 12, 4, 30.0),
+    StreamPushResponse("ab12cd34", pushed=3, ticks=10,
+                       segments=(StreamSegment("constant", 4, (2.0,)),),
+                       segments_total=3, forecast=(2.0, 2.0), forecast_at=3,
+                       closed=True),
+    StreamStatusResponse("ab12cd34", ticks=10, segments_total=3,
+                         resident=True, idle_s=0.5, method="PMC",
+                         forecaster="Drift", horizon=12),
 ]
 
 

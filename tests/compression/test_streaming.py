@@ -7,7 +7,10 @@ from hypothesis import strategies as st
 
 from repro.compression import PMC, Swing
 from repro.compression.streaming import (ConstantSegment, LinearSegment,
-                                         OnlinePMC, OnlineSwing, reconstruct)
+                                         OnlinePMC, OnlineSwing,
+                                         reconstruct, restore_compressor,
+                                         segment_from_wire, segment_to_wire,
+                                         segments_payload)
 from repro.datasets import TimeSeries
 
 
@@ -152,3 +155,79 @@ def test_property_streaming_pmc_equals_batch(values, error_bound):
     batch = PMC().compress(TimeSeries(values, interval=60), error_bound)
     assert np.allclose(reconstruct(encoder.segments),
                        batch.decompressed.values, atol=1e-5)
+
+
+# -- snapshot / restore ------------------------------------------------------
+
+
+def _split_run(cls, values, cut):
+    """Encode ``values`` with a snapshot/restore break after ``cut`` ticks."""
+    first = cls(0.1)
+    segments = first.extend(values[:cut])
+    resumed = restore_compressor(first.snapshot())
+    segments += resumed.extend(values[cut:])
+    segments += resumed.flush()
+    return segments
+
+
+@pytest.mark.parametrize("cls", [OnlinePMC, OnlineSwing],
+                         ids=lambda c: c.__name__)
+@pytest.mark.parametrize("cut", [0, 1, 7, 400, 799, 800])
+def test_snapshot_restore_mid_segment_is_invisible(cls, cut):
+    # a snapshot taken mid-open-segment then restored into a fresh object
+    # must continue the stream byte-for-byte — the property eviction and
+    # daemon restart lean on (see repro.server.sessions)
+    values = noisy_series(seed=11)
+    uninterrupted = cls(0.1)
+    expected = uninterrupted.extend(values) + uninterrupted.flush()
+    assert segments_payload(_split_run(cls, values, cut)) == \
+        segments_payload(expected)
+
+
+def test_snapshot_survives_json_round_trip():
+    # snapshots cross the DiskCache boundary as JSON: a dumps/loads cycle
+    # must not perturb the encoder state (floats stay exact, None stays
+    # None for a Swing anchor that has not seen a tick yet)
+    import json
+
+    values = noisy_series(n=50, seed=12)
+    encoder = OnlineSwing(0.1)
+    head = encoder.extend(values[:20])
+    snapshot = json.loads(json.dumps(encoder.snapshot()))
+    resumed = restore_compressor(snapshot)
+    tail = resumed.extend(values[20:]) + resumed.flush()
+    uninterrupted = OnlineSwing(0.1)
+    expected = uninterrupted.extend(values) + uninterrupted.flush()
+    assert segments_payload(head + tail) == segments_payload(expected)
+
+
+def test_snapshot_preserves_finished_flag():
+    encoder = OnlinePMC(0.1)
+    encoder.push(1.0)
+    encoder.flush()
+    resumed = restore_compressor(encoder.snapshot())
+    with pytest.raises(RuntimeError):
+        resumed.push(2.0)
+
+
+def test_restore_rejects_unknown_algorithm():
+    with pytest.raises(ValueError):
+        restore_compressor({"algorithm": "Nope", "error_bound": 0.1,
+                            "max_segment_length": 10, "finished": False,
+                            "state": {}})
+
+
+def test_segment_wire_round_trip():
+    for segment in (ConstantSegment(length=4, value=2.5),
+                    LinearSegment(length=7, slope=0.5, intercept=1.0)):
+        kind, length, params = segment_to_wire(segment)
+        assert segment_from_wire(kind, length, params) == segment
+
+
+def test_segments_payload_is_injective_on_params():
+    # byte-equality of payloads is the equivalence oracle: distinct
+    # segment streams must never collide
+    a = segments_payload([ConstantSegment(length=1, value=2.0)])
+    b = segments_payload([ConstantSegment(length=2, value=1.0)])
+    c = segments_payload([LinearSegment(length=1, slope=0.0, intercept=2.0)])
+    assert len({a, b, c}) == 3

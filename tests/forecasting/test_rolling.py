@@ -1,0 +1,73 @@
+"""Rolling (streaming) forecasters: O(1) state, exact snapshot round trip."""
+
+import json
+
+import pytest
+
+from repro.forecasting.rolling import (STREAM_MODEL_NAMES, STREAM_MODELS,
+                                       DriftRolling, NaiveRolling, SesRolling,
+                                       restore_forecaster)
+
+
+def test_registry_is_consistent():
+    assert set(STREAM_MODEL_NAMES) == set(STREAM_MODELS)
+    for name, cls in STREAM_MODELS.items():
+        assert cls.name == name
+
+
+def test_forecast_before_any_observation_is_empty():
+    for cls in STREAM_MODELS.values():
+        assert cls().forecast(5) == ()
+
+
+def test_bad_horizon_rejected():
+    model = NaiveRolling()
+    model.update([1.0])
+    with pytest.raises(ValueError):
+        model.forecast(0)
+
+
+def test_naive_repeats_last_value():
+    model = NaiveRolling()
+    model.update([1.0, 2.0, 7.5])
+    assert model.forecast(3) == (7.5, 7.5, 7.5)
+
+
+def test_drift_extrapolates_first_to_last_slope():
+    model = DriftRolling()
+    model.update([1.0, 3.0, 5.0])  # slope (5-1)/2 = 2
+    assert model.forecast(3) == (7.0, 9.0, 11.0)
+
+
+def test_drift_with_one_observation_is_flat():
+    model = DriftRolling()
+    model.update([4.0])
+    assert model.forecast(2) == (4.0, 4.0)
+
+
+def test_ses_converges_toward_constant_stream():
+    model = SesRolling()
+    model.update([10.0] * 50)
+    level = model.forecast(2)
+    assert level[0] == pytest.approx(10.0)
+    assert level[0] == level[1]  # flat level forecast
+
+
+@pytest.mark.parametrize("name", STREAM_MODEL_NAMES)
+def test_snapshot_restore_is_exact(name):
+    values = [1.0, 2.5, -3.0, 4.25, 4.25, 9.0]
+    split = 3
+    uninterrupted = STREAM_MODELS[name]()
+    uninterrupted.update(values)
+    broken = STREAM_MODELS[name]()
+    broken.update(values[:split])
+    # snapshots cross the DiskCache boundary as JSON
+    resumed = restore_forecaster(json.loads(json.dumps(broken.snapshot())))
+    resumed.update(values[split:])
+    assert resumed.forecast(4) == uninterrupted.forecast(4)
+    assert resumed.snapshot() == uninterrupted.snapshot()
+
+
+def test_restore_rejects_unknown_model():
+    with pytest.raises(ValueError):
+        restore_forecaster({"model": "Nope", "seen": 0, "state": {}})

@@ -62,7 +62,14 @@ def test_synthesized_pools_cover_every_endpoint():
     assert set(pools) == set(ENDPOINTS)
     for kind, payloads in pools.items():
         assert payloads, f"empty pool for {kind}"
-        assert all("type" in payload for payload in payloads)
+        if kind == "stream":
+            # stream specs are session scripts, not single tagged payloads:
+            # a tagged open request plus the chunk schedule to push
+            for spec in payloads:
+                assert spec["open"]["type"] == "StreamOpenRequest"
+                assert spec["chunks"] and all(spec["chunks"])
+        else:
+            assert all("type" in payload for payload in payloads)
 
 
 # -- replay traces -------------------------------------------------------------
@@ -243,4 +250,68 @@ def test_loadgen_under_overload_sheds_instead_of_hanging():
     # the drive finishes in bounded time and the SLO gate stays green
     assert report["latency_ms"]["max"] < config.timeout_s * 1e3
     assert elapsed < config.duration_s + config.timeout_s
+    assert check_serve_report(report) == []
+
+
+# -- the stream kind -----------------------------------------------------------
+
+
+def test_stream_replay_round_trips(tmp_path):
+    spec = synthesized_pools(256)["stream"][0]
+    path = tmp_path / "trace.jsonl"
+    path.write_text(_replay_line("stream", spec) + "\n")
+    items = load_replay(str(path))
+    assert items == [("stream", spec)]
+
+
+def test_stream_replay_rejects_a_chunkless_spec(tmp_path):
+    spec = dict(synthesized_pools(256)["stream"][0])
+    spec["chunks"] = []
+    path = tmp_path / "trace.jsonl"
+    path.write_text(_replay_line("stream", spec) + "\n")
+    with pytest.raises(ValueError, match="chunks"):
+        load_replay(str(path))
+
+
+def test_loadgen_drives_stream_sessions_end_to_end():
+    # a pure-stream mix: every scheduled arrival is one whole session
+    # (open -> chunk pushes -> close) and must drain cleanly
+    config = LoadgenConfig(duration_s=1.5, rate_hz=8.0, clients=4, seed=5,
+                           mix=(("stream", 1.0),), timeout_s=30.0,
+                           slo=SloConfig(max_p99_ms=20_000.0,
+                                         min_throughput_rps=0.5))
+    with self_hosted(length=256, request_timeout_s=30.0) as server:
+        report = run_loadgen(config, host=server.host, port=server.port,
+                             length=256)
+        assert server.sessions.live() == 0  # every session was closed
+    totals = report["totals"]
+    assert totals["ok"] == totals["sent"] > 0
+    assert totals["shed"] == totals["timeouts"] == totals["errors"] == 0
+    assert set(report["per_kind"]) == {"stream"}
+    # the server-side counters saw the sessions the drive opened
+    assert report["server"]["stream_opened"] >= totals["ok"]
+    assert report["server"]["stream_segments"] > 0
+    assert report["server"]["stream_live"] == 0
+    assert check_serve_report(report) == []
+
+
+def test_loadgen_stream_sheds_at_the_admission_cap():
+    # a one-session server under a stream burst: overflow opens are shed
+    # as 429s (counted, not errored) and the drive still drains
+    config = LoadgenConfig(duration_s=1.0, rate_hz=40.0, clients=8, seed=6,
+                           mix=(("stream", 1.0),), timeout_s=10.0,
+                           warmup=False,
+                           slo=SloConfig(max_p99_ms=60_000.0,
+                                         min_throughput_rps=0.0,
+                                         max_shed_rate=1.0))
+    with self_hosted(length=256, max_sessions=1,
+                     request_timeout_s=10.0) as server:
+        report = run_loadgen(config, host=server.host, port=server.port,
+                             length=256)
+    totals = report["totals"]
+    assert totals["sent"] == totals["scheduled"]
+    assert totals["shed"] > 0
+    assert totals["errors"] == 0
+    assert totals["ok"] + totals["shed"] + totals["timeouts"] \
+        == totals["sent"]
     assert check_serve_report(report) == []
