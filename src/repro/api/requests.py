@@ -33,16 +33,17 @@ import math
 from dataclasses import dataclass
 
 from repro.api.errors import ValidationError
-from repro.compression.registry import LOSSY_METHODS
+from repro.compression.registry import (GRID_METHODS, STREAMING_METHODS)
 from repro.datasets.registry import DATASET_NAMES
-from repro.forecasting.registry import MODEL_NAMES
 from repro.forecasting.rolling import STREAM_MODEL_NAMES
+from repro.registry import model_names, task_names
 
 #: wire version stamped into every encoded payload ("v" field)
 API_VERSION = 1
 
-#: compression methods accepted over the API (lossy + the lossless baseline)
-COMPRESS_METHODS: tuple[str, ...] = LOSSY_METHODS + ("GORILLA",)
+#: compression methods accepted over the API (every grid-selectable
+#: error-bounded method plus the lossless baseline) — registry-derived
+COMPRESS_METHODS: tuple[str, ...] = GRID_METHODS + ("GORILLA",)
 
 #: split parts a CompressRequest may target
 PARTS: tuple[str, ...] = ("train", "validation", "test", "full")
@@ -50,8 +51,12 @@ PARTS: tuple[str, ...] = ("train", "validation", "test", "full")
 #: method label of uncompressed baseline forecasts
 RAW = "RAW"
 
-#: streaming-capable compression methods (the online encoders)
-STREAM_METHODS: tuple[str, ...] = ("PMC", "SWING")
+#: downstream task a grid cell evaluates when none is requested
+DEFAULT_TASK = "forecasting"
+
+#: streaming-capable compression methods (the online encoders) —
+#: registry-derived, aliased under the name the wire contract pinned
+STREAM_METHODS: tuple[str, ...] = STREAMING_METHODS
 
 
 def _check(condition: bool, message: str, key: str) -> None:
@@ -104,22 +109,32 @@ class ForecastRequest:
     retrained: bool = False
     #: series length (None = the service config's dataset_length)
     length: int | None = None
+    #: downstream task the cell scores ("forecasting" or "anomaly");
+    #: absent on pre-task payloads, which default here
+    task: str = DEFAULT_TASK
 
     def validate(self) -> "ForecastRequest":
-        _check(self.model in MODEL_NAMES,
-               f"unknown model {self.model!r} "
-               f"(choose from {', '.join(MODEL_NAMES)})", "model")
+        _check(self.task in task_names(),
+               f"unknown task {self.task!r} "
+               f"(choose from {', '.join(task_names())})", "task")
+        models = model_names(task=self.task)
+        _check(self.model in models,
+               f"unknown {self.task} model {self.model!r} "
+               f"(choose from {', '.join(models)})", "model")
         _check(self.dataset in DATASET_NAMES,
                f"unknown dataset {self.dataset!r}", "dataset")
-        _check(self.method == RAW or self.method in LOSSY_METHODS,
+        _check(self.method == RAW or self.method in GRID_METHODS,
                f"unknown method {self.method!r} "
-               f"(choose from RAW, {', '.join(LOSSY_METHODS)})", "method")
+               f"(choose from RAW, {', '.join(GRID_METHODS)})", "method")
         _check(self.error_bound >= 0.0,
                f"error_bound must be >= 0, got {self.error_bound}",
                "error_bound")
         _check(self.seed >= 0, f"seed must be >= 0, got {self.seed}", "seed")
         _check(not (self.method == RAW and self.retrained),
                "retrained=True requires a lossy method", "retrained")
+        _check(not (self.retrained and self.task != DEFAULT_TASK),
+               "retrained=True applies to the forecasting task only",
+               "retrained")
         _check(self.length is None or self.length > 0,
                f"length must be positive, got {self.length}", "length")
         return self
@@ -139,19 +154,31 @@ class GridRequest:
     #: seeds per model (None = the config's deep/simple seed counts)
     seeds: int | None = None
     length: int | None = None
+    #: downstream task of every cell; absent on pre-task payloads,
+    #: which default here (and hash to the same cache keys as before)
+    task: str = DEFAULT_TASK
 
     def validate(self) -> "GridRequest":
+        _check(self.task in task_names(),
+               f"unknown task {self.task!r} "
+               f"(choose from {', '.join(task_names())})", "task")
+        models = model_names(task=self.task)
         for name in self.datasets or ():
             _check(name in DATASET_NAMES, f"unknown dataset {name!r}",
                    "datasets")
         for name in self.models or ():
-            _check(name in MODEL_NAMES, f"unknown model {name!r}", "models")
+            _check(name in models,
+                   f"unknown {self.task} model {name!r} "
+                   f"(choose from {', '.join(models)})", "models")
         for name in self.methods or ():
-            _check(name in LOSSY_METHODS, f"unknown method {name!r}",
+            _check(name in GRID_METHODS, f"unknown method {name!r}",
                    "methods")
         for bound in self.error_bounds or ():
             _check(bound >= 0.0, f"error_bound must be >= 0, got {bound}",
                    "error_bounds")
+        _check(not (self.retrained and self.task != DEFAULT_TASK),
+               "retrained=True applies to the forecasting task only",
+               "retrained")
         _check(self.seeds is None or self.seeds > 0,
                f"seeds must be positive, got {self.seeds}", "seeds")
         _check(self.length is None or self.length > 0,
@@ -170,7 +197,7 @@ def _check_ticks(values, key: str) -> None:
 class StreamOpenRequest:
     """Open one live ``/v1/stream`` session."""
 
-    #: streaming compression method ("PMC" or "SWING")
+    #: streaming compression method (one of :data:`STREAM_METHODS`)
     method: str
     error_bound: float
     #: cap on emitted segment lengths (the 16-bit wire default)

@@ -67,13 +67,15 @@ class ForecastResponse:
     retrained: bool
     #: metric name -> score over the evaluation windows
     metrics: dict[str, float] = field(default_factory=dict)
+    #: downstream task that scored the cell (absent on pre-task payloads)
+    task: str = "forecasting"
 
     @classmethod
     def from_record(cls, record: "ScenarioRecord") -> "ForecastResponse":
         return cls(dataset=record.dataset, model=record.model,
                    method=record.method, error_bound=record.error_bound,
                    seed=record.seed, retrained=record.retrained,
-                   metrics=dict(record.metrics))
+                   metrics=dict(record.metrics), task=record.task)
 
     def to_record(self) -> "ScenarioRecord":
         """The legacy record type the scenario methods return."""
@@ -81,7 +83,8 @@ class ForecastResponse:
 
         return ScenarioRecord(self.dataset, self.model, self.method,
                               self.error_bound, self.seed,
-                              dict(self.metrics), retrained=self.retrained)
+                              dict(self.metrics), retrained=self.retrained,
+                              task=self.task)
 
 
 @dataclass(frozen=True)
@@ -118,18 +121,20 @@ class TraceResponse:
 
 
 #: segment kinds a stream session may emit
-STREAM_SEGMENT_KINDS: tuple[str, ...] = ("constant", "linear")
+STREAM_SEGMENT_KINDS: tuple[str, ...] = ("constant", "linear", "lfzip")
 
 
 @dataclass(frozen=True)
 class StreamSegment:
     """One closed error-bounded segment on the wire.
 
-    ``params`` is ``(value,)`` for a constant (PMC) segment and
-    ``(slope, intercept)`` for a linear (Swing) one — the exact float64
-    state of the server-side encoder, so :meth:`to_segment` rebuilds the
-    in-memory segment bit-for-bit (the equivalence suite's byte-identity
-    claim crosses the wire through this type).
+    ``params`` is ``(value,)`` for a constant (PMC) segment,
+    ``(slope, intercept)`` for a linear (Swing) one, and the flattened
+    ``(step, base, weights..., outlier count, outliers..., symbols...)``
+    block state for an ``lfzip`` one — the exact float64 state of the
+    server-side encoder, so :meth:`to_segment` rebuilds the in-memory
+    segment bit-for-bit (the equivalence suite's byte-identity claim
+    crosses the wire through this type).
     """
 
     kind: str

@@ -57,7 +57,7 @@ SCHEMAS: dict[str, dict] = {
         ["model", "dataset"],
         {"model": _STRING, "dataset": _STRING, "method": _STRING,
          "error_bound": _NUMBER, "seed": _INTEGER, "retrained": _BOOLEAN,
-         "length": _NULL_INT}),
+         "length": _NULL_INT, "task": _STRING}),
     "GridRequest": _tagged(
         [],
         {"datasets": _array(_STRING, nullable=True),
@@ -65,7 +65,7 @@ SCHEMAS: dict[str, dict] = {
          "methods": _array(_STRING, nullable=True),
          "error_bounds": _array(_NUMBER, nullable=True),
          "include_baseline": _BOOLEAN, "retrained": _BOOLEAN,
-         "seeds": _NULL_INT, "length": _NULL_INT}),
+         "seeds": _NULL_INT, "length": _NULL_INT, "task": _STRING}),
     "TraceRequest": _tagged(
         ["run_dir"], {"run_dir": _STRING, "top": _INTEGER}),
     "StreamOpenRequest": _tagged(
@@ -89,7 +89,7 @@ SCHEMAS: dict[str, dict] = {
         ["dataset", "model", "method", "error_bound", "seed", "retrained"],
         {"dataset": _STRING, "model": _STRING, "method": _STRING,
          "error_bound": _NUMBER, "seed": _INTEGER, "retrained": _BOOLEAN,
-         "metrics": _METRIC_MAP}),
+         "metrics": _METRIC_MAP, "task": _STRING}),
     "GridSubmitResponse": _tagged(
         ["run_id", "cells"],
         {"run_id": _STRING, "cells": _INTEGER, "status": _STRING}),
@@ -105,8 +105,8 @@ SCHEMAS: dict[str, dict] = {
         ["run_dir"], {"run_dir": _STRING, "lines": _array(_STRING)}),
     "StreamSegment": _tagged(
         ["kind", "length", "params"],
-        {"kind": {"enum": ["constant", "linear"]}, "length": _INTEGER,
-         "params": _array(_NUMBER)}),
+        {"kind": {"enum": ["constant", "linear", "lfzip"]},
+         "length": _INTEGER, "params": _array(_NUMBER)}),
     "StreamOpenResponse": _tagged(
         ["session_id", "method", "error_bound", "max_segment_length",
          "forecaster", "horizon", "forecast_every", "ttl_s"],

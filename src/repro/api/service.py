@@ -49,8 +49,8 @@ from repro.metrics.errors import transformation_error
 from repro.metrics.pointwise import METRICS
 from repro.runtime.executor import Executor, FailureRecord, RunManifest
 from repro.runtime.graph import TaskGraph
-from repro.runtime.jobs import (CompressJob, FeatureJob, ForecastJob, JobSpec,
-                                TrainJob, freeze_kwargs)
+from repro.runtime.jobs import (CompressJob, FeatureJob, JobSpec, TrainJob,
+                                freeze_kwargs)
 
 # ``repro.core`` types are imported lazily: its package ``__init__``
 # imports the scenario façade, which imports this module (jobs.py rule)
@@ -171,16 +171,18 @@ class ApiService:
                         self.config.input_length, self.config.horizon, seed,
                         model_kwargs=freeze_kwargs(kwargs), train_on=train_on)
 
-    def forecast_job(self, request: ForecastRequest) -> ForecastJob:
-        length = self._length(request.length)
-        kwargs = self._model_kwargs(request.model, request.dataset, length)
-        return ForecastJob(request.model, request.dataset, length,
-                           self.config.input_length, self.config.horizon,
-                           self.config.eval_stride, request.seed,
-                           method=request.method,
-                           error_bound=request.error_bound,
-                           retrained=request.retrained,
-                           model_kwargs=freeze_kwargs(kwargs))
+    def forecast_job(self, request: ForecastRequest) -> JobSpec:
+        """The job spec for one grid cell, dispatched on the cell's task.
+
+        Each registered task's ``job_builder`` maps the request onto its
+        own job type — ``ForecastJob`` for ``"forecasting"`` (whose field
+        list, and hence cache keys, predate the task axis and stay
+        untouched), ``AnomalyJob`` for ``"anomaly"``.
+        """
+        from repro import registry as _registry
+
+        builder = _registry.task_info(request.task).job_builder
+        return builder(self, request)
 
     # -- failure mapping --------------------------------------------------------
 
@@ -281,31 +283,49 @@ class ApiService:
 
     # -- grid -------------------------------------------------------------------
 
-    def _seeds_for(self, model: str, override: int | None) -> tuple[int, ...]:
+    def _seeds_for(self, model: str, override: int | None,
+                   task: str) -> tuple[int, ...]:
         if override is not None:
             return tuple(range(override))
+        if task != "forecasting":
+            # detectors are deterministic: one seed unless asked for more
+            return (0,)
         return self.config.seeds_for(model)
 
     def grid_requests(self, request: GridRequest) -> list[ForecastRequest]:
-        """The per-cell requests a grid expands to, in record order."""
+        """The per-cell requests a grid expands to, in record order.
+
+        The model axis defaults per task: the config's models for
+        forecasting, every registered detector for anomaly.
+        """
+        from repro import registry as _registry
+
         datasets = request.datasets or self.config.datasets
-        models = request.models or self.config.models
+        if request.models:
+            models = request.models
+        elif request.task == "forecasting":
+            models = self.config.models
+        else:
+            models = _registry.model_names(task=request.task)
         methods = request.methods or self.config.compressors
         error_bounds = request.error_bounds or self.config.error_bounds
         cells: list[ForecastRequest] = []
         for dataset_name in datasets:
             for model_name in models:
-                seeds = self._seeds_for(model_name, request.seeds)
+                seeds = self._seeds_for(model_name, request.seeds,
+                                        request.task)
                 if request.include_baseline:
                     cells += [ForecastRequest(model_name, dataset_name,
                                               seed=seed,
-                                              length=request.length)
+                                              length=request.length,
+                                              task=request.task)
                               for seed in seeds]
                 cells += [ForecastRequest(model_name, dataset_name,
                                           method=method,
                                           error_bound=error_bound, seed=seed,
                                           retrained=request.retrained,
-                                          length=request.length)
+                                          length=request.length,
+                                          task=request.task)
                           for method in methods
                           for error_bound in error_bounds
                           for seed in seeds]

@@ -93,7 +93,7 @@ class BenchConfig:
     error_bounds: tuple[float, ...] = DEFAULT_ERROR_BOUNDS
     grid_length: int = 2_000
     min_speedup: float = 1.0
-    methods: tuple[str, ...] = ("PMC", "SWING", "SZ")
+    methods: tuple[str, ...] = ("PMC", "SWING", "SZ", "CAMEO", "LFZIP")
     max_obs_overhead_percent: float = DEFAULT_MAX_OBS_OVERHEAD_PERCENT
 
     def to_dict(self) -> dict:
@@ -149,13 +149,10 @@ def percentiles(samples: list[float],
 
 
 def _compressor_pair(method: str):
-    from repro.compression.pmc import PMC
-    from repro.compression.swing import Swing
-    from repro.compression.sz import SZ
+    from repro.registry import make_compressor
 
-    classes = {"PMC": PMC, "SWING": Swing, "SZ": SZ}
-    cls = classes[method]
-    return cls(use_kernel=True), cls(use_kernel=False)
+    return (make_compressor(method, use_kernel=True),
+            make_compressor(method, use_kernel=False))
 
 
 def bench_method(method: str, series, error_bound: float,

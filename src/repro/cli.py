@@ -59,12 +59,16 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-from repro.compression.registry import LOSSY_METHODS, PAPER_ERROR_BOUNDS
+from repro.compression.registry import (GRID_METHODS, LOSSY_METHODS,
+                                        PAPER_ERROR_BOUNDS)
 from repro.datasets.registry import DATASET_NAMES
 from repro.forecasting.registry import MODEL_NAMES
+from repro.registry import model_names, task_names
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.server.app import add_serve_arguments
+
     parser = argparse.ArgumentParser(
         prog="repro-eval",
         description="Reproduction of 'Evaluating the Impact of Error-Bounded "
@@ -76,7 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
     compress = commands.add_parser("compress", help="compress one dataset")
     compress.add_argument("--dataset", required=True, choices=DATASET_NAMES)
     compress.add_argument("--method", required=True,
-                          choices=LOSSY_METHODS + ("GORILLA",))
+                          choices=GRID_METHODS + ("GORILLA",))
     compress.add_argument("--error-bound", type=float, default=0.1)
     compress.add_argument("--length", type=int, default=5_000)
     compress.add_argument("--json", action="store_true",
@@ -100,9 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
         "grid", help="run a sub-grid through the task-graph runtime")
     grid.add_argument("--datasets", nargs="+", choices=DATASET_NAMES,
                       default=["ETTm1", "Weather"])
-    grid.add_argument("--models", nargs="+", choices=MODEL_NAMES,
-                      default=["Arima", "DLinear"])
-    grid.add_argument("--methods", nargs="+", choices=LOSSY_METHODS,
+    grid.add_argument("--task", choices=task_names(), default="forecasting",
+                      help="downstream task scoring each cell")
+    grid.add_argument("--models", nargs="+", choices=model_names(),
+                      default=None,
+                      help="models of the chosen task (default: Arima + "
+                           "DLinear for forecasting, every registered "
+                           "detector otherwise)")
+    grid.add_argument("--methods", nargs="+", choices=GRID_METHODS,
                       default=list(LOSSY_METHODS))
     grid.add_argument("--error-bounds", type=float, nargs="+",
                       default=[0.1, 0.4])
@@ -266,19 +275,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the tagged TraceResponse payload (the "
                             "exact /v1/trace body) instead of plain lines")
 
-    # `serve` forwards its whole argument list to the repro-serve parser;
-    # main() intercepts it before parse_args because argparse.REMAINDER
-    # cannot capture leading optionals — this stub only documents it here
-    commands.add_parser(
-        "serve", help="start the repro-serve HTTP daemon (typed /v1 API); "
-                      "all following arguments are forwarded to repro-serve")
+    serve = commands.add_parser(
+        "serve", help="start the repro-serve HTTP daemon (typed /v1 API)")
+    add_serve_arguments(serve)
     return parser
 
 
 def _command_info() -> int:
     print("datasets:    " + ", ".join(DATASET_NAMES))
-    print("compressors: " + ", ".join(LOSSY_METHODS) + " (+ GORILLA lossless)")
+    print("compressors: " + ", ".join(GRID_METHODS) + " (+ GORILLA lossless)")
     print("models:      " + ", ".join(MODEL_NAMES))
+    for task in task_names():
+        print(f"task {task:<12s}: " + ", ".join(model_names(task=task)))
     print("error bounds:" + " " + ", ".join(str(b) for b in PAPER_ERROR_BOUNDS))
     return 0
 
@@ -365,7 +373,7 @@ def _records_digest(records) -> str:
     import hashlib
 
     payload = repr([(r.dataset, r.model, r.method, r.error_bound, r.seed,
-                     r.retrained, sorted(r.metrics.items()))
+                     r.retrained, r.task, sorted(r.metrics.items()))
                     for r in records])
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
@@ -377,9 +385,15 @@ def _command_grid(args: argparse.Namespace) -> int:
     from repro.core.results import RAW, mean_over_seeds
     from repro.runtime import JobError
 
+    if args.models:
+        models = tuple(args.models)
+    elif args.task == "forecasting":
+        models = ("Arima", "DLinear")
+    else:
+        models = model_names(task=args.task)
     config = EvaluationConfig(
         datasets=tuple(args.datasets),
-        models=tuple(args.models),
+        models=models,
         compressors=tuple(args.methods),
         error_bounds=tuple(args.error_bounds),
         dataset_length=args.length,
@@ -401,9 +415,11 @@ def _command_grid(args: argparse.Namespace) -> int:
     print(f"grid: {len(config.datasets)} datasets x {len(config.models)} "
           f"models x {len(config.compressors)} methods x "
           f"{len(config.error_bounds)} bounds = {cells} cells "
-          f"(+ baselines), workers={args.workers}, backend={args.backend}")
+          f"(+ baselines), task={args.task}, workers={args.workers}, "
+          f"backend={args.backend}")
     try:
-        records = evaluation.grid_records(retrained=args.retrain)
+        records = evaluation.grid_records(models=models, task=args.task,
+                                          retrained=args.retrain)
     except JobError as error:
         if evaluation.last_manifest is not None:
             print("\nrun manifest:")
@@ -422,6 +438,25 @@ def _command_grid(args: argparse.Namespace) -> int:
     print(f"records digest: {_records_digest(records)}")
 
     means = mean_over_seeds(records)
+    if args.task != "forecasting":
+        # anomaly-style tasks score detection quality, not forecast error:
+        # report per-pair baseline F1 and the worst F1 over the lossy cells
+        print(f"\n{'dataset':<10s}{'model':<12s}{'baseline F1':>12s}"
+              f"{'worst F1':>10s}")
+        for dataset in config.datasets:
+            for model in config.models:
+                metrics = means.get((dataset, model, RAW, 0.0, False))
+                scores = [m["F1"] for (ds, mdl, method, _, _), m
+                          in means.items()
+                          if ds == dataset and mdl == model
+                          and method != RAW and not math.isnan(m["F1"])]
+                baseline = (f"{metrics['F1']:>12.3f}" if metrics
+                            else f"{'failed':>12s}")
+                worst = f"{min(scores):>10.3f}" if scores else f"{'n/a':>10s}"
+                print(f"{dataset:<10s}{model:<12s}{baseline}{worst}")
+        _finish_trace(args.trace)
+        return 0
+
     # a failed baseline cell (keep-going) leaves a (dataset, model) pair
     # without a RAW denominator; compute TFE only where one exists
     have_baseline = {(dataset, model)
@@ -632,16 +667,14 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_serve(argv: list[str]) -> int:
-    from repro.server.app import serve
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.server.app import serve_from_args
 
-    return serve(argv)
+    return serve_from_args(args)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv[:1] == ["serve"]:
-        return _command_serve(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "info":
         return _command_info()
@@ -661,6 +694,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_worker(args)
     if args.command == "trace":
         return _command_trace(args)
+    if args.command == "serve":
+        return _command_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

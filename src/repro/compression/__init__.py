@@ -2,30 +2,40 @@
 
 from repro.compression.base import (CompressionResult, Compressor,
                                     check_error_bound, gzip_bytes, gunzip_bytes)
+from repro.compression.cameo import Cameo
 from repro.compression.chimp import Chimp
 from repro.compression.gorilla import Gorilla
+from repro.compression.lfzip import LFZip
 from repro.compression.ppa import PPA
 from repro.compression.pmc import PMC
 from repro.compression.swing import Swing
 from repro.compression.sz import SZ
 from repro.compression.registry import (ALL_METHODS, EXTRA_LOSSY_METHODS,
-                                        LOSSLESS_METHODS, LOSSY_METHODS,
-                                        PAPER_ERROR_BOUNDS, make)
+                                        GRID_METHODS, LOSSLESS_METHODS,
+                                        LOSSY_METHODS, PAPER_ERROR_BOUNDS,
+                                        STREAMING_METHODS, make)
 from repro.compression.multivariate import (DatasetCompressionResult,
                                              compress_dataset)
-from repro.compression.streaming import (ConstantSegment, LinearSegment,
+from repro.compression.streaming import (ConstantSegment, LFZipSegment,
+                                          LinearSegment, OnlineLFZip,
                                           OnlinePMC, OnlineSwing, reconstruct)
 from repro.compression.serialize import (compression_ratio, deserialize_raw,
                                          raw_gz_size, serialize_csv,
                                          serialize_raw)
 
 __all__ = [
+    "Cameo",
     "Chimp",
+    "LFZip",
     "PPA",
     "EXTRA_LOSSY_METHODS",
+    "GRID_METHODS",
     "LOSSLESS_METHODS",
+    "STREAMING_METHODS",
     "ConstantSegment",
+    "LFZipSegment",
     "LinearSegment",
+    "OnlineLFZip",
     "OnlinePMC",
     "OnlineSwing",
     "reconstruct",

@@ -1,25 +1,27 @@
-"""Swing filter — piecewise linear approximation (Elmeleegy et al., VLDB 2009).
+"""CAMEO-style autocorrelation-preserving line simplification.
 
-The filter anchors a segment at its first point and maintains the cone of
-line slopes that keep every later point within its relative pointwise error
-bound.  When a new point empties the cone, the window becomes a segment
-compressed by a line, and the point starts a new window.  Following
-ModelarDB's implementation (used by the paper), the emitted slope is the
-mean of the cone's upper and lower bounds.
+CAMEO (Ruiyuan et al., see PAPERS.md) frames error-bounded compression
+as greedy point elimination that bounds not just the pointwise
+reconstruction error but the error *induced in downstream aggregate
+statistics* — autocorrelation above all.  This implementation keeps the
+repo's segment-filter vocabulary: a connected sweep grows one linear
+segment at a time, and each candidate point contributes **two** linear
+constraints on the segment slope ``s``:
 
-Each segment stores a 16-bit length plus *two* coefficients.  Like
-ModelarDB, the linear coefficients are kept in double precision (PMC's
-single constant is a 32-bit float), which is the storage overhead the paper
-identifies as the reason SWING's compression ratio trails PMC's after gzip.
-A fitted segment is still re-verified after storage rounding and split in
-two if drift ever pushes a point outside its bound; on the kernel path the
-verification runs once, vectorized over the whole series, and only the
-rare drifting windows fall back to the per-window split.
+* the Swing cone — ``|fit(k) - v_k| <= eps * |v_k|`` pointwise, and
+* an aggregate-deviation budget — the running signed deviation of the
+  line from the eliminated points must satisfy ``|s * A_i - B_i| <=
+  W_i`` with ``A_i = sum(run_k)``, ``B_i = sum(v_k - anchor)`` and
+  ``W_i = ACF_WEIGHT * eps * sum(|v_k|)``.  Bounding this drift bounds
+  the perturbation of lag-window products, which is what keeps the
+  reconstructed series' ACF close to the original's.
 
-The cone scan runs on the dense first-violation sweep in
-``repro.compression.kernels`` by default; ``Swing(use_kernel=False)``
-selects the scalar per-point reference loop, pinned to the kernel by the
-equivalence suite.
+The first time the intersection empties the segment closes at the
+previous point and the violator anchors the next one.  The scalar
+reference loop folds the three running sums point by point; the
+vectorized kernel (``kernels.cameo_chase``) performs the exact same
+float64 folds with seeded cumsums and exact min/max envelopes, so both
+paths are pinned byte-identical (``tests/compression/test_cameo.py``).
 """
 
 from __future__ import annotations
@@ -38,13 +40,16 @@ from repro.registry import register_compressor
 
 _COUNT = struct.Struct("<I")
 
-# Absolute slack granted to float32 coefficient rounding during verification.
+# Absolute slack granted to coefficient rounding during verification.
 _F32_SLACK = 1e-7
+
+#: fraction of the pointwise budget granted to aggregate (ACF) drift
+ACF_WEIGHT = 0.5
 
 
 def _cone(values: np.ndarray, error_bound: float, i0: int, i1: int
           ) -> tuple[float, float]:
-    """Slope cone keeping every point of ``[i0, i1)`` within its bound."""
+    """Pointwise slope cone keeping every point of ``[i0, i1)`` bounded."""
     anchor = float(values[i0])
     slope_lo, slope_hi = -math.inf, math.inf
     for i in range(i0 + 1, i1):
@@ -56,19 +61,21 @@ def _cone(values: np.ndarray, error_bound: float, i0: int, i1: int
     return slope_lo, slope_hi
 
 
-@register_compressor("SWING", lossy=True, paper=True, grid=True,
-                     streaming="OnlineSwing",
-                     description="connected piecewise linear (swing) filter")
-class Swing(Compressor):
-    """Swing filter with a relative pointwise error bound."""
+@register_compressor("CAMEO", lossy=True, grid=True,
+                     description="ACF-preserving line simplification")
+class Cameo(Compressor):
+    """Greedy line simplification bounding pointwise and ACF error."""
 
-    name = "SWING"
+    name = "CAMEO"
     is_lossy = True
 
-    def __init__(self, use_kernel: bool = True) -> None:
+    def __init__(self, use_kernel: bool = True,
+                 acf_weight: float = ACF_WEIGHT) -> None:
         self.use_kernel = use_kernel
+        self.acf_weight = acf_weight
 
-    def compress(self, series: TimeSeries, error_bound: float) -> CompressionResult:
+    def compress(self, series: TimeSeries, error_bound: float
+                 ) -> CompressionResult:
         self._check_inputs(series, error_bound)
         values = series.values
         if self.use_kernel:
@@ -77,7 +84,6 @@ class Swing(Compressor):
         else:
             lengths, slopes, intercepts = self._segments_scalar(values,
                                                                 error_bound)
-
         payload = self._serialize(series, lengths, slopes, intercepts)
         compressed = gzip_bytes(payload)
         return record_result(CompressionResult(
@@ -93,9 +99,10 @@ class Swing(Compressor):
 
     def _segments_kernel(self, values: np.ndarray, error_bound: float
                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Dense cone sweep plus one vectorized fit/verify pass."""
-        lengths, cone_lo, cone_hi = kernels.swing_chase(
-            values, error_bound, timestamps.MAX_SEGMENT_LENGTH)
+        """Chunked cone∩aggregate scan plus one vectorized fit/verify pass."""
+        lengths, cone_lo, cone_hi = kernels.cameo_chase(
+            values, error_bound, self.acf_weight,
+            timestamps.MAX_SEGMENT_LENGTH)
         starts = np.cumsum(lengths) - lengths
         with np.errstate(invalid="ignore"):
             slopes = np.where((lengths == 1) | ~np.isfinite(cone_lo),
@@ -108,8 +115,6 @@ class Swing(Compressor):
         bad = np.logical_or.reduceat(drifted, starts) & (lengths > 1)
         if not bad.any():
             return lengths, slopes, intercepts
-        # Rounding drifted a few windows past the bound: those (and only
-        # those) go through the per-window split path.
         out: list[tuple[int, float, float]] = []
         for i, start in enumerate(starts):
             if bad[i]:
@@ -127,18 +132,30 @@ class Swing(Compressor):
                          ) -> tuple[list[int], list[float], list[float]]:
         """Per-point reference loop, kept to pin the kernel's semantics."""
         segments: list[tuple[int, float, float]] = []
+        weight = self.acf_weight * error_bound
 
         anchor_index = 0
         anchor_value = float(values[0])
         slope_lo = -math.inf
         slope_hi = math.inf
+        sum_dev = 0.0
+        sum_mass = 0.0
+        sum_run = 0.0
 
         for i in range(1, len(values)):
             value = float(values[i])
             allowed = error_bound * abs(value)
             run = i - anchor_index
-            new_lo = max(slope_lo, (value - allowed - anchor_value) / run)
-            new_hi = min(slope_hi, (value + allowed - anchor_value) / run)
+            # the same float64 folds, in the same order, as the kernel's
+            # seeded cumsums
+            new_dev = sum_dev + (value - anchor_value)
+            new_mass = sum_mass + abs(value)
+            new_run = sum_run + run
+            budget = weight * new_mass
+            new_lo = max(slope_lo, (value - allowed - anchor_value) / run,
+                         (new_dev - budget) / new_run)
+            new_hi = min(slope_hi, (value + allowed - anchor_value) / run,
+                         (new_dev + budget) / new_run)
             window_full = run + 1 > timestamps.MAX_SEGMENT_LENGTH
             if window_full or new_lo > new_hi:
                 self._fit(values, error_bound, anchor_index, i,
@@ -147,8 +164,10 @@ class Swing(Compressor):
                 anchor_value = value
                 slope_lo = -math.inf
                 slope_hi = math.inf
+                sum_dev = sum_mass = sum_run = 0.0
             else:
                 slope_lo, slope_hi = new_lo, new_hi
+                sum_dev, sum_mass, sum_run = new_dev, new_mass, new_run
         self._fit(values, error_bound, anchor_index, len(values),
                   slope_lo, slope_hi, segments)
         return ([s[0] for s in segments], [s[1] for s in segments],
@@ -157,7 +176,7 @@ class Swing(Compressor):
     def _fit(self, values: np.ndarray, error_bound: float, i0: int, i1: int,
              slope_lo: float, slope_hi: float,
              out: list[tuple[int, float, float]]) -> None:
-        """Emit float32 segments covering ``[i0, i1)``, splitting on drift."""
+        """Emit segments covering ``[i0, i1)``, splitting on rounding drift."""
         length = i1 - i0
         if length <= 0:
             return
@@ -165,16 +184,17 @@ class Swing(Compressor):
             slope = 0.0
         else:
             slope = (slope_lo + slope_hi) / 2.0
-        slope32 = float(slope)
-        intercept32 = float(values[i0])
+        intercept = float(values[i0])
         window = values[i0:i1]
-        fitted = intercept32 + slope32 * np.arange(length, dtype=np.float64)
+        fitted = intercept + slope * np.arange(length, dtype=np.float64)
         allowed = error_bound * np.abs(window) + _F32_SLACK * np.maximum(
             1.0, np.abs(window))
         if length == 1 or bool(np.all(np.abs(fitted - window) <= allowed)):
-            out.append((length, slope32, intercept32))
+            out.append((length, slope, intercept))
             return
-        # float32 rounding drifted past the bound: split and re-fit halves.
+        # Drifted past the pointwise bound: split and re-fit the halves on
+        # the cone alone (the aggregate budget is a quality constraint,
+        # not a correctness one).
         mid = i0 + length // 2
         lo_a, hi_a = _cone(values, error_bound, i0, mid)
         self._fit(values, error_bound, i0, mid, lo_a, hi_a, out)
@@ -184,12 +204,7 @@ class Swing(Compressor):
     @staticmethod
     def _reconstruct(lengths: np.ndarray, slopes: np.ndarray,
                      intercepts: np.ndarray) -> np.ndarray:
-        """Single ``np.repeat``-based ramp over all segments at once.
-
-        Each output element is ``intercept[s] + slope[s] * t`` with ``t``
-        the offset inside its segment — elementwise the same float64
-        operations as a per-segment ``intercept + slope * arange``.
-        """
+        """Single ``np.repeat``-based ramp over all segments at once."""
         lengths = np.asarray(lengths, dtype=np.int64)
         if len(lengths) == 0:
             return np.empty(0)
@@ -201,12 +216,6 @@ class Swing(Compressor):
     @classmethod
     def _reconstruct_series(cls, series: TimeSeries, lengths, slopes,
                             intercepts) -> TimeSeries:
-        """Reconstruction from in-memory segments, identical to a decode.
-
-        Slopes and intercepts are stored as float64, so the serialized
-        round trip is exact and ``CompressionResult.decompressed`` matches
-        ``decompress(compressed)`` bit for bit at zero extra cost.
-        """
         values = cls._reconstruct(np.asarray(lengths, dtype=np.int64),
                                   np.asarray(slopes, dtype=np.float64),
                                   np.asarray(intercepts, dtype=np.float64))
@@ -228,10 +237,14 @@ class Swing(Compressor):
         start, interval, offset = timestamps.decode_header(payload)
         (count,) = _COUNT.unpack_from(payload, offset)
         offset += _COUNT.size
-        lengths = np.frombuffer(payload, dtype="<u2", count=count, offset=offset)
+        lengths = np.frombuffer(payload, dtype="<u2", count=count,
+                                offset=offset)
         offset += 2 * count
-        slopes = np.frombuffer(payload, dtype="<f8", count=count, offset=offset)
+        slopes = np.frombuffer(payload, dtype="<f8", count=count,
+                               offset=offset)
         offset += 8 * count
-        intercepts = np.frombuffer(payload, dtype="<f8", count=count, offset=offset)
+        intercepts = np.frombuffer(payload, dtype="<f8", count=count,
+                                   offset=offset)
         values = self._reconstruct(lengths, slopes, intercepts)
-        return TimeSeries(values, start=start, interval=interval, name="decompressed")
+        return TimeSeries(values, start=start, interval=interval,
+                          name="decompressed")

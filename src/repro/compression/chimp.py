@@ -31,6 +31,7 @@ from repro.compression.base import (CompressionResult, Compressor,
 from repro.compression.gorilla import _bits_to_float, _clz64, _ctz64, _float_to_bits
 from repro.datasets.timeseries import TimeSeries
 from repro.encoding.bits import BitReader, BitWriter
+from repro.registry import register_compressor
 
 _COUNT = struct.Struct("<I")
 
@@ -47,6 +48,8 @@ def _bucket_of(leading: int) -> int:
     return index
 
 
+@register_compressor("CHIMP", lossy=False, error_bound="none",
+                     description="lossless Chimp XOR codec")
 class Chimp(Compressor):
     """Lossless Chimp codec for 64-bit floats."""
 

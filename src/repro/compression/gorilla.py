@@ -23,6 +23,7 @@ from repro.compression.base import (CompressionResult, Compressor,
                                     record_result)
 from repro.datasets.timeseries import TimeSeries
 from repro.encoding.bits import BitReader, BitWriter
+from repro.registry import register_compressor
 
 _COUNT = struct.Struct("<I")
 
@@ -35,6 +36,8 @@ def _bits_to_float(bits: int) -> float:
     return struct.unpack("<d", struct.pack("<Q", bits))[0]
 
 
+@register_compressor("GORILLA", lossy=False, error_bound="none",
+                     description="lossless XOR-of-floats baseline")
 class Gorilla(Compressor):
     """Lossless Gorilla XOR compression of 64-bit floats."""
 

@@ -71,6 +71,11 @@ MIN_CHUNK = 16
 # Upper bound on the lookahead so a close never rescans more than this.
 MAX_CHUNK = 4096
 
+# The CAMEO scan folds each window's first points one at a time in plain
+# Python before switching to vectorized chunks: three seeded cumsums per
+# chunk cost more than the scalar fold until a window survives this long.
+CAMEO_WARMUP = 32
+
 # The batch chase probes this many segments with the chunked scan to
 # estimate the mean segment length before picking a kernel.
 SAMPLE_SEGMENTS = 48
@@ -656,6 +661,156 @@ def swing_chase(values: np.ndarray, error_bound: float, max_length: int,
     seg_lo = np.maximum.reduceat(term_lo, seg_starts)
     seg_hi = np.minimum.reduceat(term_hi, seg_starts)
     return lengths, seg_lo, seg_hi
+
+
+def cameo_chase(values: np.ndarray, error_bound: float, acf_weight: float,
+                max_length: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Chunked CAMEO segmentation (cone ∩ aggregate-deviation intervals).
+
+    CAMEO keeps Swing's per-point slope cone and intersects one extra
+    linear constraint per point: the running signed deviation of the
+    fitted line from the dropped points must stay within a budget that
+    grows with the absolute mass seen — ``|s * A_i - B_i| <= W_i`` with
+    ``A_i = sum(run)``, ``B_i = sum(v_k - anchor)`` and ``W_i =
+    acf_weight * error_bound * sum(|v_k|)`` — which is what bounds the
+    induced autocorrelation/aggregate error of the simplification.
+
+    All running sums are float64 left folds (cumsum seeded with the
+    carried totals — the exact additions of the scalar loop, in the same
+    order), and min/max envelopes are exact, so the first-violation
+    positions and the returned pre-violation cones match the scalar
+    reference bit for bit.  Returns ``(lengths, seg_lo, seg_hi)`` like
+    ``swing_chase``.
+
+    The segment-at-a-time chunked scan is the right regime here: the
+    aggregate constraint needs three running folds per point, so a dense
+    per-offset sweep would triple its round cost while typical CAMEO
+    segments are no shorter than Swing's.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float64)
+    n = len(values)
+    allowed = error_bound * np.abs(values)
+    low_num = values - allowed
+    high_num = values + allowed
+    abs_values = np.abs(values)
+    # Python-float mirrors for the warm-up fold: ``tolist`` hands back
+    # the exact same doubles, and plain-float arithmetic is IEEE-identical
+    # to the float64 array ops of the chunked path.
+    v_list = values.tolist()
+    low_list = low_num.tolist()
+    high_list = high_num.tolist()
+    abs_list = abs_values.tolist()
+    weight = acf_weight * error_bound
+
+    lengths: list[int] = []
+    seg_lo: list[float] = []
+    seg_hi: list[float] = []
+
+    window_start = 0
+    anchor = v_list[0] if n else 0.0
+    lo, hi = -math.inf, math.inf
+    sum_dev = 0.0   # B: left fold of (value - anchor)
+    sum_mass = 0.0  # left fold of |value|
+    sum_run = 0.0   # A: left fold of run (exact small integers)
+    position = 1
+    scratch_dev = np.empty(MAX_CHUNK + 1)
+    scratch_mass = np.empty(MAX_CHUNK + 1)
+    scratch_run = np.empty(MAX_CHUNK + 1)
+    while position < n:
+        boundary = -1
+        # Scalar warm-up: windows shorter than the vector break-even (the
+        # common regime at tight bounds) never pay per-chunk numpy
+        # overhead.  These are the very additions the seeded cumsums
+        # below perform, so switching regimes cannot move a violation.
+        warm_end = min(window_start + CAMEO_WARMUP,
+                       window_start + max_length, n)
+        while position < warm_end:
+            run = position - window_start
+            new_dev = sum_dev + (v_list[position] - anchor)
+            new_mass = sum_mass + abs_list[position]
+            new_run = sum_run + run
+            budget = weight * new_mass
+            new_lo = max(lo, (low_list[position] - anchor) / run,
+                         (new_dev - budget) / new_run)
+            new_hi = min(hi, (high_list[position] - anchor) / run,
+                         (new_dev + budget) / new_run)
+            if new_lo > new_hi:
+                boundary = position  # the violator anchors the next window
+                break
+            lo, hi = new_lo, new_hi
+            sum_dev, sum_mass, sum_run = new_dev, new_mass, new_run
+            position += 1
+        if boundary < 0:
+            if position >= n:
+                break  # open trailing window
+            if position == window_start + max_length:
+                boundary = position  # forced close: window is at capacity
+        chunk = CAMEO_WARMUP
+        while boundary < 0:
+            end = min(position + chunk, window_start + max_length, n)
+            c = end - position
+            runs = np.arange(position - window_start,
+                             end - window_start, dtype=np.float64)
+            term_lo = (low_num[position:end] - anchor) / runs
+            term_hi = (high_num[position:end] - anchor) / runs
+            # Seeded cumsums: the exact float64 additions of the scalar
+            # fold, in the same order (see prefix_sums).
+            buf = scratch_dev[:c + 1]
+            buf[0] = sum_dev
+            np.subtract(values[position:end], anchor, out=buf[1:])
+            dev = np.cumsum(buf)[1:]
+            buf = scratch_mass[:c + 1]
+            buf[0] = sum_mass
+            buf[1:] = abs_values[position:end]
+            mass = np.cumsum(buf)[1:]
+            buf = scratch_run[:c + 1]
+            buf[0] = sum_run
+            buf[1:] = runs
+            total_run = np.cumsum(buf)[1:]
+            budget = weight * mass
+            agg_lo = (dev - budget) / total_run
+            agg_hi = (dev + budget) / total_run
+            lo_env = np.maximum.accumulate(np.maximum(term_lo, agg_lo))
+            hi_env = np.minimum.accumulate(np.minimum(term_hi, agg_hi))
+            np.maximum(lo_env, lo, out=lo_env)
+            np.minimum(hi_env, hi, out=hi_env)
+            violation = lo_env > hi_env
+            j = int(violation.argmax())
+            if violation[j]:
+                boundary = position + j  # the violator anchors the next window
+                if j > 0:
+                    lo = float(lo_env[j - 1])
+                    hi = float(hi_env[j - 1])
+            elif end == window_start + max_length and end < n:
+                boundary = end  # forced close: the capacity point re-anchors
+                lo = float(lo_env[-1])
+                hi = float(hi_env[-1])
+            else:
+                lo = float(lo_env[-1])
+                hi = float(hi_env[-1])
+                sum_dev = float(dev[-1])
+                sum_mass = float(mass[-1])
+                sum_run = float(total_run[-1])
+                position = end
+                if position >= n:
+                    break
+                chunk = min(2 * chunk, MAX_CHUNK)
+        if boundary < 0:
+            break  # open trailing window (data exhausted mid-scan)
+        lengths.append(boundary - window_start)
+        seg_lo.append(lo)
+        seg_hi.append(hi)
+        window_start = boundary
+        anchor = v_list[boundary]
+        lo, hi = -math.inf, math.inf
+        sum_dev = sum_mass = sum_run = 0.0
+        position = boundary + 1
+    lengths.append(n - window_start)
+    seg_lo.append(lo)
+    seg_hi.append(hi)
+    _metric_inc("kernel.cameo.chunked")
+    return (np.asarray(lengths, dtype=np.int64), np.asarray(seg_lo),
+            np.asarray(seg_hi))
 
 
 def swing_scan(values: np.ndarray, error_bound: float,

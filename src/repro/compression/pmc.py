@@ -31,6 +31,7 @@ from repro.compression.base import (CompressionResult, Compressor,
                                     gunzip_bytes, record_result,
                                     gzip_bytes)
 from repro.datasets.timeseries import TimeSeries
+from repro.registry import register_compressor
 
 _COUNT = struct.Struct("<I")
 
@@ -47,6 +48,9 @@ def _store_float32(value: float, lo: float, hi: float) -> float:
     return min(max(nudged, lo), hi)
 
 
+@register_compressor("PMC", lossy=True, paper=True, grid=True,
+                     streaming="OnlinePMC",
+                     description="piecewise constant (mean) approximation")
 class PMC(Compressor):
     """PMC-Mean with a relative pointwise error bound."""
 

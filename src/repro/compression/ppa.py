@@ -23,6 +23,7 @@ from repro.compression.base import (CompressionResult, Compressor,
                                     gunzip_bytes, record_result,
                                     gzip_bytes)
 from repro.datasets.timeseries import TimeSeries
+from repro.registry import register_compressor
 
 _COUNT = struct.Struct("<I")
 _SEGMENT_HEADER = struct.Struct("<HB")  # length (u16), degree (u8)
@@ -46,6 +47,9 @@ def _fit_within_bound(values: np.ndarray, degree: int, error_bound: float
     return None
 
 
+@register_compressor("PPA", lossy=True,
+                     description="piecewise polynomial approximation "
+                                 "(related work, off the default grid)")
 class PPA(Compressor):
     """Greedy piecewise polynomial approximation with a relative bound."""
 

@@ -50,6 +50,34 @@ class LinearSegment:
         return self.intercept + self.slope * np.arange(self.length)
 
 
+@dataclass(frozen=True)
+class LFZipSegment:
+    """A finished LFZip block: NLMS-coded residuals over ``length`` points.
+
+    Unlike the constant/linear segments a block is not a closed-form
+    shape, so the segment carries everything its standalone
+    ``reconstruct`` needs: the lattice ``step``, the carry-in ``base``,
+    the NLMS ``weights`` frozen for the block, the residual ``symbols``
+    (0 = escape) and the escaped float32 ``outliers`` in order.
+    """
+
+    length: int
+    step: float
+    base: float
+    weights: tuple[float, ...]
+    symbols: tuple[int, ...]
+    outliers: tuple[float, ...]
+
+    def reconstruct(self) -> np.ndarray:
+        from repro.compression import lfzip
+
+        recon, _, _ = lfzip.decode_block(
+            self.step, self.base, self.weights,
+            np.asarray(self.symbols, dtype=np.int64),
+            np.asarray(self.outliers, dtype=np.float64))
+        return recon
+
+
 class OnlineCompressor(ABC):
     """Incremental encoder producing segments as the stream arrives."""
 
@@ -298,6 +326,84 @@ class OnlineSwing(OnlineCompressor):
         return self._closed_segments[before:]
 
 
+class OnlineLFZip(OnlineCompressor):
+    """Streaming LFZip: block-buffered NLMS predictive coding.
+
+    The encoder buffers pushed values and encodes a block — via the very
+    block pipeline of the batch :class:`~repro.compression.lfzip.LFZip`
+    (kernel path) — whenever the buffer fills, then replays the shared
+    deterministic weight sweep.  Block boundaries therefore fall at the
+    same stream offsets as the batch compressor's, and the concatenated
+    segment reconstructions are bit-identical to a batch compress of the
+    same values (pinned by the equivalence tests).  ``flush`` encodes
+    the partial tail block, matching the batch tail.
+    """
+
+    def __init__(self, error_bound: float, max_segment_length: int = 0xFFFF,
+                 block_size: int | None = None) -> None:
+        from repro.compression import lfzip
+
+        super().__init__(error_bound, max_segment_length)
+        if block_size is None:
+            block_size = lfzip.DEFAULT_BLOCK_SIZE
+        self.block_size = min(int(block_size), max_segment_length)
+        self._weights: tuple[float, ...] = lfzip.INIT_WEIGHTS
+        self._carry = 0.0
+        self._buffer: list[float] = []
+
+    def _encode_block(self) -> None:
+        from repro.compression import lfzip
+
+        block = np.asarray(self._buffer, dtype=np.float64)
+        self._buffer = []
+        tolerance = self.error_bound * np.abs(block)
+        step = lfzip.block_step(block, self.error_bound)
+        symbols, outliers, recon, t_values, escaped = \
+            lfzip.encode_block_kernel(block, tolerance, step, self._carry,
+                                      self._weights)
+        self._closed_segments.append(LFZipSegment(
+            len(block), step, self._carry, tuple(self._weights),
+            tuple(int(s) for s in symbols),
+            tuple(float(o) for o in outliers)))
+        self._weights = lfzip.update_weights(self._weights, t_values, escaped)
+        self._carry = float(recon[-1])
+
+    def _push(self, value: float) -> None:
+        self._buffer.append(value)
+        if len(self._buffer) >= self.block_size:
+            self._encode_block()
+
+    def extend(self, values) -> list:
+        """Bulk feed, encoding every filled block on the kernel path."""
+        array = self._extend_array(values)
+        before = len(self._closed_segments)
+        position = 0
+        while position < len(array):
+            take = min(self.block_size - len(self._buffer),
+                       len(array) - position)
+            self._buffer.extend(float(v)
+                                for v in array[position:position + take])
+            position += take
+            if len(self._buffer) >= self.block_size:
+                self._encode_block()
+        return self._closed_segments[before:]
+
+    def _flush(self) -> None:
+        if self._buffer:
+            self._encode_block()
+
+    def _state_snapshot(self) -> dict:
+        return {"block_size": self.block_size,
+                "weights": list(self._weights), "carry": self._carry,
+                "buffer": list(self._buffer)}
+
+    def _restore_state(self, state: dict) -> None:
+        self.block_size = int(state["block_size"])
+        self._weights = tuple(float(w) for w in state["weights"])
+        self._carry = float(state["carry"])
+        self._buffer = [float(v) for v in state["buffer"]]
+
+
 def reconstruct(segments: list) -> np.ndarray:
     """Decode a list of streaming segments back into values."""
     if not segments:
@@ -309,6 +415,7 @@ def reconstruct(segments: list) -> np.ndarray:
 STREAMING_ALGORITHMS: dict[str, type[OnlineCompressor]] = {
     "OnlinePMC": OnlinePMC,
     "OnlineSwing": OnlineSwing,
+    "OnlineLFZip": OnlineLFZip,
 }
 
 
@@ -332,6 +439,8 @@ def restore_compressor(snapshot: dict) -> OnlineCompressor:
 
 _CONSTANT = struct.Struct("<Qd")
 _LINEAR = struct.Struct("<Qdd")
+_LFZIP_HEAD = struct.Struct("<Qdd")  # length, step, base
+_U32 = struct.Struct("<I")
 
 
 def segments_payload(segments) -> bytes:
@@ -350,6 +459,15 @@ def segments_payload(segments) -> bytes:
         elif isinstance(segment, LinearSegment):
             parts.append(b"L" + _LINEAR.pack(segment.length, segment.slope,
                                              segment.intercept))
+        elif isinstance(segment, LFZipSegment):
+            parts.append(
+                b"F" + _LFZIP_HEAD.pack(segment.length, segment.step,
+                                        segment.base)
+                + np.asarray(segment.weights, dtype="<f8").tobytes()
+                + _U32.pack(len(segment.symbols))
+                + np.asarray(segment.symbols, dtype="<u4").tobytes()
+                + _U32.pack(len(segment.outliers))
+                + np.asarray(segment.outliers, dtype="<f8").tobytes())
         else:
             raise TypeError(f"not a streaming segment: {segment!r}")
     return b"".join(parts)
@@ -361,15 +479,32 @@ def segment_to_wire(segment) -> tuple[str, int, tuple[float, ...]]:
         return "constant", segment.length, (segment.value,)
     if isinstance(segment, LinearSegment):
         return "linear", segment.length, (segment.slope, segment.intercept)
+    if isinstance(segment, LFZipSegment):
+        # flat float params: step, base, the 4 weights, the outlier count,
+        # the outliers, then `length` symbols (small ints, exact in f64)
+        return "lfzip", segment.length, (
+            (segment.step, segment.base) + tuple(segment.weights)
+            + (float(len(segment.outliers)),) + tuple(segment.outliers)
+            + tuple(float(s) for s in segment.symbols))
     raise TypeError(f"not a streaming segment: {segment!r}")
 
 
 def segment_from_wire(kind: str, length: int, params
-                      ) -> ConstantSegment | LinearSegment:
+                      ) -> ConstantSegment | LinearSegment | LFZipSegment:
     """Rebuild a segment from its wire triple (inverse of the above)."""
     values = tuple(float(p) for p in params)
     if kind == "constant" and len(values) == 1:
         return ConstantSegment(int(length), values[0])
     if kind == "linear" and len(values) == 2:
         return LinearSegment(int(length), values[0], values[1])
+    if kind == "lfzip" and len(values) >= 7:
+        step, base = values[0], values[1]
+        weights = values[2:6]
+        n_outliers = int(values[6])
+        symbol_start = 7 + n_outliers
+        outliers = values[7:symbol_start]
+        symbols = tuple(int(s) for s in values[symbol_start:])
+        if len(outliers) == n_outliers and len(symbols) == int(length):
+            return LFZipSegment(int(length), step, base, weights, symbols,
+                                outliers)
     raise ValueError(f"malformed wire segment ({kind!r}, {length}, {params})")

@@ -45,6 +45,7 @@ from repro.compression.base import (CompressionResult, Compressor,
                                     gzip_bytes)
 from repro.encoding import huffman, varint
 from repro.datasets.timeseries import TimeSeries
+from repro.registry import register_compressor
 
 _COUNT = struct.Struct("<I")
 _BLOCK_META = struct.Struct("<Bff")  # predictor id (u8), step (f32), mean (f32)
@@ -211,6 +212,8 @@ def _block_cost_scalar(symbols: list[int], num_outliers: int) -> int:
     return bits
 
 
+@register_compressor("SZ", lossy=True, paper=True, grid=True,
+                     description="blockwise predictive quantization (SZ 2)")
 class SZ(Compressor):
     """Blockwise predictive quantization compressor in the style of SZ 2."""
 

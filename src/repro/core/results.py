@@ -27,7 +27,13 @@ class CompressionRecord:
 
 @dataclass(frozen=True)
 class ScenarioRecord:
-    """One (dataset, model, method, error bound, seed) forecasting outcome."""
+    """One (dataset, model, method, error bound, seed) task outcome.
+
+    ``task`` names the downstream task that produced the record:
+    ``"forecasting"`` (the default — every pre-task record) scores a
+    forecaster's accuracy metrics; ``"anomaly"`` scores a detector's
+    tolerance-matched F1, with ``model`` carrying the detector name.
+    """
 
     dataset: str
     model: str
@@ -36,6 +42,7 @@ class ScenarioRecord:
     seed: int
     metrics: dict[str, float]
     retrained: bool = False
+    task: str = "forecasting"
 
 
 def mean_over_seeds(records: list[ScenarioRecord]) -> dict[tuple, dict[str, float]]:

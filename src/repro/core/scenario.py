@@ -16,17 +16,14 @@ responses back into the historical record types byte-identically.  The
 retraining variant of Section 4.4.1 (Figure 7) rides on the same
 requests via ``retrained=True``.
 
-Grid-axis arguments (``methods``, ``error_bounds``, ...) are now
-keyword-only; passing them positionally still works through a
-deprecation shim that emits a :class:`DeprecationWarning` (see the
-migration table in README.md).
+Grid-axis arguments (``methods``, ``error_bounds``, ...) are strictly
+keyword-only: passing them positionally raises :class:`TypeError`.  The
+deprecation shim that used to map positional call sites onto keywords
+was removed after one release cycle — see the migration table in
+README.md for the before/after call shapes.
 """
 
 from __future__ import annotations
-
-import functools
-import inspect
-import warnings
 
 from repro.api.errors import ApiError, ErrorEnvelope
 from repro.api.requests import CompressRequest, ForecastRequest, GridRequest
@@ -42,47 +39,6 @@ from repro.datasets.timeseries import Dataset, TimeSeries
 from repro.forecasting.base import Forecaster
 from repro.runtime.executor import FailureRecord, RunManifest
 from repro.runtime.jobs import JobSpec
-
-
-def _keyword_only(*names: str):
-    """Deprecation shim for parameters that used to be positional.
-
-    The decorated method declares ``names`` keyword-only; extra
-    positional arguments map onto them in order with a
-    :class:`DeprecationWarning`, so pre-API call sites keep working while
-    new code is steered to keywords (and, eventually, request objects).
-    """
-    def wrap(fn):
-        positional = [p for p in inspect.signature(fn).parameters.values()
-                      if p.name != "self"
-                      and p.kind in (p.POSITIONAL_ONLY,
-                                     p.POSITIONAL_OR_KEYWORD)]
-        lead = len(positional)
-
-        @functools.wraps(fn)
-        def shim(self, *args, **kwargs):
-            if len(args) > lead:
-                extra = args[lead:]
-                if len(extra) > len(names):
-                    raise TypeError(
-                        f"{fn.__name__}() takes at most "
-                        f"{lead + len(names)} positional arguments "
-                        f"({lead + len(extra)} given)")
-                moved = names[:len(extra)]
-                warnings.warn(
-                    f"{fn.__name__}: passing {', '.join(moved)} positionally "
-                    "is deprecated; use keyword arguments (see 'Migrating "
-                    "to the typed API' in README.md)",
-                    DeprecationWarning, stacklevel=2)
-                for name, value in zip(moved, extra):
-                    if name in kwargs:
-                        raise TypeError(f"{fn.__name__}() got multiple "
-                                        f"values for argument {name!r}")
-                    kwargs[name] = value
-                args = args[:lead]
-            return fn(self, *args, **kwargs)
-        return shim
-    return wrap
 
 
 class Evaluation:
@@ -219,7 +175,6 @@ class Evaluation:
             ForecastRequest(model_name, dataset_name, seed=seed)
             for seed in self.config.seeds_for(model_name)])
 
-    @_keyword_only("methods", "error_bounds")
     def scenario_records(self, model_name: str, dataset_name: str, *,
                          methods: tuple[str, ...] | None = None,
                          error_bounds: tuple[float, ...] | None = None
@@ -230,7 +185,6 @@ class Evaluation:
             methods or self.config.compressors,
             error_bounds or self.config.error_bounds))
 
-    @_keyword_only("methods", "error_bounds")
     def retrain_records(self, model_name: str, dataset_name: str, *,
                         methods: tuple[str, ...] | None = None,
                         error_bounds: tuple[float, ...] | None = None
@@ -242,16 +196,20 @@ class Evaluation:
             error_bounds or self.config.error_bounds,
             retrained=True))
 
-    @_keyword_only("datasets", "models", "methods", "error_bounds",
-                   "include_baseline", "retrained")
     def grid_records(self, *,
                      datasets: tuple[str, ...] | None = None,
                      models: tuple[str, ...] | None = None,
                      methods: tuple[str, ...] | None = None,
                      error_bounds: tuple[float, ...] | None = None,
                      include_baseline: bool = True,
-                     retrained: bool = False) -> list[ScenarioRecord]:
+                     retrained: bool = False,
+                     task: str = "forecasting") -> list[ScenarioRecord]:
         """Baseline + scenario records for a whole sub-grid in ONE graph.
+
+        ``task`` selects the downstream task scoring each cell —
+        ``"forecasting"`` (default) or any other registered task (e.g.
+        ``"anomaly"``, whose models default to the registered detectors
+        when ``models`` is None).
 
         Adapter for one :class:`~repro.api.requests.GridRequest`: building
         a single graph lets the executor overlap compression, training,
@@ -269,7 +227,7 @@ class Evaluation:
         request = GridRequest(datasets=datasets, models=models,
                               methods=methods, error_bounds=error_bounds,
                               include_baseline=include_baseline,
-                              retrained=retrained)
+                              retrained=retrained, task=task)
         records, _ = self._service.grid(request)
         return records
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.forecasting.base import Forecaster
+from repro.registry import register_model
 
 _DEFAULT_ORDERS = tuple(
     (p, d, q) for p in (1, 2, 3) for d in (0, 1) for q in (0, 1)
@@ -149,6 +150,7 @@ def _fit_order_shared(w: np.ndarray, order: tuple[int, int, int],
     return float(aic), coefficients, sigma2
 
 
+@register_model("Arima", uses_positions=True, paper=True)
 class ArimaForecaster(Forecaster):
     """AIC-selected ARIMA(p, d, q) with Fourier seasonal regressors."""
 

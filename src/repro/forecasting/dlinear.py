@@ -15,6 +15,7 @@ from repro.forecasting.deep import DeepForecaster
 from repro.forecasting.nn import kernels
 from repro.forecasting.nn.layers import Linear, Module
 from repro.forecasting.nn.tensor import Tensor
+from repro.registry import register_model
 
 DEFAULT_KERNEL = 25  # moving-average window from the DLinear paper
 
@@ -53,6 +54,7 @@ class _DLinearNetwork(Module):
         return self.trend_head(trend) + self.remainder_head(remainder)
 
 
+@register_model("DLinear", deep=True, paper=True)
 class DLinearForecaster(DeepForecaster):
     """Decomposition + two linear heads."""
 

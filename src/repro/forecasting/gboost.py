@@ -17,6 +17,7 @@ from repro.forecasting.base import Forecaster
 from repro.forecasting.scaling import StandardScaler
 from repro.forecasting.trees import RegressionTree
 from repro.forecasting.windows import make_windows, subsample_windows
+from repro.registry import register_model
 
 
 class GradientBoostingRegressor:
@@ -100,6 +101,7 @@ class GradientBoostingRegressor:
         return out
 
 
+@register_model("GBoost", paper=True)
 class GBoostForecaster(Forecaster):
     """Direct multi-horizon forecasting with gradient-boosted trees."""
 

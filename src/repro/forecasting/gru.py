@@ -13,6 +13,7 @@ from repro.forecasting.deep import DeepForecaster
 from repro.forecasting.nn import kernels
 from repro.forecasting.nn.layers import GRUCell, Linear, Module
 from repro.forecasting.nn.tensor import Tensor, concatenate
+from repro.registry import register_model
 
 
 class _GRUNetwork(Module):
@@ -46,6 +47,7 @@ class _GRUNetwork(Module):
         return concatenate(outputs, axis=1)
 
 
+@register_model("GRU", deep=True, paper=True)
 class GRUForecaster(DeepForecaster):
     """Encoder-decoder gated recurrent network."""
 

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 from repro.forecasting.attention import ProbSparseAttention
 from repro.forecasting.transformer import TransformerForecaster
+from repro.registry import register_model
 
 
+@register_model("Informer", deep=True, paper=True)
 class InformerForecaster(TransformerForecaster):
     """Transformer variant with ProbSparse encoder self-attention."""
 

@@ -13,6 +13,7 @@ from repro.forecasting.deep import DeepForecaster
 from repro.forecasting.nn import kernels
 from repro.forecasting.nn.layers import Linear, Module
 from repro.forecasting.nn.tensor import Tensor
+from repro.registry import register_model
 
 
 class _Block(Module):
@@ -76,6 +77,7 @@ class _NBeatsNetwork(Module):
         return forecast
 
 
+@register_model("NBeats", deep=True, paper=True)
 class NBeatsForecaster(DeepForecaster):
     """Generic N-BEATS with doubly residual stacking."""
 

@@ -1,7 +1,17 @@
-"""Name-based access to the seven forecasting models of Section 3.4."""
+"""Name-based access to the forecasting models, via ``repro.registry``.
+
+Importing this module imports every model module, whose
+``@register_model`` decorators populate the central plugin registry;
+the tuples below are then pure queries over it.  ``MODEL_NAMES`` keeps
+meaning the paper's seven Section 3.4 models — the defaults of
+``EvaluationConfig`` are pinned to them — while ``GRID_MODELS`` also
+carries registered extensions (the Ryabko compression-based
+forecaster) selectable per request.
+"""
 
 from __future__ import annotations
 
+from repro import registry as _registry
 from repro.forecasting.arima import ArimaForecaster
 from repro.forecasting.base import Forecaster
 from repro.forecasting.dlinear import DLinearForecaster
@@ -9,22 +19,22 @@ from repro.forecasting.gboost import GBoostForecaster
 from repro.forecasting.gru import GRUForecaster
 from repro.forecasting.informer import InformerForecaster
 from repro.forecasting.nbeats import NBeatsForecaster
+from repro.forecasting.ryabko import RyabkoForecaster
 from repro.forecasting.transformer import TransformerForecaster
 
 MODEL_CLASSES = {
-    "Arima": ArimaForecaster,
-    "GBoost": GBoostForecaster,
-    "DLinear": DLinearForecaster,
-    "GRU": GRUForecaster,
-    "Informer": InformerForecaster,
-    "NBeats": NBeatsForecaster,
-    "Transformer": TransformerForecaster,
+    name: _registry.model_info(name).factory
+    for name in _registry.model_names(task="forecasting")
 }
 
-MODEL_NAMES = tuple(MODEL_CLASSES)
+#: the paper's seven Section 3.4 models (grid defaults)
+MODEL_NAMES = _registry.model_names(task="forecasting", paper=True)
+
+#: every registered forecasting model, including extensions
+GRID_MODELS = _registry.model_names(task="forecasting")
 
 #: deep models run with 10 random seeds in the paper, the rest with 5
-DEEP_MODELS = ("DLinear", "GRU", "Informer", "NBeats", "Transformer")
+DEEP_MODELS = _registry.model_names(task="forecasting", deep=True)
 
 
 def make(name: str, input_length: int = 96, horizon: int = 24, seed: int = 0,

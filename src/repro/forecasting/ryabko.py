@@ -1,0 +1,113 @@
+"""Compression-based forecasting in the style of Chirikhin & Ryabko.
+
+The estimator treats forecasting as a coding problem: discretize the
+series into a small alphabet, learn context-conditional symbol counts on
+the training split (an order-``k`` Markov source model — the core of any
+PPM-style compressor), and forecast by emitting, step after step, the
+symbol with the *shortest code length* under that model, i.e. the
+highest conditional probability.  Unseen contexts escape to shorter
+contexts down to the empty one, exactly like PPM's escape mechanism.
+The numeric forecast for a symbol is the centroid of the training
+values that fell into its bin.
+
+Everything is counting and argmax over small integer arrays, so the
+model is deterministic, seeds are irrelevant to its output, and a fit
+costs one pass over the training split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecasting.base import Forecaster
+from repro.registry import register_model
+
+DEFAULT_NUM_BINS = 12
+DEFAULT_ORDER = 3
+
+
+@register_model("Ryabko",
+                description="compression-based forecasting "
+                            "(Chirikhin & Ryabko)")
+class RyabkoForecaster(Forecaster):
+    """Order-``k`` PPM-style predictor over a quantile-binned alphabet."""
+
+    name = "Ryabko"
+
+    def __init__(self, input_length: int = 96, horizon: int = 24,
+                 seed: int = 0, num_bins: int = DEFAULT_NUM_BINS,
+                 order: int = DEFAULT_ORDER) -> None:
+        super().__init__(input_length=input_length, horizon=horizon, seed=seed)
+        if num_bins < 1:
+            raise ValueError(f"num_bins must be positive, got {num_bins}")
+        if order < 0:
+            raise ValueError(f"order must be non-negative, got {order}")
+        self.num_bins = num_bins
+        self.order = order
+        self._edges: np.ndarray | None = None
+        self._centroids: np.ndarray | None = None
+        # one count table per context length: tuple(symbols) -> count vector
+        self._counts: list[dict[tuple[int, ...], np.ndarray]] = []
+
+    # -- alphabet ----------------------------------------------------------
+
+    def _discretize(self, values: np.ndarray) -> np.ndarray:
+        assert self._edges is not None
+        return np.searchsorted(self._edges, values, side="right").astype(
+            np.int64)
+
+    def fit(self, train: np.ndarray, validation: np.ndarray) -> None:
+        train = np.asarray(train, dtype=np.float64)
+        if len(train) < 2:
+            raise ValueError(f"{self.name}: training series too short")
+        # Interior quantile edges; duplicates collapse on constant stretches,
+        # so the effective alphabet never exceeds the value diversity.
+        quantiles = np.linspace(0.0, 1.0, self.num_bins + 1)[1:-1]
+        self._edges = np.unique(np.quantile(train, quantiles))
+        symbols = self._discretize(train)
+        alphabet = len(self._edges) + 1
+        # Per-bin centroids; empty bins (possible with collapsed edges)
+        # fall back to the global mean.
+        sums = np.bincount(symbols, weights=train, minlength=alphabet)
+        counts = np.bincount(symbols, minlength=alphabet)
+        centroids = np.where(counts > 0, sums / np.maximum(counts, 1),
+                             float(train.mean()))
+        self._centroids = centroids
+        self._counts = [dict() for _ in range(self.order + 1)]
+        for k in range(self.order + 1):
+            table = self._counts[k]
+            for i in range(k, len(symbols)):
+                context = tuple(symbols[i - k:i])
+                row = table.get(context)
+                if row is None:
+                    row = np.zeros(alphabet, dtype=np.int64)
+                    table[context] = row
+                row[symbols[i]] += 1
+        self._fitted = True
+
+    # -- prediction --------------------------------------------------------
+
+    def _next_symbol(self, context: tuple[int, ...]) -> int:
+        """Shortest-code-length symbol: PPM-style escape to shorter contexts."""
+        for k in range(min(self.order, len(context)), -1, -1):
+            row = self._counts[k].get(context[len(context) - k:])
+            if row is not None and row.sum() > 0:
+                return int(row.argmax())
+        return int(np.argmax(np.bincount(
+            self._discretize(self._centroids))))  # pragma: no cover
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        windows = self._check_windows(windows)
+        assert self._centroids is not None
+        out = np.empty((len(windows), self.horizon))
+        for b, window in enumerate(windows):
+            symbols = self._discretize(window)
+            context = tuple(symbols[-self.order:]) if self.order else ()
+            for h in range(self.horizon):
+                symbol = self._next_symbol(context)
+                out[b, h] = self._centroids[symbol]
+                if self.order:
+                    context = context[1:] + (symbol,) if len(
+                        context) >= self.order else context + (symbol,)
+        return out

@@ -17,6 +17,7 @@ from repro.forecasting.deep import DeepForecaster
 from repro.forecasting.nn.layers import (Dropout, FeedForward, LayerNorm,
                                          Linear, Module, positional_encoding)
 from repro.forecasting.nn.tensor import Tensor
+from repro.registry import register_model
 
 
 class EncoderLayer(Module):
@@ -93,6 +94,7 @@ class _TransformerNetwork(Module):
         return outputs[:, -self.horizon:, 0]
 
 
+@register_model("Transformer", deep=True, paper=True)
 class TransformerForecaster(DeepForecaster):
     """Compact encoder-decoder Transformer."""
 

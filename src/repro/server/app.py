@@ -712,14 +712,14 @@ def _make_handler(server: ReproServer) -> type[BaseHTTPRequestHandler]:
     return Handler
 
 
-def serve(argv=None) -> int:
-    """Entry point of ``repro-serve`` / ``repro-eval serve``."""
-    from repro.core.config import EvaluationConfig
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the server's options on ``parser``.
 
-    parser = argparse.ArgumentParser(
-        prog="repro-serve",
-        description="Batching evaluation service over the repro grid "
-                    "runtime (typed /v1 API)")
+    Shared between the standalone ``repro-serve`` parser and the
+    ``repro-eval serve`` subparser, so both frontends accept the exact
+    same flags and the subcommand no longer needs an argv intercept to
+    dodge argparse's leading-optionals limitation.
+    """
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8321)
     parser.add_argument("--length", type=int, default=2_000,
@@ -782,7 +782,21 @@ def serve(argv=None) -> int:
     parser.add_argument("--trace", nargs="?", const=".serve-trace",
                         default=None, metavar="DIR",
                         help="record spans/metrics into DIR/trace.jsonl")
-    args = parser.parse_args(argv)
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The standalone ``repro-serve`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Batching evaluation service over the repro grid "
+                    "runtime (typed /v1 API)")
+    add_serve_arguments(parser)
+    return parser
+
+
+def serve_from_args(args: argparse.Namespace) -> int:
+    """Build and run the server from a parsed serve namespace."""
+    from repro.core.config import EvaluationConfig
 
     config = EvaluationConfig(
         dataset_length=args.length,
@@ -820,6 +834,11 @@ def serve(argv=None) -> int:
         server.stop()
         obs.shutdown()
     return 0
+
+
+def serve(argv=None) -> int:
+    """Entry point of ``repro-serve`` / ``repro-eval serve``."""
+    return serve_from_args(build_serve_parser().parse_args(argv))
 
 
 def main() -> int:

@@ -47,16 +47,20 @@ from repro.api.errors import (NOT_FOUND, ApiError, ErrorEnvelope,
 from repro.api.requests import StreamOpenRequest
 from repro.api.responses import (StreamOpenResponse, StreamPushResponse,
                                  StreamSegment, StreamStatusResponse)
-from repro.compression.streaming import (OnlinePMC, OnlineSwing,
+from repro.compression.registry import STREAMING_METHODS
+from repro.compression.streaming import (STREAMING_ALGORITHMS,
                                          restore_compressor)
 from repro.forecasting.rolling import STREAM_MODELS, restore_forecaster
 from repro.obs import metrics as obs_metrics
 from repro.obs.log import get_logger
+from repro.registry import compressor_info
 
 _log = get_logger("repro.server.sessions")
 
-#: wire method name -> streaming encoder class
-_ENCODERS = {"PMC": OnlinePMC, "SWING": OnlineSwing}
+#: wire method name -> streaming encoder class, derived from the plugin
+#: registry's streaming capability metadata
+_ENCODERS = {name: STREAMING_ALGORITHMS[compressor_info(name).streaming]
+             for name in STREAMING_METHODS}
 
 #: cache-key namespace of session snapshots
 _CACHE_PREFIX = "stream-session/"

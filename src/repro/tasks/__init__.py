@@ -1,0 +1,67 @@
+"""Downstream evaluation tasks behind the grid's ``task`` axis.
+
+A *task* is what the evaluation does with a (possibly decompressed)
+series: the source paper's forecasting study is one task; the
+anomaly-detection impact study is a second.  Each registered task
+contributes
+
+- a **job builder** mapping one validated
+  :class:`~repro.api.requests.ForecastRequest`-shaped grid cell onto a
+  frozen runtime job spec, and
+- a **model axis** — the names registered for it via
+  ``@register_model(..., task=<name>)`` (forecasters for
+  ``"forecasting"``, detectors for ``"anomaly"``),
+
+so a ``GridRequest`` cell is fully described by (compressor x bound x
+task x model x dataset x seed) and every task shares the same
+content-hashed compression jobs, cache, backends, and failure
+envelopes.
+
+Import discipline: this package is imported by the registry bootstrap
+(``repro.registry._ensure``), which can fire while
+``repro.runtime.jobs`` is itself mid-import — so the builders below
+import the job modules lazily, and only :mod:`repro.tasks.detectors`
+(dependency-light) loads eagerly to register the anomaly models.
+"""
+
+from __future__ import annotations
+
+from repro.registry import register_task
+
+import repro.tasks.detectors  # noqa: F401  (registers the anomaly models)
+
+
+def build_forecast_job(service, request):
+    """One ``ForecastJob`` for a forecasting grid cell (the paper's task)."""
+    from repro.runtime.jobs import ForecastJob, freeze_kwargs
+
+    length = service._length(request.length)
+    kwargs = service._model_kwargs(request.model, request.dataset, length)
+    return ForecastJob(request.model, request.dataset, length,
+                       service.config.input_length, service.config.horizon,
+                       service.config.eval_stride, request.seed,
+                       method=request.method,
+                       error_bound=request.error_bound,
+                       retrained=request.retrained,
+                       model_kwargs=freeze_kwargs(kwargs))
+
+
+def build_anomaly_job(service, request):
+    """One ``AnomalyJob`` for an anomaly-detection grid cell."""
+    from repro.runtime.jobs import freeze_kwargs
+    from repro.tasks.anomaly import AnomalyJob
+
+    kwargs = dict(service.config.model_kwargs.get(request.model, {}))
+    return AnomalyJob(request.model, request.dataset,
+                      service._length(request.length), seed=request.seed,
+                      method=request.method,
+                      error_bound=request.error_bound,
+                      model_kwargs=freeze_kwargs(kwargs))
+
+
+register_task("forecasting", job_builder=build_forecast_job,
+              description="the paper's forecast-accuracy study "
+                          "(Algorithm 1)")
+register_task("anomaly", job_builder=build_anomaly_job,
+              description="detector F1 on decompressed vs raw series",
+              deterministic=True)

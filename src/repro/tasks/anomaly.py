@@ -1,0 +1,111 @@
+"""The anomaly-detection downstream task (a second grid ``task`` axis).
+
+The paper's closing discussion (and Hollmig et al., 2017, which it
+cites) asks how error-bounded lossy compression perturbs analytics
+beyond forecasting.  :class:`AnomalyJob` answers one cell of that
+question: run a registered detector on the raw test split (ground
+truth), run the same detector on the decompressed test split, and score
+the detections against the truth with tolerance-matched F1 — plus the
+mean relative drift of the 42 series characteristics, reusing the
+feature registry, so detection degradation can be read against feature
+degradation in the same record.
+
+The job rides the existing content-hashed task graph: its compression
+dependency is the very same ``CompressJob(part="test")`` the forecasting
+cells use, so a grid spanning both tasks compresses each (dataset,
+method, bound) cell exactly once.
+
+Module-level import rule: like :mod:`repro.runtime.jobs` this module is
+imported inside queue-backend worker processes when an ``AnomalyJob``
+is unpickled, so the class must live at module scope; and like that
+module it must not import ``repro.core`` at module level (the package
+cycle documented there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, ClassVar
+
+import numpy as np
+
+from repro.analytics.detectors import f1_score, match_detections
+from repro.features.registry import compute_all, relative_difference
+from repro.obs import trace as obs_trace
+from repro.runtime.jobs import RAW, CompressJob, JobSpec, RuntimeContext
+from repro.tasks.detectors import make as make_detector
+
+if TYPE_CHECKING:
+    from repro.core.results import ScenarioRecord
+
+#: detections within this many ticks of a true event count as hits
+DEFAULT_TOLERANCE = 24
+
+
+@dataclass(frozen=True)
+class AnomalyJob(JobSpec):
+    """Score one detector on one (dataset, method, bound) grid cell."""
+
+    kind: ClassVar[str] = "anomaly"
+
+    #: registered anomaly-detector name (the task's model axis)
+    model: str
+    dataset: str
+    length: int | None
+    seed: int = 0
+    method: str = RAW
+    error_bound: float = 0.0
+    tolerance: int = DEFAULT_TOLERANCE
+    model_kwargs: tuple[tuple[str, Any], ...] = ()
+
+    def transform_job(self) -> CompressJob | None:
+        if self.method == RAW:
+            return None
+        return CompressJob(self.dataset, self.length, self.method,
+                           self.error_bound, part="test")
+
+    def dependencies(self) -> tuple[JobSpec, ...]:
+        transform = self.transform_job()
+        return () if transform is None else (transform,)
+
+    def _feature_drift(self, ctx: RuntimeContext,
+                       values: np.ndarray) -> float:
+        """Mean |relative characteristic difference| vs the raw split."""
+        original = ctx.raw_test_features(self.dataset, self.length)
+        period = ctx.dataset(self.dataset, self.length).seasonal_period
+        deltas = relative_difference(original, compute_all(values, period))
+        finite = [abs(v) for v in deltas.values() if np.isfinite(v)]
+        return float(np.mean(finite)) if finite else 0.0
+
+    def run(self, ctx: RuntimeContext, deps: dict[str, Any]
+            ) -> "ScenarioRecord":
+        from repro.core.results import ScenarioRecord
+
+        raw = ctx.split(self.dataset, self.length).test.target_series.values
+        detector = make_detector(self.model, **dict(self.model_kwargs))
+        transform = self.transform_job()
+        if transform is None:
+            values = raw
+            drift = 0.0
+        else:
+            values = deps[transform.key()].decompressed.values
+            drift = self._feature_drift(ctx, values)
+        with obs_trace.span("anomaly.detect", model=self.model,
+                            dataset=self.dataset, method=self.method,
+                            error_bound=self.error_bound):
+            truth = detector.detect(raw)
+            detected = detector.detect(values)
+        hits, false_alarms, misses = match_detections(truth, detected,
+                                                      tolerance=self.tolerance)
+        metrics = {
+            "F1": f1_score(hits, false_alarms, misses),
+            "precision": (hits / (hits + false_alarms)
+                          if hits + false_alarms else 0.0),
+            "recall": hits / (hits + misses) if hits + misses else 0.0,
+            "true_events": float(len(truth)),
+            "detected_events": float(len(detected)),
+            "feature_drift": drift,
+        }
+        return ScenarioRecord(self.dataset, self.model, self.method,
+                              self.error_bound, self.seed, metrics,
+                              retrained=False, task="anomaly")

@@ -1,0 +1,72 @@
+"""Registered detector models for the anomaly downstream task.
+
+The anomaly task's model axis parallels forecasting's: each name maps to
+a detector class registered with ``task="anomaly"`` in the central
+plugin registry, so ``repro-eval grid --task anomaly`` enumerates its
+models the same way the forecasting grid enumerates forecasters.  The
+classes are thin, picklable wrappers over the pure detection functions
+in :mod:`repro.analytics.detectors` (imported lazily: this module loads
+during the registry bootstrap, while ``repro.compression.registry`` —
+which ``repro.analytics`` depends on — can still be mid-import).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.registry import register_model
+
+
+class Detector:
+    """One event detector: ``detect`` maps a series to event indices."""
+
+    name = "?"
+
+    def detect(self, values: np.ndarray) -> list[int]:
+        raise NotImplementedError
+
+
+@register_model("MeanShift", task="anomaly",
+                description="two-window mean-shift level-change detector")
+class MeanShiftDetector(Detector):
+    """Sustained level shifts via the two-window mean-shift statistic."""
+
+    name = "MeanShift"
+
+    def __init__(self, window: int = 50, threshold: float = 6.0) -> None:
+        self.window = window
+        self.threshold = threshold
+
+    def detect(self, values: np.ndarray) -> list[int]:
+        from repro.analytics.detectors import mean_shift_changepoints
+
+        return mean_shift_changepoints(values, window=self.window,
+                                       threshold=self.threshold)
+
+
+@register_model("ZScore", task="anomaly",
+                description="causal rolling z-score outlier detector")
+class ZScoreDetector(Detector):
+    """Pointwise outliers against a strictly-causal rolling window."""
+
+    name = "ZScore"
+
+    def __init__(self, window: int = 48, threshold: float = 4.0) -> None:
+        self.window = window
+        self.threshold = threshold
+
+    def detect(self, values: np.ndarray) -> list[int]:
+        from repro.analytics.detectors import zscore_anomalies
+
+        return zscore_anomalies(values, window=self.window,
+                                threshold=self.threshold)
+
+
+def make(name: str, **kwargs) -> Detector:
+    """Instantiate a registered anomaly detector by name."""
+    from repro import registry as _registry
+
+    info = _registry.model_info(name)
+    if info.task != "anomaly":
+        raise KeyError(f"model {name!r} is not an anomaly detector")
+    return info.factory(**kwargs)

@@ -1,0 +1,113 @@
+"""The ``task`` axis is additive: old payloads and cache keys never move.
+
+PR-era compatibility pins for the optional ``task`` field on
+``ForecastRequest`` / ``GridRequest`` / ``ForecastResponse``:
+
+- a pre-task payload (no ``"task"`` key) still validates and decodes,
+  landing on ``task="forecasting"``;
+- encoded payloads carry the field explicitly (new servers speak it);
+- the forecasting job keys — the disk-cache addresses of every record
+  computed before the task axis existed — are golden-pinned, because
+  ``ForecastJob`` deliberately has NO task field (forecasting IS the
+  implicit task of the frozen key schema).
+"""
+
+import pytest
+
+from repro.api import (ApiService, ForecastRequest, ForecastResponse,
+                       GridRequest, decode, dumps, encode, loads)
+from repro.api.schema import validate_payload
+from repro.core.config import EvaluationConfig
+from repro.runtime.jobs import CompressJob, ForecastJob
+
+#: cache addresses of pre-task grid cells — moving ANY of these silently
+#: orphans every cached record ever computed; treat as frozen
+GOLDEN_KEYS = {
+    ForecastJob("Arima", "ETTm1", 2000, 96, 24, 24, 0):
+        "forecast-07165eb5016bab09edd90c13",
+    ForecastJob("Arima", "ETTm1", 2000, 96, 24, 24, 0, method="PMC",
+                error_bound=0.1):
+        "forecast-c9042417075ba0c3ccd98cb3",
+    CompressJob("ETTm1", 2000, "PMC", 0.1, part="test"):
+        "compress-4314625db45fc7d087c6e32a",
+}
+
+
+def test_forecast_job_keys_are_golden():
+    for job, key in GOLDEN_KEYS.items():
+        assert job.key() == key
+
+
+def test_forecast_job_has_no_task_field():
+    from dataclasses import fields
+
+    assert "task" not in {f.name for f in fields(ForecastJob)}
+
+
+def test_pre_task_payloads_still_decode():
+    for payload in (
+            {"type": "ForecastRequest", "v": 1, "model": "Arima",
+             "dataset": "ETTm1", "method": "PMC", "error_bound": 0.1,
+             "seed": 0, "retrained": False, "length": None},
+            {"type": "GridRequest", "v": 1, "datasets": ["ETTm1"],
+             "models": ["Arima"], "methods": ["PMC"],
+             "error_bounds": [0.1], "include_baseline": True,
+             "retrained": False, "seeds": None, "length": None},
+            {"type": "ForecastResponse", "v": 1, "dataset": "ETTm1",
+             "model": "Arima", "method": "PMC", "error_bound": 0.1,
+             "seed": 0, "retrained": False, "metrics": {"NRMSE": 0.2}}):
+        validate_payload(payload)
+        obj = decode(payload)
+        assert obj.task == "forecasting"
+        if hasattr(obj, "validate"):
+            obj.validate()
+
+
+def test_encoded_payloads_carry_the_task_field():
+    assert encode(ForecastRequest("Arima", "ETTm1"))["task"] == "forecasting"
+    assert encode(GridRequest(task="anomaly"))["task"] == "anomaly"
+    assert encode(ForecastResponse("ETTm1", "MeanShift", "PMC", 0.1, 0,
+                                   False, task="anomaly"))["task"] == \
+        "anomaly"
+
+
+def test_task_round_trips_through_the_wire():
+    request = ForecastRequest("MeanShift", "ETTm1", method="CAMEO",
+                              error_bound=0.1, task="anomaly")
+    assert loads(dumps(request)) == request
+
+
+def test_task_less_request_builds_the_same_job_as_before():
+    service = ApiService(EvaluationConfig(
+        datasets=("ETTm1",), models=("Arima",), compressors=("PMC",),
+        error_bounds=(0.1,), dataset_length=2_000, cache_dir=None))
+    request = ForecastRequest("Arima", "ETTm1", method="PMC",
+                              error_bound=0.1)
+    job = service.forecast_job(request)
+    # byte-for-byte the pre-task builder's job (note the config-injected
+    # Arima seasonal_period — part of the frozen key schema)
+    assert job == ForecastJob(
+        "Arima", "ETTm1", 2000, 96, 24, 24, 0, method="PMC",
+        error_bound=0.1, model_kwargs=(("seasonal_period", 96),))
+    assert job == service.forecast_job(
+        ForecastRequest("Arima", "ETTm1", method="PMC", error_bound=0.1,
+                        task="forecasting"))
+
+
+def test_unknown_task_is_rejected():
+    from repro.api.errors import ValidationError
+
+    with pytest.raises((ValueError, ValidationError)):
+        ForecastRequest("Arima", "ETTm1", task="captioning").validate()
+    with pytest.raises((ValueError, ValidationError)):
+        GridRequest(task="captioning").validate()
+
+
+def test_task_model_mismatch_is_rejected():
+    from repro.api.errors import ValidationError
+
+    # a detector is not a forecasting model and vice versa
+    with pytest.raises((ValueError, ValidationError)):
+        ForecastRequest("MeanShift", "ETTm1").validate()
+    with pytest.raises((ValueError, ValidationError)):
+        ForecastRequest("Arima", "ETTm1", task="anomaly").validate()

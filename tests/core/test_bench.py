@@ -25,7 +25,8 @@ def test_report_carries_schema_and_machine_metadata(tiny_report):
 
 
 def test_report_covers_all_methods_and_bounds(tiny_report):
-    assert set(tiny_report["methods"]) == {"PMC", "SWING", "SZ"}
+    assert set(tiny_report["methods"]) == {"PMC", "SWING", "SZ",
+                                           "CAMEO", "LFZIP"}
     for cells in tiny_report["methods"].values():
         assert [cell["error_bound"] for cell in cells] == [0.1]
         for cell in cells:
@@ -52,7 +53,7 @@ def test_report_round_trips_through_json(tiny_report, tmp_path):
 def test_check_report_passes_and_fails_on_speedup_floor(tiny_report):
     assert check_report(tiny_report, min_speedup=0.0) == []
     failures = check_report(tiny_report, min_speedup=1e9)
-    assert len(failures) == 3  # one per method at the single bound
+    assert len(failures) == 5  # one per method at the single bound
     assert all("below floor" in failure for failure in failures)
 
 
@@ -91,7 +92,8 @@ def test_cli_bench_writes_report_and_checks(tmp_path, capsys):
     assert "speedup" in out
     assert "check passed" in out
     report = json.loads(output.read_text())
-    assert set(report["methods"]) == {"PMC", "SWING", "SZ"}
+    assert set(report["methods"]) == {"PMC", "SWING", "SZ", "CAMEO",
+                                      "LFZIP"}
 
 
 def test_cli_bench_check_fails_on_unreachable_floor(tmp_path, capsys):

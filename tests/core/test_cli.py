@@ -22,6 +22,15 @@ def test_compress_reports_ratio(capsys):
     assert "segments" in out
 
 
+def test_compress_accepts_every_grid_codec(capsys):
+    # the --method choices are a registry query, not the paper tuple:
+    # new codecs must be reachable from the CLI the moment they register
+    for method in ("CAMEO", "LFZIP"):
+        assert main(["compress", "--dataset", "Weather", "--method", method,
+                     "--error-bound", "0.2", "--length", "1000"]) == 0
+        assert "compression ratio" in capsys.readouterr().out
+
+
 def test_sweep_prints_all_bounds(capsys):
     assert main(["sweep", "--dataset", "ETTm1", "--length", "1500"]) == 0
     out = capsys.readouterr().out
@@ -238,13 +247,20 @@ def test_trace_json_round_trips(capsys, tmp_path):
     assert any("no trace.jsonl" in line for line in response.lines)
 
 
-def test_serve_is_listed_and_forwards(capsys):
+def test_serve_is_a_first_class_subcommand(capsys):
     # `serve` must appear in the command listing...
     with pytest.raises(SystemExit):
         main(["--help"])
     assert "serve" in capsys.readouterr().out
-    # ...and forward unknown flags to the repro-serve parser (exit 2 there)
+    # ...reject unknown flags like any other subcommand (no argv
+    # intercept — the subparser owns the full repro-serve surface)...
     with pytest.raises(SystemExit) as excinfo:
         main(["serve", "--bogus-flag"])
     assert excinfo.value.code == 2
-    assert "repro-serve" in capsys.readouterr().err
+    assert "--bogus-flag" in capsys.readouterr().err
+    # ...and expose the shared serve options, leading optionals included
+    with pytest.raises(SystemExit) as excinfo:
+        main(["serve", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "--max-batch" in out and "--session-ttl" in out

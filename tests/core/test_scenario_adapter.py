@@ -4,14 +4,12 @@ Satellite guarantees pinned here:
 
 - legacy methods return results identical to computing through the
   service directly (the adapter adds nothing and loses nothing);
-- grid-axis arguments are keyword-only, with a deprecation shim that
-  maps old positional call sites onto keywords (warning once) — results
-  identical either way;
+- grid-axis arguments are strictly keyword-only — positional use is a
+  plain :class:`TypeError` now that the deprecation shim is gone (the
+  README migration table documents the break);
 - the façade exposes the API objects (``.api``, ``last_failure_envelopes``)
   without breaking its pre-API aliases.
 """
-
-import warnings
 
 import pytest
 
@@ -52,41 +50,28 @@ def test_grid_records_equals_service_grid():
     assert all(isinstance(r, ScenarioRecord) for r in records)
 
 
-def test_scenario_records_keywords_and_positionals_agree():
-    config = _config()
-    evaluation = Evaluation(config)
-    by_keyword = evaluation.scenario_records(
-        "GBoost", "ETTm1", methods=("PMC",), error_bounds=(0.1,))
-    with pytest.warns(DeprecationWarning, match="methods"):
-        by_position = evaluation.scenario_records(
-            "GBoost", "ETTm1", ("PMC",), (0.1,))
-    assert by_position == by_keyword
-
-
-def test_grid_records_positional_shim_and_limit():
-    config = _config()
-    evaluation = Evaluation(config)
-    with pytest.warns(DeprecationWarning, match="datasets"):
-        shimmed = evaluation.grid_records(("ETTm1",), ("GBoost",), ("PMC",),
-                                          (0.1,))
-    assert shimmed == evaluation.grid_records(
-        datasets=("ETTm1",), models=("GBoost",), methods=("PMC",),
-        error_bounds=(0.1,))
-
-    too_many = [("ETTm1",), ("GBoost",), ("PMC",), (0.1,), True, False, "x"]
-    with pytest.raises(TypeError, match="positional"):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            evaluation.grid_records(*too_many)
-
-
-def test_positional_duplicate_of_keyword_is_a_type_error():
+def test_scenario_records_grid_axes_are_keyword_only():
     evaluation = Evaluation(_config())
-    with pytest.raises(TypeError, match="methods"):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            evaluation.scenario_records("GBoost", "ETTm1", ("PMC",),
-                                        methods=("SWING",))
+    with pytest.raises(TypeError, match="positional"):
+        evaluation.scenario_records("GBoost", "ETTm1", ("PMC",), (0.1,))
+    # the keyword spelling (the migration target) still works
+    records = evaluation.scenario_records(
+        "GBoost", "ETTm1", methods=("PMC",), error_bounds=(0.1,))
+    assert records and all(isinstance(r, ScenarioRecord) for r in records)
+
+
+def test_grid_records_rejects_any_positional_argument():
+    evaluation = Evaluation(_config())
+    with pytest.raises(TypeError, match="positional"):
+        evaluation.grid_records(("ETTm1",), ("GBoost",), ("PMC",), (0.1,))
+    with pytest.raises(TypeError, match="positional"):
+        evaluation.grid_records(("ETTm1",))
+
+
+def test_retrain_records_grid_axes_are_keyword_only():
+    evaluation = Evaluation(_config())
+    with pytest.raises(TypeError, match="positional"):
+        evaluation.retrain_records("GBoost", "ETTm1", ("PMC",))
 
 
 def test_facade_exposes_api_and_legacy_aliases():

@@ -15,17 +15,17 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.api import StreamOpenRequest
-from repro.compression import PMC, Swing
-from repro.compression.streaming import (OnlinePMC, OnlineSwing, reconstruct,
-                                         segments_payload)
+from repro.compression import LFZip, PMC, Swing
+from repro.compression.streaming import (OnlineLFZip, OnlinePMC, OnlineSwing,
+                                         reconstruct, segments_payload)
 from repro.core.config import EvaluationConfig
 from repro.datasets import TimeSeries
 from repro.server.app import ReproServer
 from repro.server.client import ReproClient
 
-_ONLINE = {"PMC": OnlinePMC, "SWING": OnlineSwing}
-_BATCH = {"PMC": PMC, "SWING": Swing}
-_ATOL = {"PMC": 1e-6, "SWING": 1e-5}
+_ONLINE = {"PMC": OnlinePMC, "SWING": OnlineSwing, "LFZIP": OnlineLFZip}
+_BATCH = {"PMC": PMC, "SWING": Swing, "LFZIP": LFZip}
+_ATOL = {"PMC": 1e-6, "SWING": 1e-5, "LFZIP": 0.0}
 
 
 def _config():
@@ -76,9 +76,15 @@ def _assert_equivalent(method, error_bound, values, streamed):
     assert sum(s.length for s in streamed) == len(values)
     batch = _BATCH[method]().compress(
         TimeSeries(np.asarray(values, dtype=float), interval=60), error_bound)
-    assert len(streamed) == batch.num_segments
-    assert np.allclose(reconstruct(streamed), batch.decompressed.values,
-                       atol=_ATOL[method])
+    if method == "LFZIP":
+        # block segments, not value runs: counts differ from the batch
+        # num_segments statistic, but the reconstruction is bitwise equal
+        assert np.array_equal(reconstruct(streamed),
+                              batch.decompressed.values)
+    else:
+        assert len(streamed) == batch.num_segments
+        assert np.allclose(reconstruct(streamed), batch.decompressed.values,
+                           atol=_ATOL[method])
 
 
 @st.composite
@@ -105,7 +111,7 @@ def series_and_partition(draw):
 @settings(max_examples=20, deadline=None,
           suppress_health_check=[HealthCheck.function_scoped_fixture])
 @given(data=series_and_partition(),
-       method=st.sampled_from(["PMC", "SWING"]),
+       method=st.sampled_from(["PMC", "SWING", "LFZIP"]),
        error_bound=st.sampled_from([0.01, 0.1, 0.5]))
 def test_property_chunking_is_transport_not_semantics(client, data, method,
                                                       error_bound):
@@ -114,7 +120,7 @@ def test_property_chunking_is_transport_not_semantics(client, data, method,
     _assert_equivalent(method, error_bound, values, streamed)
 
 
-@pytest.mark.parametrize("method", ["PMC", "SWING"])
+@pytest.mark.parametrize("method", ["PMC", "SWING", "LFZIP"])
 def test_tick_at_a_time_matches_batch(client, method):
     rng = np.random.default_rng(5)
     values = (20 + rng.normal(0, 1, 300).cumsum() * 0.1).tolist()
@@ -123,7 +129,7 @@ def test_tick_at_a_time_matches_batch(client, method):
     _assert_equivalent(method, 0.1, values, streamed)
 
 
-@pytest.mark.parametrize("method", ["PMC", "SWING"])
+@pytest.mark.parametrize("method", ["PMC", "SWING", "LFZIP"])
 def test_whole_series_single_push_matches_batch(client, method):
     rng = np.random.default_rng(6)
     values = (20 + rng.normal(0, 1, 500).cumsum() * 0.1).tolist()
@@ -131,7 +137,7 @@ def test_whole_series_single_push_matches_batch(client, method):
     _assert_equivalent(method, 0.05, values, streamed)
 
 
-@pytest.mark.parametrize("method", ["PMC", "SWING"])
+@pytest.mark.parametrize("method", ["PMC", "SWING", "LFZIP"])
 def test_chunked_ingest_equals_push_path(client, method):
     # the NDJSON ingest route is the same session machinery over a
     # different transport: identical bytes out
@@ -154,3 +160,37 @@ def test_close_with_final_ticks_equals_trailing_push(client):
     wire += client.stream_close(opened.session_id, values[80:]).segments
     streamed = [s.to_segment() for s in wire]
     _assert_equivalent("PMC", 0.1, values, streamed)
+
+
+def test_lfzip_session_survives_restart_byte_identically(tmp_path):
+    """The acceptance pin for online LFZip: NLMS weights, carry, and the
+    partial block cross the snapshot/restore boundary of a live daemon —
+    a restart mid-stream leaves the emitted segments byte-identical."""
+    rng = np.random.default_rng(29)
+    values = (20 + rng.normal(0, 1, 420).cumsum() * 0.1).tolist()
+    config = EvaluationConfig(datasets=("ETTm1",), models=("GBoost",),
+                              compressors=("PMC",), error_bounds=(0.1,),
+                              dataset_length=1_200, input_length=48,
+                              horizon=12, eval_stride=12, deep_seeds=1,
+                              simple_seeds=1,
+                              cache_dir=str(tmp_path / "cache"))
+    with ReproServer(config, port=0) as instance:
+        live = ReproClient(port=instance.port)
+        sid = live.stream_open(StreamOpenRequest(
+            method="LFZIP", error_bound=0.1,
+            forecast_every=0)).session_id
+        # stop mid-block (300 is not a multiple of the 128 block size)
+        collected = list(live.stream_push(sid, values[:300]).segments)
+    with ReproServer(config, port=0) as instance:
+        live = ReproClient(port=instance.port)
+        assert live.stream_status(sid).resident is False
+        collected += live.stream_push(sid, values[300:]).segments
+        collected += live.stream_close(sid).segments
+    encoder = OnlineLFZip(0.1)
+    expected = encoder.extend(values) + encoder.flush()
+    streamed = [s.to_segment() for s in collected]
+    assert segments_payload(streamed) == segments_payload(expected)
+    assert np.array_equal(
+        reconstruct(streamed),
+        LFZip().compress(TimeSeries(np.asarray(values), interval=60),
+                         0.1).decompressed.values)
